@@ -1,0 +1,163 @@
+//! Participation (churn) schedule generators.
+//!
+//! The adversary controls sleep/wake fully adaptively; experiments model
+//! it with pre-generated schedules filtered through the Condition (1)
+//! checker, so every run provably sits inside the (T_b, T_s, ρ)-sleepy
+//! model before any conclusion is drawn from it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tobsvd_sim::compliance::{check, SleepyParams};
+use tobsvd_sim::{CorruptionSchedule, ParticipationSchedule};
+use tobsvd_types::{Time, ValidatorId};
+
+/// Rotating group sleep: validators are split into `groups` groups;
+/// group `i` sleeps during every window whose index is ≡ i (mod groups),
+/// everyone else stays awake. With `groups ≥ 3` a solid majority is
+/// always awake and compliance holds for reasonable parameters.
+pub fn rotating_sleep(
+    n: usize,
+    groups: usize,
+    window_ticks: u64,
+    horizon: Time,
+) -> ParticipationSchedule {
+    assert!(groups >= 2, "need at least two groups");
+    let mut sched = ParticipationSchedule::always_awake(n);
+    let windows = horizon.ticks() / window_ticks + 1;
+    for v in ValidatorId::all(n) {
+        let group = v.index() % groups;
+        let mut intervals = Vec::new();
+        let mut open: Option<u64> = None;
+        for w in 0..=windows {
+            let sleeping = (w as usize) % groups == group;
+            let t = w * window_ticks;
+            match (sleeping, open) {
+                (true, Some(start)) => {
+                    intervals.push((Time::new(start), Time::new(t)));
+                    open = None;
+                }
+                (false, None) => open = Some(t),
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            intervals.push((Time::new(start), horizon + 1));
+        }
+        sched.set_intervals(v, intervals);
+    }
+    sched
+}
+
+/// Random churn: each validator independently toggles awake/asleep at
+/// random window boundaries, staying awake with probability
+/// `awake_prob`. Validator awake states change only at multiples of
+/// `window_ticks`.
+pub fn random_churn(
+    n: usize,
+    horizon: Time,
+    window_ticks: u64,
+    awake_prob: f64,
+    seed: u64,
+) -> ParticipationSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sched = ParticipationSchedule::always_awake(n);
+    let windows = horizon.ticks() / window_ticks + 1;
+    for v in ValidatorId::all(n) {
+        let mut intervals = Vec::new();
+        let mut open: Option<u64> = None;
+        for w in 0..=windows {
+            let awake = rng.gen_bool(awake_prob);
+            let t = w * window_ticks;
+            match (awake, open) {
+                (false, Some(start)) => {
+                    intervals.push((Time::new(start), Time::new(t)));
+                    open = None;
+                }
+                (true, None) => open = Some(t),
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            intervals.push((Time::new(start), horizon + 1));
+        }
+        sched.set_intervals(v, intervals);
+    }
+    sched
+}
+
+/// Rejection-samples a random churn schedule compliant with
+/// Condition (1) for the given corruption schedule and parameters.
+///
+/// Tries up to `max_tries` seeds (derived from `seed`), raising the
+/// awake probability by 5 % after each failure. Returns `None` if no
+/// compliant schedule was found.
+pub fn compliant_random_churn(
+    n: usize,
+    horizon: Time,
+    window_ticks: u64,
+    mut awake_prob: f64,
+    corruption: &CorruptionSchedule,
+    params: SleepyParams,
+    seed: u64,
+    max_tries: usize,
+) -> Option<ParticipationSchedule> {
+    for attempt in 0..max_tries {
+        let candidate =
+            random_churn(n, horizon, window_ticks, awake_prob, seed.wrapping_add(attempt as u64));
+        if check(&candidate, corruption, params, horizon).is_none() {
+            return Some(candidate);
+        }
+        awake_prob = (awake_prob + 0.05).min(1.0);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotating_sleep_keeps_majority_awake() {
+        let horizon = Time::new(400);
+        let sched = rotating_sleep(9, 3, 40, horizon);
+        for t in (0..400).step_by(7) {
+            let awake = ValidatorId::all(9)
+                .filter(|v| sched.is_awake(*v, Time::new(t)))
+                .count();
+            assert!(awake >= 6, "at t={t} only {awake} awake");
+        }
+    }
+
+    #[test]
+    fn rotating_sleep_actually_sleeps_each_group() {
+        let horizon = Time::new(400);
+        let sched = rotating_sleep(6, 3, 40, horizon);
+        // Group 0 (validators 0 and 3) sleeps in window 0.
+        assert!(!sched.is_awake(ValidatorId::new(0), Time::new(10)));
+        assert!(!sched.is_awake(ValidatorId::new(3), Time::new(10)));
+        assert!(sched.is_awake(ValidatorId::new(1), Time::new(10)));
+        // …and wakes in window 1.
+        assert!(sched.is_awake(ValidatorId::new(0), Time::new(50)));
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_per_seed() {
+        let a = random_churn(5, Time::new(300), 24, 0.7, 9);
+        let b = random_churn(5, Time::new(300), 24, 0.7, 9);
+        for v in ValidatorId::all(5) {
+            for t in (0..300).step_by(11) {
+                assert_eq!(a.is_awake(v, Time::new(t)), b.is_awake(v, Time::new(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn compliant_churn_passes_the_checker() {
+        let corruption = CorruptionSchedule::from_genesis([ValidatorId::new(0)]);
+        let params = SleepyParams::half(40, 16);
+        let horizon = Time::new(500);
+        let sched = compliant_random_churn(8, horizon, 32, 0.8, &corruption, params, 1, 50)
+            .expect("a compliant schedule exists");
+        assert!(check(&sched, &corruption, params, horizon).is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Adversarial delay policies (all within the synchrony bound Δ).
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use tobsvd_sim::DelayPolicy;
+use tobsvd_types::{Delta, SignedMessage, Time, ValidatorId};
+
+/// Splits the network into a fast clique and a slow rest: copies to
+/// `fast` members arrive next tick, all others at exactly Δ.
+///
+/// Combined with equivocating senders, this realizes the classic
+/// "some validators know one message, others learn it Δ later" schedule
+/// that the time-shifted quorum technique is designed to survive.
+#[derive(Clone, Debug)]
+pub struct SplitDelay {
+    fast: BTreeSet<ValidatorId>,
+}
+
+impl SplitDelay {
+    /// Creates the policy with the given fast set.
+    pub fn new(fast: impl IntoIterator<Item = ValidatorId>) -> Self {
+        SplitDelay { fast: fast.into_iter().collect() }
+    }
+}
+
+impl DelayPolicy for SplitDelay {
+    fn delay(
+        &mut self,
+        _msg: &SignedMessage,
+        _from: ValidatorId,
+        to: ValidatorId,
+        _at: Time,
+        delta: Delta,
+        _rng: &mut StdRng,
+    ) -> u64 {
+        if self.fast.contains(&to) {
+            1
+        } else {
+            delta.ticks()
+        }
+    }
+}
+
+/// Wraps an arbitrary function as a delay policy — the escape hatch for
+/// bespoke adversarial schedules in tests.
+///
+/// The function returns a delay in ticks; the engine clamps it to
+/// `[1, Δ]`, so even a buggy closure cannot violate synchrony.
+pub struct FnDelay<F>(pub F);
+
+impl<F> DelayPolicy for FnDelay<F>
+where
+    F: FnMut(&SignedMessage, ValidatorId, ValidatorId, Time, Delta) -> u64 + Send,
+{
+    fn delay(
+        &mut self,
+        msg: &SignedMessage,
+        from: ValidatorId,
+        to: ValidatorId,
+        at: Time,
+        delta: Delta,
+        _rng: &mut StdRng,
+    ) -> u64 {
+        (self.0)(msg, from, to, at, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tobsvd_crypto::Keypair;
+    use tobsvd_types::{BlockStore, InstanceId, Log, Payload};
+
+    fn msg() -> SignedMessage {
+        let store = BlockStore::new();
+        let v = ValidatorId::new(0);
+        let kp = Keypair::from_seed(v.key_seed());
+        SignedMessage::sign(&kp, v, Payload::Log { instance: InstanceId(0), log: Log::genesis(&store) })
+    }
+
+    #[test]
+    fn split_delay_classifies() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = SplitDelay::new([ValidatorId::new(1)]);
+        let m = msg();
+        let d = Delta::new(8);
+        assert_eq!(p.delay(&m, ValidatorId::new(0), ValidatorId::new(1), Time::ZERO, d, &mut rng), 1);
+        assert_eq!(p.delay(&m, ValidatorId::new(0), ValidatorId::new(2), Time::ZERO, d, &mut rng), 8);
+    }
+
+    #[test]
+    fn fn_delay_invokes_closure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = FnDelay(|_m: &SignedMessage, _f, to: ValidatorId, _t, _d| {
+            1 + u64::from(to.raw())
+        });
+        let m = msg();
+        let d = Delta::new(8);
+        assert_eq!(p.delay(&m, ValidatorId::new(0), ValidatorId::new(3), Time::ZERO, d, &mut rng), 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! Byzantine strategies, adversarial network policies and churn
+//! generation for the TOB-SVD evaluation.
+//!
+//! The sleepy-model adversary of §3.1 controls three levers, each
+//! covered here:
+//!
+//! * **Byzantine validators** — [`SilentNode`] (omission),
+//!   [`GaEquivocator`] (targeted split equivocation inside one GA
+//!   instance), [`SplitBrainNode`] (runs the honest TOB-SVD logic but
+//!   equivocates every vote and proposal toward two halves of the
+//!   network), [`LateVoter`] (honest content, one Δ late).
+//! * **Message scheduling** — [`SplitDelay`] (fast to a clique, Δ to the
+//!   rest) and [`FnDelay`] (arbitrary per-copy delay functions), both
+//!   within the synchrony bound.
+//! * **Participation and corruption** — [`churn`] generates sleep/wake
+//!   schedules (rotating groups, random churn) and rejection-samples
+//!   Condition-(1)-compliant ones; [`AdaptiveLeaderCorruptor`] is the
+//!   Lemma 2 adversary that corrupts the highest-VRF proposer the moment
+//!   it reveals itself (landing Δ later — mild adaptivity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+mod controllers;
+mod delays;
+mod strategies;
+
+pub use controllers::AdaptiveLeaderCorruptor;
+pub use delays::{FnDelay, SplitDelay};
+pub use strategies::{GaEquivocator, LateVoter, SilentNode, SplitBrainNode};

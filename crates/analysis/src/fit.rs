@@ -1,0 +1,96 @@
+//! Power-law fitting for complexity measurements.
+//!
+//! The communication-complexity experiment measures message/byte counts
+//! at several validator counts `n` and asks "does this grow like n² or
+//! n³?". Fitting `y = c·nᵉ` by least squares on `log y = log c + e·log n`
+//! answers with the exponent `e`.
+
+/// Result of a power-law fit `y ≈ c·xᵉ`.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawFit {
+    /// The exponent `e`.
+    pub exponent: f64,
+    /// The coefficient `c`.
+    pub coefficient: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+}
+
+/// Fits `y = c·xᵉ` through `(x, y)` samples by log–log least squares.
+///
+/// Returns `None` if fewer than two samples are given or any value is
+/// non-positive (logs would be undefined).
+///
+/// ```
+/// use tobsvd_analysis::fit_power_law;
+/// let samples: Vec<(f64, f64)> = (2..10).map(|n| {
+///     let n = n as f64;
+///     (n, 3.0 * n * n * n)
+/// }).collect();
+/// let fit = fit_power_law(&samples).unwrap();
+/// assert!((fit.exponent - 3.0).abs() < 1e-9);
+/// ```
+pub fn fit_power_law(samples: &[(f64, f64)]) -> Option<PowerLawFit> {
+    if samples.len() < 2 || samples.iter().any(|(x, y)| *x <= 0.0 || *y <= 0.0) {
+        return None;
+    }
+    let logs: Vec<(f64, f64)> = samples.iter().map(|(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None; // all x equal
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    // R² of the log-space regression.
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r_squared = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(PowerLawFit { exponent: slope, coefficient: intercept.exp(), r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_law() {
+        let samples: Vec<(f64, f64)> =
+            (1..8).map(|n| (n as f64, 5.0 * (n as f64).powi(2))).collect();
+        let fit = fit_power_law(&samples).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+        assert!((fit.coefficient - 5.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_cubic_still_near_three() {
+        let samples: Vec<(f64, f64)> = (2..12)
+            .map(|n| {
+                let n = n as f64;
+                // ±10 % multiplicative noise, deterministic.
+                let noise = 1.0 + 0.1 * ((n * 7.3).sin());
+                (n, 2.0 * n.powi(3) * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&samples).unwrap();
+        assert!((fit.exponent - 3.0).abs() < 0.2, "exponent = {}", fit.exponent);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(1.0, 2.0)]).is_none());
+        assert!(fit_power_law(&[(1.0, 2.0), (0.0, 3.0)]).is_none());
+        assert!(fit_power_law(&[(1.0, -2.0), (2.0, 3.0)]).is_none());
+        assert!(fit_power_law(&[(2.0, 3.0), (2.0, 5.0)]).is_none());
+    }
+}

@@ -1,0 +1,15 @@
+//! Measurement analysis for the TOB-SVD evaluation: summary statistics,
+//! ASCII/markdown table rendering (the Table 1 regenerator prints
+//! through here), and log–log growth-exponent fitting for the
+//! communication-complexity experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fit;
+mod stats;
+mod table;
+
+pub use fit::{fit_power_law, PowerLawFit};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,72 @@
+//! Executable GA-level comparison: the §4 Momose–Ren GA vs the paper's
+//! 2-grade GA, both run on the real simulator.
+//!
+//! MR's GA needs an extra `VOTE` round (one more voting phase per
+//! instance), which is the per-instance cost difference that compounds
+//! into Table 1's "voting phases per new block" gap. This module
+//! measures it directly.
+
+use tobsvd_ga::{GaHarness, GaKind};
+use tobsvd_sim::SimConfig;
+use tobsvd_types::{Log, ValidatorId, View};
+
+/// Message cost of one GA instance.
+#[derive(Clone, Copy, Debug)]
+pub struct GaCost {
+    /// Original `LOG` broadcasts.
+    pub log_broadcasts: u64,
+    /// Original `VOTE` broadcasts (MR only).
+    pub vote_broadcasts: u64,
+    /// Forwarded messages.
+    pub forwards: u64,
+    /// Per-recipient deliveries.
+    pub deliveries: u64,
+    /// Voting phases the instance cost each validator (LOG + VOTE
+    /// rounds it participated in).
+    pub voting_phases: u64,
+}
+
+/// Runs one fault-free instance of `kind` with `n` validators and a
+/// common input, returning its message cost.
+pub fn measure_ga_cost(kind: GaKind, n: usize, seed: u64) -> GaCost {
+    let cfg = SimConfig::new(n).with_seed(seed);
+    let mut h = GaHarness::new(cfg, kind);
+    let log = Log::genesis(h.store()).extend_empty(h.store(), ValidatorId::new(0), View::new(1));
+    for v in ValidatorId::all(n) {
+        h.input(v, log);
+    }
+    let result = h.run();
+    let m = &result.report.metrics;
+    let voting_phases = if m.vote_broadcasts > 0 { 2 } else { 1 };
+    GaCost {
+        log_broadcasts: m.log_broadcasts,
+        vote_broadcasts: m.vote_broadcasts,
+        forwards: m.forwards,
+        deliveries: m.deliveries,
+        voting_phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mr_ga_needs_an_extra_voting_round() {
+        let ours = measure_ga_cost(GaKind::Two, 6, 1);
+        let mr = measure_ga_cost(GaKind::Mr, 6, 1);
+        assert_eq!(ours.vote_broadcasts, 0, "Fig 1 GA has only LOG messages");
+        assert_eq!(mr.vote_broadcasts, 6, "MR GA: one VOTE per validator");
+        assert_eq!(ours.voting_phases, 1);
+        assert_eq!(mr.voting_phases, 2);
+        assert!(mr.deliveries > ours.deliveries);
+    }
+
+    #[test]
+    fn log_broadcast_count_is_n() {
+        for kind in [GaKind::Two, GaKind::Three, GaKind::Mr] {
+            let cost = measure_ga_cost(kind, 5, 2);
+            assert_eq!(cost.log_broadcasts, 5, "{kind:?}");
+        }
+    }
+}

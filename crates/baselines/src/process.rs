@@ -1,0 +1,144 @@
+//! The leader-lottery view process.
+//!
+//! All six Table 1 protocols share a common skeleton: proposals every
+//! `view_len`·Δ; a view with a *good leader* (probability `p`, > ½ by
+//! Lemma 2, → ½ at the adversarial boundary) decides its proposal
+//! `decision_offset`·Δ after the proposal; a bad view decides nothing
+//! new. Expected-case rows of Table 1 follow from the geometric
+//! distribution of "views until the first good one".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structural parameters of a protocol's view process (in Δ).
+#[derive(Clone, Copy, Debug)]
+pub struct ViewProcess {
+    /// Time between consecutive proposals, in Δ.
+    pub view_len: u64,
+    /// Proposal → decision latency in a good view, in Δ (the best case).
+    pub decision_offset: u64,
+    /// Voting phases each view costs.
+    pub phases_per_view: u32,
+}
+
+/// Closed-form expected latency (in Δ) of a transaction submitted right
+/// before a proposal: `decision_offset + view_len·(1−p)/p`.
+pub fn closed_form_expected(p_struct: &ViewProcess, p_good: f64) -> f64 {
+    assert!(p_good > 0.0 && p_good <= 1.0, "p_good must be in (0, 1]");
+    p_struct.decision_offset as f64 + p_struct.view_len as f64 * (1.0 - p_good) / p_good
+}
+
+/// Closed-form transaction expected latency (in Δ): half a proposal
+/// interval of queueing plus the expected latency (paper §2).
+pub fn closed_form_tx_expected(p_struct: &ViewProcess, p_good: f64) -> f64 {
+    p_struct.view_len as f64 / 2.0 + closed_form_expected(p_struct, p_good)
+}
+
+/// Expected voting phases per decided block: every view costs
+/// `phases_per_view`, one block is decided per good view, so
+/// `phases_per_view / p`.
+pub fn phases_per_block(p_struct: &ViewProcess, p_good: f64) -> f64 {
+    assert!(p_good > 0.0 && p_good <= 1.0, "p_good must be in (0, 1]");
+    p_struct.phases_per_view as f64 / p_good
+}
+
+/// Monte-Carlo expected latency: a transaction submitted right before a
+/// proposal; confirmed at the first good view's decision. Returns the
+/// mean over `trials`.
+pub fn simulate_expected_latency(
+    p_struct: &ViewProcess,
+    p_good: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let mut views_waited = 0u64;
+        while !rng.gen_bool(p_good) {
+            views_waited += 1;
+        }
+        total += (views_waited * p_struct.view_len + p_struct.decision_offset) as f64;
+    }
+    total / trials as f64
+}
+
+/// Monte-Carlo transaction expected latency: the transaction arrives at
+/// a uniformly random point of a view and waits for the next proposal
+/// first.
+pub fn simulate_tx_expected_latency(
+    p_struct: &ViewProcess,
+    p_good: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        // Uniform offset into the current proposal interval.
+        let queue = p_struct.view_len as f64 * rng.gen::<f64>();
+        let mut views_waited = 0u64;
+        while !rng.gen_bool(p_good) {
+            views_waited += 1;
+        }
+        total += queue + (views_waited * p_struct.view_len + p_struct.decision_offset) as f64;
+    }
+    total / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tob() -> ViewProcess {
+        ViewProcess { view_len: 4, decision_offset: 6, phases_per_view: 1 }
+    }
+
+    #[test]
+    fn closed_forms_at_half() {
+        let p = tob();
+        assert!((closed_form_expected(&p, 0.5) - 10.0).abs() < 1e-12);
+        assert!((closed_form_tx_expected(&p, 0.5) - 12.0).abs() < 1e-12);
+        assert!((phases_per_block(&p, 0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_forms_at_one() {
+        // Perfect leaders: expected collapses to best case.
+        let p = tob();
+        assert!((closed_form_expected(&p, 1.0) - 6.0).abs() < 1e-12);
+        assert!((phases_per_block(&p, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let p = tob();
+        for p_good in [0.5, 0.6, 0.9] {
+            let mc = simulate_expected_latency(&p, p_good, 200_000, 42);
+            let cf = closed_form_expected(&p, p_good);
+            assert!(
+                (mc - cf).abs() < 0.15,
+                "p={p_good}: monte carlo {mc} vs closed form {cf}"
+            );
+            let mc_tx = simulate_tx_expected_latency(&p, p_good, 200_000, 43);
+            let cf_tx = closed_form_tx_expected(&p, p_good);
+            assert!(
+                (mc_tx - cf_tx).abs() < 0.15,
+                "p={p_good}: monte carlo {mc_tx} vs closed form {cf_tx}"
+            );
+        }
+    }
+
+    #[test]
+    fn better_leaders_mean_lower_latency() {
+        let p = tob();
+        assert!(closed_form_expected(&p, 0.9) < closed_form_expected(&p, 0.5));
+        assert!(phases_per_block(&p, 0.9) < phases_per_block(&p, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "p_good must be in (0, 1]")]
+    fn zero_probability_rejected() {
+        let _ = closed_form_expected(&tob(), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates the **communication complexity row of Table 1** by
+//! measurement: runs fault-free TOB-SVD at increasing validator counts,
+//! counts per-recipient message deliveries and nominal bytes (full-log
+//! message sizes, envelope included), and fits the growth exponent.
+//!
+//! TOB-SVD forwards every received message (up to two per sender per
+//! instance), so per view: n original votes → n² direct deliveries →
+//! each recipient forwards once → n³ forwarded deliveries: O(n³)
+//! messages, O(L·n³) bytes — matching the paper's claim. The 1/x-MMR
+//! baselines do not forward, which is what the `expected n^2` row
+//! reflects (printed from the spec, not measured — they are not
+//! implemented as full message-passing protocols; see DESIGN.md §4).
+
+use tobsvd_analysis::{fit_power_law, Table};
+use tobsvd_bench::run_tobsvd;
+use tobsvd_core::TxWorkload;
+
+fn main() {
+    println!("=== Communication complexity (Table 1, last row) ===\n");
+    let views = 6u64;
+    let ns = [6usize, 9, 12, 16, 20, 26];
+    let mut rows: Vec<(usize, u64, u64)> = Vec::new();
+    for &n in &ns {
+        let report = run_tobsvd(n, 0, views, 21, TxWorkload::PerView { count: 2, size: 64 });
+        report.assert_safety();
+        let m = &report.report.metrics;
+        rows.push((n, m.deliveries, m.bytes_delivered));
+    }
+
+    let mut table = Table::new(vec!["n", "deliveries", "bytes", "deliveries/view", "bytes/view"]);
+    for (n, msgs, bytes) in &rows {
+        table.row(vec![
+            n.to_string(),
+            msgs.to_string(),
+            bytes.to_string(),
+            (msgs / views).to_string(),
+            (bytes / views).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let msg_samples: Vec<(f64, f64)> =
+        rows.iter().map(|(n, m, _)| (*n as f64, *m as f64)).collect();
+    let byte_samples: Vec<(f64, f64)> =
+        rows.iter().map(|(n, _, b)| (*n as f64, *b as f64)).collect();
+    let msg_fit = fit_power_law(&msg_samples).expect("fit");
+    let byte_fit = fit_power_law(&byte_samples).expect("fit");
+
+    println!(
+        "message growth:  deliveries ≈ {:.2}·n^{:.2}   (R² = {:.4})",
+        msg_fit.coefficient, msg_fit.exponent, msg_fit.r_squared
+    );
+    println!(
+        "byte growth:     bytes     ≈ {:.2}·n^{:.2}   (R² = {:.4})",
+        byte_fit.coefficient, byte_fit.exponent, byte_fit.r_squared
+    );
+    println!("\npaper claim: O(L·n³) with forwarding (MR/MMR2/GL/TOB-SVD); O(L·n²) for 1/3- and 1/4-MMR (no forwarding).");
+
+    assert!(
+        msg_fit.exponent > 2.5 && msg_fit.exponent < 3.5,
+        "message exponent {:.2} not ≈ 3",
+        msg_fit.exponent
+    );
+    assert!(msg_fit.r_squared > 0.98, "noisy fit: R² = {}", msg_fit.r_squared);
+    println!("shape assertion passed: exponent ≈ 3.");
+}

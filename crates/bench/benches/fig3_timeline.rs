@@ -1,0 +1,96 @@
+//! Regenerates **Figure 3** of the paper: the timeline of views v−1, v,
+//! v+1 with their Propose/Vote/Decide phases and the overlapping GA
+//! instances `GA_{v−1}` and `GA_v`, then asserts every arrow of the
+//! figure (which GA output feeds which TOB phase).
+
+use tobsvd_core::ViewSchedule;
+use tobsvd_types::{Delta, View};
+
+fn main() {
+    let delta = Delta::new(8);
+    let sched = ViewSchedule::new(delta);
+    let v = View::new(5);
+
+    println!("=== Figure 3 reproduction — views v−1, v, v+1 (v = {}) ===\n", v.number());
+    println!("{}", sched.render_timeline(v));
+
+    println!("alignment checks (the arrows of Figure 3):");
+    let prev = v.prev().expect("v ≥ 1");
+    let checks: Vec<(String, bool)> = vec![
+        (
+            format!(
+                "GA_{}(grade 0 output at {}) == Propose({}) at {}",
+                prev.number(),
+                sched.ga_output_time(prev, 0),
+                v,
+                sched.propose_time(v)
+            ),
+            sched.ga_output_time(prev, 0) == sched.propose_time(v),
+        ),
+        (
+            format!(
+                "GA_{}(grade 1 output at {}) == Vote({}) at {}",
+                prev.number(),
+                sched.ga_output_time(prev, 1),
+                v,
+                sched.vote_time(v)
+            ),
+            sched.ga_output_time(prev, 1) == sched.vote_time(v),
+        ),
+        (
+            format!(
+                "GA_{}(grade 2 output at {}) == Decide({}) at {}",
+                prev.number(),
+                sched.ga_output_time(prev, 2),
+                v,
+                sched.decide_time(v)
+            ),
+            sched.ga_output_time(prev, 2) == sched.decide_time(v),
+        ),
+        (
+            format!(
+                "input of GA_{} at {} == Vote({}) at {}",
+                v.number(),
+                sched.ga_start(v),
+                v,
+                sched.vote_time(v)
+            ),
+            sched.ga_start(v) == sched.vote_time(v),
+        ),
+        (
+            format!(
+                "GA_{} spans [{}, {}] = [t_v+Δ, t_v+6Δ]",
+                v.number(),
+                sched.ga_start(v),
+                sched.ga_end(v)
+            ),
+            sched.ga_end(v) - sched.ga_start(v) == 5 * delta.ticks(),
+        ),
+        (
+            {
+                let (from, to) = sched.overlap(prev);
+                format!(
+                    "GA_{} and GA_{} overlap during [{}, {}] (exactly Δ)",
+                    prev.number(),
+                    v.number(),
+                    from,
+                    to
+                )
+            },
+            {
+                let (from, to) = sched.overlap(prev);
+                to - from == delta.ticks()
+                    && from == sched.vote_time(v)
+                    && to == sched.decide_time(v)
+            },
+        ),
+    ];
+
+    let mut all_ok = true;
+    for (desc, ok) in &checks {
+        println!("  [{}] {}", if *ok { "ok" } else { "FAIL" }, desc);
+        all_ok &= ok;
+    }
+    assert!(all_ok, "Figure 3 alignment violated");
+    println!("\nall {} alignments hold.", checks.len());
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the Graded Agreement machinery:
+//! one full GA instance at several validator counts, and the
+//! support-counting hot path on deep chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tobsvd_ga::support::highest_supported;
+use tobsvd_ga::{GaHarness, GaKind};
+use tobsvd_sim::SimConfig;
+use tobsvd_types::{BlockStore, Log, ValidatorId, View};
+
+fn bench_ga_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_instance");
+    for n in [8usize, 16, 32] {
+        for kind in [GaKind::Two, GaKind::Three] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let cfg = SimConfig::new(n).with_seed(3);
+                        let mut h = GaHarness::new(cfg, kind);
+                        let log = Log::genesis(h.store()).extend_empty(
+                            h.store(),
+                            ValidatorId::new(0),
+                            View::new(1),
+                        );
+                        for v in ValidatorId::all(n) {
+                            h.input(v, log);
+                        }
+                        let result = h.run();
+                        assert!(result.outputs[0][0].is_some());
+                        result.report.metrics.deliveries
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_support_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("support_counting");
+    for depth in [16u64, 128, 1024] {
+        // A chain of `depth` blocks with a shallow fork at the tip; all
+        // validators' logs share the long prefix — the LCA optimization's
+        // target shape.
+        let store = BlockStore::new();
+        let mut log = Log::genesis(&store);
+        for i in 0..depth {
+            log = log.extend_empty(&store, ValidatorId::new(0), View::new(i + 1));
+        }
+        let fork = log
+            .prefix(log.len() - 1, &store)
+            .unwrap()
+            .extend_empty(&store, ValidatorId::new(1), View::new(depth + 1));
+        let entries: Vec<(ValidatorId, Log)> = (0..20)
+            .map(|i| {
+                let l = if i % 3 == 0 { fork } else { log };
+                (ValidatorId::new(i), l)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, _| {
+            b.iter(|| highest_supported(&entries, 20, &store))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga_instance, bench_support_counting);
+criterion_main!(benches);

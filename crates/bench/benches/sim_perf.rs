@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the whole-protocol simulation and the
+//! cryptographic substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tobsvd_bench::run_tobsvd;
+use tobsvd_core::TxWorkload;
+use tobsvd_crypto::sha256;
+
+fn bench_tobsvd_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tobsvd_run");
+    group.sample_size(10);
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("views6", n), &n, |b, &n| {
+            b.iter(|| {
+                let report =
+                    run_tobsvd(n, 0, 6, 9, TxWorkload::PerView { count: 2, size: 64 });
+                report.decided_blocks()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("bytes", size), &size, |b, _| {
+            b.iter(|| sha256(&data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tobsvd_run, bench_sha256);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Protocol configuration.
+
+use tobsvd_types::Delta;
+
+/// Static configuration of a TOB-SVD validator.
+#[derive(Clone, Debug)]
+pub struct TobConfig {
+    /// Number of validators `n`.
+    pub n: usize,
+    /// The network delay bound Δ.
+    pub delta: Delta,
+    /// Maximum transactions batched into one proposed block.
+    pub max_txs_per_block: usize,
+    /// Enables the §2 recovery protocol: on waking, broadcast a
+    /// `RECOVERY` request and serve peers' requests from a bounded
+    /// archive of recent messages. Required for liveness when the
+    /// network does not buffer for asleep validators.
+    pub recovery: bool,
+    /// Cap on messages re-sent per recovery request served.
+    pub recovery_response_cap: usize,
+}
+
+impl TobConfig {
+    /// Default configuration for `n` validators.
+    pub fn new(n: usize) -> Self {
+        TobConfig {
+            n,
+            delta: Delta::default(),
+            max_txs_per_block: 256,
+            recovery: false,
+            recovery_response_cap: 1024,
+        }
+    }
+
+    /// Sets Δ.
+    pub fn with_delta(mut self, delta: Delta) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the block size cap.
+    pub fn with_max_txs(mut self, max: usize) -> Self {
+        self.max_txs_per_block = max;
+        self
+    }
+
+    /// Enables the §2 recovery protocol.
+    pub fn with_recovery(mut self, recovery: bool) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = TobConfig::new(10).with_delta(Delta::new(4)).with_max_txs(5);
+        assert_eq!(cfg.n, 10);
+        assert_eq!(cfg.delta.ticks(), 4);
+        assert_eq!(cfg.max_txs_per_block, 5);
+    }
+}

@@ -1,0 +1,551 @@
+//! High-level assembly of whole-network TOB-SVD simulations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tobsvd_sim::{
+    AdversaryController, ByzantineFactory, CorruptionSchedule, DecisionRecord, DelayPolicy,
+    Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
+};
+use tobsvd_types::{
+    BlockStore, Delta, Time, Transaction, ValidatorId, View,
+};
+
+use crate::config::TobConfig;
+use crate::leader::good_leader;
+use crate::schedule::ViewSchedule;
+use crate::validator::Validator;
+
+/// Transaction workload injected into the shared mempool before the run.
+///
+/// Submission times are honored by proposers (`pending_for_at` filters by
+/// submission time), so pre-populating the pool is equivalent to
+/// submitting live.
+#[derive(Clone, Debug)]
+pub enum TxWorkload {
+    /// No transactions (pure consensus benchmarking).
+    None,
+    /// `count` transactions of `size` bytes submitted one tick before
+    /// every view's proposal time — the paper's *expected latency*
+    /// scenario ("submitted right before the next proposal").
+    PerView {
+        /// Transactions per view.
+        count: usize,
+        /// Transaction payload size in bytes.
+        size: usize,
+    },
+    /// `total` transactions of `size` bytes at uniformly random times —
+    /// the *transaction expected latency* scenario.
+    Random {
+        /// Total transactions over the whole run.
+        total: usize,
+        /// Transaction payload size in bytes.
+        size: usize,
+    },
+}
+
+/// Factory building a Byzantine node once the shared store exists.
+pub type ByzantineNodeFactory = Box<dyn FnOnce(&BlockStore) -> Box<dyn Node> + Send>;
+
+/// Builder for a complete TOB-SVD network simulation.
+///
+/// ```
+/// use tobsvd_core::TobSimulationBuilder;
+///
+/// let report = TobSimulationBuilder::new(6)
+///     .views(8)
+///     .seed(3)
+///     .run()
+///     .expect("valid configuration");
+/// report.assert_safety();
+/// assert!(report.max_decided_len() > 1);
+/// ```
+pub struct TobSimulationBuilder {
+    n: usize,
+    views: u64,
+    seed: u64,
+    delta: Delta,
+    max_txs_per_block: usize,
+    workload: TxWorkload,
+    participation: Option<ParticipationSchedule>,
+    corruption: CorruptionSchedule,
+    byzantine: Vec<(ValidatorId, ByzantineNodeFactory)>,
+    delay: Option<Box<dyn DelayPolicy>>,
+    controller: Option<Box<dyn AdversaryController>>,
+    byz_factory: Option<ByzantineFactory>,
+    recovery: bool,
+    drop_while_asleep: bool,
+}
+
+/// Errors from [`TobSimulationBuilder::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TobError {
+    /// `n` must be at least 1.
+    NoValidators,
+    /// At least one view must be simulated.
+    NoViews,
+    /// A Byzantine slot index is out of range.
+    BadByzantineSlot(ValidatorId),
+}
+
+impl std::fmt::Display for TobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TobError::NoValidators => write!(f, "n must be at least 1"),
+            TobError::NoViews => write!(f, "must simulate at least one view"),
+            TobError::BadByzantineSlot(v) => write!(f, "byzantine slot {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TobError {}
+
+impl TobSimulationBuilder {
+    /// Builder for `n` validators.
+    pub fn new(n: usize) -> Self {
+        TobSimulationBuilder {
+            n,
+            views: 10,
+            seed: 0,
+            delta: Delta::default(),
+            max_txs_per_block: 256,
+            workload: TxWorkload::PerView { count: 2, size: 64 },
+            participation: None,
+            corruption: CorruptionSchedule::none(),
+            byzantine: Vec::new(),
+            delay: None,
+            controller: None,
+            byz_factory: None,
+            recovery: false,
+            drop_while_asleep: false,
+        }
+    }
+
+    /// Enables the §2 recovery protocol on every honest validator.
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Uses the practical sleep semantics: messages to asleep validators
+    /// are dropped (no magic buffering). Combine with
+    /// [`TobSimulationBuilder::recovery`] to restore liveness.
+    pub fn drop_while_asleep(mut self, on: bool) -> Self {
+        self.drop_while_asleep = on;
+        self
+    }
+
+    /// Number of views to simulate.
+    pub fn views(mut self, views: u64) -> Self {
+        self.views = views;
+        self
+    }
+
+    /// RNG seed (delivery delays, workload times).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The network delay bound Δ.
+    pub fn delta(mut self, delta: Delta) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Block size cap.
+    pub fn max_txs_per_block(mut self, max: usize) -> Self {
+        self.max_txs_per_block = max;
+        self
+    }
+
+    /// The transaction workload.
+    pub fn workload(mut self, workload: TxWorkload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sleep/wake schedule (defaults to always awake).
+    pub fn participation(mut self, p: ParticipationSchedule) -> Self {
+        self.participation = Some(p);
+        self
+    }
+
+    /// Pre-scheduled corruptions.
+    pub fn corruption(mut self, c: CorruptionSchedule) -> Self {
+        self.corruption = c;
+        self
+    }
+
+    /// Installs a Byzantine-from-genesis node.
+    pub fn byzantine(mut self, v: ValidatorId, factory: ByzantineNodeFactory) -> Self {
+        self.byzantine.push((v, factory));
+        self
+    }
+
+    /// Network delay policy (defaults to uniform random in [1, Δ]).
+    pub fn delay(mut self, d: Box<dyn DelayPolicy>) -> Self {
+        self.delay = Some(d);
+        self
+    }
+
+    /// Live adversary controller.
+    pub fn controller(mut self, c: Box<dyn AdversaryController>) -> Self {
+        self.controller = Some(c);
+        self
+    }
+
+    /// Factory for Byzantine replacements at mid-run corruptions.
+    pub fn byzantine_replacements(mut self, f: ByzantineFactory) -> Self {
+        self.byz_factory = Some(f);
+        self
+    }
+
+    /// Runs the simulation for the configured number of views plus the
+    /// trailing 2Δ needed to decide the last view's proposals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TobError`] for invalid configurations.
+    pub fn run(self) -> Result<TobReport, TobError> {
+        if self.n == 0 {
+            return Err(TobError::NoValidators);
+        }
+        if self.views == 0 {
+            return Err(TobError::NoViews);
+        }
+        for (v, _) in &self.byzantine {
+            if v.index() >= self.n {
+                return Err(TobError::BadByzantineSlot(*v));
+            }
+        }
+
+        let cfg = SimConfig::new(self.n).with_delta(self.delta).with_seed(self.seed);
+        let tob_cfg = TobConfig::new(self.n)
+            .with_delta(self.delta)
+            .with_max_txs(self.max_txs_per_block)
+            .with_recovery(self.recovery);
+        let sched = ViewSchedule::new(self.delta);
+        let mut builder =
+            Simulation::builder(cfg).drop_while_asleep(self.drop_while_asleep);
+
+        // Workload: pre-submit with future submission times.
+        let horizon = sched.view_start(View::new(self.views));
+        {
+            let mempool = builder.mempool().clone();
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7a5c_3b1d);
+            let mut nonce = 0u64;
+            match self.workload {
+                TxWorkload::None => {}
+                TxWorkload::PerView { count, size } => {
+                    for view in 0..self.views {
+                        let t_v = sched.view_start(View::new(view));
+                        let submit = t_v.saturating_sub(Time::new(1));
+                        for _ in 0..count {
+                            mempool.submit(Transaction::synthetic(nonce, size), submit);
+                            nonce += 1;
+                        }
+                    }
+                }
+                TxWorkload::Random { total, size } => {
+                    for _ in 0..total {
+                        let t = Time::new(rng.gen_range(0..horizon.ticks().max(1)));
+                        mempool.submit(Transaction::synthetic(nonce, size), t);
+                        nonce += 1;
+                    }
+                }
+            }
+        }
+
+        // Nodes.
+        let store = builder.store().clone();
+        let mut byz_slots = vec![false; self.n];
+        let mut byz_map: std::collections::BTreeMap<usize, ByzantineNodeFactory> =
+            std::collections::BTreeMap::new();
+        for (v, f) in self.byzantine {
+            byz_slots[v.index()] = true;
+            byz_map.insert(v.index(), f);
+        }
+        for v in ValidatorId::all(self.n) {
+            if let Some(f) = byz_map.remove(&v.index()) {
+                builder = builder.byzantine_node(v, f(&store));
+            } else {
+                let val = Validator::new(v, tob_cfg.clone(), &store);
+                builder = builder.node(v, Box::new(val));
+            }
+        }
+        if let Some(p) = self.participation {
+            builder = builder.participation(p);
+        }
+        builder = builder.corruption(self.corruption);
+        if let Some(d) = self.delay {
+            builder = builder.delay(d);
+        }
+        if let Some(c) = self.controller {
+            builder = builder.controller(c);
+        }
+        if let Some(f) = self.byz_factory {
+            builder = builder.byzantine_factory(f);
+        }
+
+        let mut sim = builder.build();
+        let end = horizon + self.delta * 2;
+        sim.run_until(end);
+
+        // Collect per-validator stats.
+        let mut validators = Vec::with_capacity(self.n);
+        for v in ValidatorId::all(self.n) {
+            if byz_slots[v.index()] || sim.is_byzantine(v) {
+                validators.push(None);
+                continue;
+            }
+            let val = sim
+                .node(v)
+                .as_any()
+                .downcast_ref::<Validator>()
+                .expect("honest slots hold Validators");
+            validators.push(Some(ValidatorStats {
+                validator: v,
+                decided_len: val.decided().len(),
+                votes_cast: val.votes_cast(),
+                proposals_made: val.proposals_made(),
+                decisions_made: val.decisions_made(),
+            }));
+        }
+
+        // Ground-truth good-leader record per view.
+        let eff = sim.effective_participation();
+        let corruption = sim.corruption().clone();
+        let mut leaders = Vec::with_capacity(self.views as usize);
+        for view in (0..self.views).map(View::new) {
+            let t_v = sched.view_start(view);
+            let awake = eff.awake_honest_at(t_v, &corruption);
+            let byz = corruption.byzantine_at(t_v + self.delta);
+            leaders.push((view, good_leader(view, &awake, &byz)));
+        }
+
+        Ok(TobReport {
+            views: self.views,
+            delta: self.delta,
+            report: sim.report(),
+            validators,
+            good_leaders: leaders,
+            store,
+        })
+    }
+}
+
+/// Per-validator summary statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidatorStats {
+    /// The validator.
+    pub validator: ValidatorId,
+    /// Length of its highest decided log.
+    pub decided_len: u64,
+    /// `LOG` broadcasts (votes) made.
+    pub votes_cast: u64,
+    /// Proposals made.
+    pub proposals_made: u64,
+    /// Decide-phase outputs reported.
+    pub decisions_made: u64,
+}
+
+/// Result of a [`TobSimulationBuilder::run`].
+#[derive(Debug)]
+pub struct TobReport {
+    /// Number of views simulated.
+    pub views: u64,
+    /// The Δ used.
+    pub delta: Delta,
+    /// Engine-level summary (metrics, safety, confirmed txs).
+    pub report: SimReport,
+    /// Per-validator stats (`None` for Byzantine slots).
+    pub validators: Vec<Option<ValidatorStats>>,
+    /// Ground truth: the good leader of each view, if one existed.
+    pub good_leaders: Vec<(View, Option<ValidatorId>)>,
+    /// The shared block store.
+    pub store: BlockStore,
+}
+
+impl TobReport {
+    /// Length of the longest decided log across honest validators.
+    pub fn max_decided_len(&self) -> u64 {
+        self.report.max_decided_len()
+    }
+
+    /// Number of decided blocks beyond genesis.
+    pub fn decided_blocks(&self) -> u64 {
+        self.max_decided_len().saturating_sub(1)
+    }
+
+    /// Panics if any safety violation was observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on conflicting decisions.
+    pub fn assert_safety(&self) {
+        self.report.assert_safety();
+    }
+
+    /// Fraction of views that had a good leader.
+    pub fn good_leader_fraction(&self) -> f64 {
+        if self.good_leaders.is_empty() {
+            return 0.0;
+        }
+        let good = self.good_leaders.iter().filter(|(_, l)| l.is_some()).count();
+        good as f64 / self.good_leaders.len() as f64
+    }
+
+    /// Average original `LOG` broadcasts per decided block — the
+    /// *voting phases per new block* metric of Table 1, normalized
+    /// per validator.
+    pub fn voting_phases_per_block(&self) -> Option<f64> {
+        let honest: Vec<&ValidatorStats> =
+            self.validators.iter().flatten().collect();
+        if honest.is_empty() || self.decided_blocks() == 0 {
+            return None;
+        }
+        let avg_votes: f64 = honest.iter().map(|s| s.votes_cast as f64).sum::<f64>()
+            / honest.len() as f64;
+        Some(avg_votes / self.decided_blocks() as f64)
+    }
+
+    /// Confirmation latencies of all confirmed transactions, in Δ.
+    pub fn tx_latencies_deltas(&self) -> Vec<f64> {
+        self.report
+            .confirmed
+            .iter()
+            .map(|c| c.latency() as f64 / self.delta.ticks() as f64)
+            .collect()
+    }
+
+    /// Per-block decision latency in Δ: time from the proposal of each
+    /// decided block (its view's start) to the moment the anchor first
+    /// covered it.
+    pub fn block_decision_latencies_deltas(&self) -> Vec<f64> {
+        let sched = ViewSchedule::new(self.delta);
+        let mut latencies = Vec::new();
+        let mut covered = 1u64;
+        let mut history: Vec<&DecisionRecord> = self.report.latest_decisions.iter().collect();
+        history.sort_by_key(|r| r.at);
+        // Use the anchor growth embedded in confirmed txs where possible;
+        // fall back to the final decided log for blocks without txs.
+        if let Some(longest) = self.report.longest_decided {
+            if let Some(chain) = self.store.chain_range(longest.tip(), 1) {
+                for id in chain {
+                    let block = self.store.get(id).expect("decided block stored");
+                    let proposed_at = sched.view_start(block.view());
+                    // Earliest decision record covering this block.
+                    let decided_at = self
+                        .report
+                        .latest_decisions
+                        .iter()
+                        .filter(|r| {
+                            r.log.len() > covered
+                                && self.store.is_ancestor(id, r.log.tip())
+                        })
+                        .map(|r| r.at)
+                        .min();
+                    if let Some(at) = decided_at {
+                        latencies
+                            .push((at - proposed_at) as f64 / self.delta.ticks() as f64);
+                    }
+                    covered += 1;
+                }
+            }
+        }
+        latencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_decides_every_view() {
+        let report = TobSimulationBuilder::new(6).views(8).seed(1).run().expect("runs");
+        report.assert_safety();
+        // With no faults every view has a good leader and decides one
+        // block; the last two views' proposals decide after the horizon
+        // extension, so at least views−1 blocks are decided.
+        assert!(
+            report.decided_blocks() >= report.views - 1,
+            "decided {} of {} views",
+            report.decided_blocks(),
+            report.views
+        );
+        assert!((report.good_leader_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn all_honest_validators_agree() {
+        let report = TobSimulationBuilder::new(5).views(6).seed(2).run().expect("runs");
+        report.assert_safety();
+        let lens: Vec<u64> = report
+            .validators
+            .iter()
+            .flatten()
+            .map(|s| s.decided_len)
+            .collect();
+        assert_eq!(lens.len(), 5);
+        // All validators within one view of each other.
+        let max = *lens.iter().max().unwrap();
+        for l in lens {
+            assert!(max - l <= 1, "decided lengths too far apart");
+        }
+    }
+
+    #[test]
+    fn single_vote_per_view() {
+        let report = TobSimulationBuilder::new(4).views(10).seed(3).run().expect("runs");
+        for stats in report.validators.iter().flatten() {
+            // One LOG broadcast per view (±1 for the trailing view).
+            assert!(
+                stats.votes_cast <= report.views + 1,
+                "more votes than views: {}",
+                stats.votes_cast
+            );
+            assert!(stats.votes_cast >= report.views - 1);
+        }
+        // Best case: 1 voting phase per decided block.
+        let phases = report.voting_phases_per_block().expect("blocks decided");
+        assert!(phases < 1.5, "voting phases per block = {phases}");
+    }
+
+    #[test]
+    fn transactions_confirm_with_bounded_latency() {
+        let report = TobSimulationBuilder::new(5)
+            .views(8)
+            .seed(4)
+            .workload(TxWorkload::PerView { count: 3, size: 32 })
+            .run()
+            .expect("runs");
+        report.assert_safety();
+        assert!(!report.report.confirmed.is_empty(), "txs must confirm");
+        for lat in report.tx_latencies_deltas() {
+            // Fault-free: submitted right before a proposal, decided 6Δ
+            // later (small slack for the tick discretization).
+            assert!(lat <= 7.0, "latency {lat}Δ too high for fault-free run");
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            TobSimulationBuilder::new(0).run().unwrap_err(),
+            TobError::NoValidators
+        ));
+        assert!(matches!(
+            TobSimulationBuilder::new(3).views(0).run().unwrap_err(),
+            TobError::NoViews
+        ));
+        let err = TobSimulationBuilder::new(3)
+            .byzantine(
+                ValidatorId::new(9),
+                Box::new(|_| Box::new(tobsvd_sim::IdleNode)),
+            )
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TobError::BadByzantineSlot(_)));
+    }
+}

@@ -1,0 +1,498 @@
+//! The TOB-SVD validator state machine (Figure 4).
+
+use std::collections::BTreeMap;
+
+use tobsvd_crypto::Keypair;
+use tobsvd_ga::Ga3;
+use tobsvd_sim::gossip::GossipState;
+use tobsvd_sim::{Context, Node};
+use tobsvd_types::{
+    BlockStore, InstanceId, Log, Payload, SignedMessage, View,
+};
+
+use crate::config::TobConfig;
+use crate::leader::{verify_vrf, vrf_for, ProposalTracker};
+use crate::schedule::{ViewSchedule, ViewPhase};
+
+/// An honest TOB-SVD validator.
+///
+/// Sans-io: all I/O flows through the [`Context`] of the callbacks, so
+/// the same state machine runs under the discrete-event simulator and
+/// the real TCP runtime.
+///
+/// Per Figure 4, "awake validators participate in the GA instances that
+/// are ongoing, and in addition behave as specified *whenever they have
+/// the required GA outputs to do so*. Validators do not perform actions
+/// which require outputs they do not have." Missing outputs arise
+/// naturally here from missed phase callbacks while asleep.
+pub struct Validator {
+    me: tobsvd_types::ValidatorId,
+    cfg: TobConfig,
+    keypair: Keypair,
+    sched: ViewSchedule,
+    /// Live GA instances by view (`GA_v` spans views v and v+1).
+    gas: BTreeMap<View, Ga3>,
+    /// Per-view proposal tracking with equivocation discarding.
+    proposals: BTreeMap<View, ProposalTracker>,
+    gossip: GossipState,
+    /// Highest decided log.
+    decided: Log,
+    /// Bounded archive of recent messages, served to recovering peers
+    /// (§2 recovery protocol). Keyed by the view the message belongs to.
+    archive: BTreeMap<View, Vec<SignedMessage>>,
+    /// Whether the node has started (first wake consumed).
+    started: bool,
+    /// Instrumentation: original `LOG` broadcasts (votes) made.
+    votes_cast: u64,
+    /// Instrumentation: proposals made.
+    proposals_made: u64,
+    /// Instrumentation: decisions reported.
+    decisions_made: u64,
+    /// Instrumentation: recovery requests served.
+    recoveries_served: u64,
+}
+
+impl Validator {
+    /// Creates a validator; `store` must be the simulation's shared
+    /// store (the genesis log anchors the decided chain).
+    pub fn new(me: tobsvd_types::ValidatorId, cfg: TobConfig, store: &BlockStore) -> Self {
+        Validator {
+            me,
+            keypair: Keypair::from_seed(me.key_seed()),
+            sched: ViewSchedule::new(cfg.delta),
+            gas: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            gossip: GossipState::new(),
+            decided: Log::genesis(store),
+            archive: BTreeMap::new(),
+            started: false,
+            votes_cast: 0,
+            proposals_made: 0,
+            decisions_made: 0,
+            recoveries_served: 0,
+            cfg,
+        }
+    }
+
+    /// The validator's identity.
+    pub fn id(&self) -> tobsvd_types::ValidatorId {
+        self.me
+    }
+
+    /// The highest log this validator has decided.
+    pub fn decided(&self) -> Log {
+        self.decided
+    }
+
+    /// Number of `LOG` broadcasts (votes) this validator has made.
+    pub fn votes_cast(&self) -> u64 {
+        self.votes_cast
+    }
+
+    /// Number of proposals this validator has made.
+    pub fn proposals_made(&self) -> u64 {
+        self.proposals_made
+    }
+
+    /// Number of decide-phase outputs this validator reported.
+    pub fn decisions_made(&self) -> u64 {
+        self.decisions_made
+    }
+
+    /// Number of recovery requests this validator answered.
+    pub fn recoveries_served(&self) -> u64 {
+        self.recoveries_served
+    }
+
+    /// The GA instance for view `v`, if currently live.
+    pub fn ga(&self, v: View) -> Option<&Ga3> {
+        self.gas.get(&v)
+    }
+
+    fn ensure_ga(&mut self, v: View) -> &mut Ga3 {
+        let start = self.sched.ga_start(v);
+        self.gas
+            .entry(v)
+            .or_insert_with(|| Ga3::new(InstanceId::for_view(v), start))
+    }
+
+    /// Grade-`g` output of `GA_{v−1}`, with the Figure 4 convention that
+    /// `GA_{−1}` outputs the genesis log at every grade.
+    fn prev_ga_output(&self, v: View, grade: u8, store: &BlockStore) -> Option<Log> {
+        match v.prev() {
+            None => Some(Log::genesis(store)),
+            Some(prev) => {
+                let ga = self.gas.get(&prev)?;
+                if !ga.participated(grade) {
+                    return None;
+                }
+                ga.output(grade)
+            }
+        }
+    }
+
+    fn propose(&mut self, v: View, ctx: &mut Context) {
+        // Propose Λ′ extending the candidate (highest grade-0 output of
+        // GA_{v−1}), accompanied by the VRF value for view v.
+        let Some(candidate) = self.prev_ga_output(v, 0, &ctx.store) else {
+            return;
+        };
+        let mut txs = ctx
+            .mempool
+            .pending_for_at(&candidate, &ctx.store, ctx.time);
+        txs.truncate(self.cfg.max_txs_per_block);
+        let proposal_log = candidate.extend(&ctx.store, self.me, v, txs);
+        let (vrf, proof) = vrf_for(self.me, v);
+        let msg = SignedMessage::sign(
+            &self.keypair,
+            self.me,
+            Payload::Proposal { view: v, log: proposal_log, vrf, proof },
+        );
+        ctx.broadcast(msg);
+        self.proposals_made += 1;
+    }
+
+    fn vote(&mut self, v: View, ctx: &mut Context) {
+        // The lock is the highest grade-1 output of GA_{v−1}; without it
+        // the vote is skipped ("validators do not perform actions which
+        // require outputs they do not have").
+        let Some(lock) = self.prev_ga_output(v, 1, &ctx.store) else {
+            self.ensure_ga(v);
+            return;
+        };
+        let input = self
+            .proposals
+            .get(&v)
+            .and_then(|tr| tr.best_extending(&lock, &ctx.store))
+            .map(|(_, log)| log)
+            .unwrap_or(lock);
+        let ga = self.ensure_ga(v);
+        ga.set_input(input);
+        let msg = SignedMessage::sign(
+            &self.keypair,
+            self.me,
+            Payload::Log { instance: InstanceId::for_view(v), log: input },
+        );
+        ctx.broadcast(msg);
+        self.votes_cast += 1;
+    }
+
+    fn decide(&mut self, v: View, ctx: &mut Context) {
+        // Decide the highest log output with grade 2 by GA_{v−1}.
+        if v == View::ZERO {
+            return; // GA_{−1}'s output is the genesis log: nothing to decide.
+        }
+        let Some(d) = self.prev_ga_output(v, 2, &ctx.store) else {
+            return;
+        };
+        self.decisions_made += 1;
+        ctx.decide(d);
+        if d.len() > self.decided.len() {
+            self.decided = d;
+        }
+    }
+
+    fn prune(&mut self, v: View) {
+        // GA_w ends at t_{w+1} + 2Δ: anything older than v−2 is finished.
+        self.gas.retain(|w, _| w.number() + 2 >= v.number());
+        // Proposals for view w only matter until t_w + Δ.
+        self.proposals.retain(|w, _| w.number() + 1 >= v.number());
+        // The archive follows the GA window: recovering validators can
+        // only act on still-live instances anyway.
+        self.archive.retain(|w, _| w.number() + 2 >= v.number());
+    }
+
+    /// Records a fresh message in the recovery archive.
+    fn archive_message(&mut self, msg: &SignedMessage) {
+        if !self.cfg.recovery {
+            return;
+        }
+        let view = match msg.payload() {
+            Payload::Log { instance, .. } => instance.view(),
+            Payload::Proposal { view, .. } => *view,
+            _ => return,
+        };
+        self.archive.entry(view).or_default().push(*msg);
+    }
+
+    /// Serves a recovery request: re-send every archived message from
+    /// `from_view` onward to the requester.
+    fn serve_recovery(&mut self, requester: tobsvd_types::ValidatorId, from_view: View, ctx: &mut Context) {
+        if !self.cfg.recovery || requester == self.me {
+            return;
+        }
+        self.recoveries_served += 1;
+        let mut sent = 0usize;
+        for (view, msgs) in self.archive.range(from_view..) {
+            let _ = view;
+            for msg in msgs {
+                if sent >= self.cfg.recovery_response_cap {
+                    return;
+                }
+                ctx.forward_to(vec![requester], *msg);
+                sent += 1;
+            }
+        }
+    }
+
+    fn sender_key(sender: tobsvd_types::ValidatorId) -> tobsvd_crypto::PublicKey {
+        Keypair::from_seed(sender.key_seed()).public()
+    }
+}
+
+impl Node for Validator {
+    fn on_wake(&mut self, ctx: &mut Context) {
+        if !self.started {
+            // First activation: nothing to recover.
+            self.started = true;
+            return;
+        }
+        if !self.cfg.recovery {
+            return;
+        }
+        // §2: "upon waking up, a validator sends a RECOVERY message to
+        // other validators", asking for everything affecting still-live
+        // GA instances.
+        let current = View::of_time(ctx.time, ctx.delta);
+        let from_view = View::new(current.number().saturating_sub(2));
+        let msg = SignedMessage::sign(
+            &self.keypair,
+            self.me,
+            Payload::Recovery { from_view, log: self.decided },
+        );
+        ctx.broadcast(msg);
+    }
+
+    fn on_phase(&mut self, ctx: &mut Context) {
+        let (v, phase) = self.sched.phase_at(ctx.time);
+        // Drive the ongoing GA instances first: the TOB phase at this
+        // boundary consumes outputs computed at this very time (Figure 3
+        // arrows land on the phase they feed).
+        let (time, delta) = (ctx.time, ctx.delta);
+        for ga in self.gas.values_mut() {
+            ga.on_phase(time, delta, &ctx.store);
+        }
+        match phase {
+            ViewPhase::Propose => {
+                self.prune(v);
+                self.propose(v, ctx);
+            }
+            ViewPhase::Vote => self.vote(v, ctx),
+            ViewPhase::Decide => self.decide(v, ctx),
+            ViewPhase::Idle => {}
+        }
+    }
+
+    fn on_message(&mut self, msg: &SignedMessage, ctx: &mut Context) {
+        if !msg.verify(&Self::sender_key(msg.sender())) {
+            return;
+        }
+        let reception = self.gossip.on_receive(msg);
+        if reception.forward {
+            ctx.forward(*msg);
+        }
+        if !reception.fresh {
+            return;
+        }
+        let current = View::of_time(ctx.time, ctx.delta);
+        match msg.payload() {
+            Payload::Log { instance, log } => {
+                let w = instance.view();
+                // Accept instances in the live window: the previous view's
+                // GA is still running, the next view's cannot legitimately
+                // have inputs yet but a Δ of clock skew is tolerated.
+                if w.number() + 2 < current.number() || w.number() > current.number() + 1 {
+                    return;
+                }
+                self.archive_message(msg);
+                self.ensure_ga(w).on_log(msg.sender(), *log);
+            }
+            Payload::Proposal { view, log, vrf, proof } => {
+                if !verify_vrf(msg.sender(), *view, vrf, proof) {
+                    return; // forged VRF: proposal carries no priority
+                }
+                if view.number() + 1 < current.number() || view.number() > current.number() + 1 {
+                    return;
+                }
+                self.archive_message(msg);
+                self.proposals
+                    .entry(*view)
+                    .or_default()
+                    .record(msg.sender(), *log, *vrf);
+            }
+            Payload::Vote { .. } => {} // not part of TOB-SVD
+            Payload::Recovery { from_view, .. } => {
+                self.serve_recovery(msg.sender(), *from_view, ctx);
+            }
+            // Finality votes belong to the gadget layered on top
+            // (tobsvd-finality); the base protocol ignores them.
+            Payload::FinalityVote { .. } => {}
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "tob-svd"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_sim::Mempool;
+    use tobsvd_types::{Delta, Time, ValidatorId};
+
+    fn ctx_at(t: u64, store: &BlockStore) -> Context {
+        Context::new(
+            Time::new(t),
+            ValidatorId::new(0),
+            Delta::new(8),
+            store.clone(),
+            Mempool::new(),
+        )
+    }
+
+    #[test]
+    fn view0_proposes_and_votes_genesis_extension() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+
+        // t = 0: propose (candidate = genesis via GA_{-1}).
+        let mut ctx = ctx_at(0, &store);
+        val.on_phase(&mut ctx);
+        assert_eq!(ctx.outbox().len(), 1);
+        assert_eq!(val.proposals_made(), 1);
+
+        // t = Δ: vote (lock = genesis; no proposals received → lock).
+        let mut ctx = ctx_at(8, &store);
+        val.on_phase(&mut ctx);
+        assert_eq!(val.votes_cast(), 1);
+        let vote = match ctx.outbox() {
+            [tobsvd_sim::Outgoing::Broadcast(m)] => *m,
+            other => panic!("expected one broadcast, got {other:?}"),
+        };
+        match vote.payload() {
+            Payload::Log { instance, log } => {
+                assert_eq!(*instance, InstanceId(0));
+                assert!(log.is_genesis(&store), "no proposal received → vote the lock");
+            }
+            p => panic!("expected LOG, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn vote_adopts_highest_vrf_proposal_extending_lock() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+
+        // Two proposals for view 0 arrive before the vote.
+        for sender in [ValidatorId::new(1), ValidatorId::new(2)] {
+            let log = g.extend_empty(&store, sender, View::ZERO);
+            let (vrf, proof) = vrf_for(sender, View::ZERO);
+            let kp = Keypair::from_seed(sender.key_seed());
+            let msg = SignedMessage::sign(
+                &kp,
+                sender,
+                Payload::Proposal { view: View::ZERO, log, vrf, proof },
+            );
+            let mut ctx = ctx_at(3, &store);
+            val.on_message(&msg, &mut ctx);
+        }
+        let mut ctx = ctx_at(8, &store);
+        val.on_phase(&mut ctx);
+        let winner = [ValidatorId::new(1), ValidatorId::new(2)]
+            .into_iter()
+            .max_by_key(|v| vrf_for(*v, View::ZERO).0)
+            .unwrap();
+        match ctx.outbox() {
+            [tobsvd_sim::Outgoing::Broadcast(m)] => match m.payload() {
+                Payload::Log { log, .. } => {
+                    let block = store.get(log.tip()).unwrap();
+                    assert_eq!(block.proposer(), Some(winner));
+                }
+                p => panic!("expected LOG, got {p:?}"),
+            },
+            other => panic!("expected one broadcast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_vrf_proposals_ignored() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let log = g.extend_empty(&store, sender, View::ZERO);
+        // Claim another validator's (higher?) VRF — proof won't verify.
+        let (vrf, proof) = vrf_for(ValidatorId::new(2), View::ZERO);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let msg = SignedMessage::sign(
+            &kp,
+            sender,
+            Payload::Proposal { view: View::ZERO, log, vrf, proof },
+        );
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&msg, &mut ctx);
+        // The proposal must not have been recorded.
+        let mut ctx = ctx_at(8, &store);
+        val.on_phase(&mut ctx);
+        match ctx.outbox() {
+            [tobsvd_sim::Outgoing::Broadcast(m)] => {
+                assert!(m.payload().log().is_genesis(&store), "forged proposal ignored");
+            }
+            other => panic!("expected one broadcast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_decision_without_grade2_output() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        // Jump straight to view 1's decide phase with no GA_0 state.
+        let mut ctx = ctx_at(4 * 8 + 2 * 8, &store);
+        val.on_phase(&mut ctx);
+        assert!(ctx.decisions().is_empty());
+        assert_eq!(val.decisions_made(), 0);
+    }
+
+    #[test]
+    fn stale_and_far_future_instances_rejected() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let kp = Keypair::from_seed(sender.key_seed());
+        // Current view at t = 10 views in: messages for view 20 rejected.
+        let t = 10 * 4 * 8;
+        let msg = SignedMessage::sign(
+            &kp,
+            sender,
+            Payload::Log { instance: InstanceId(20), log: g },
+        );
+        let mut ctx = ctx_at(t, &store);
+        val.on_message(&msg, &mut ctx);
+        assert!(val.ga(View::new(20)).is_none());
+        // Very old instance also rejected.
+        let msg = SignedMessage::sign(
+            &kp,
+            sender,
+            Payload::Log { instance: InstanceId(1), log: g },
+        );
+        let mut ctx = ctx_at(t, &store);
+        val.on_message(&msg, &mut ctx);
+        assert!(val.ga(View::new(1)).is_none());
+    }
+}

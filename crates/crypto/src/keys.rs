@@ -1,0 +1,203 @@
+//! Simulated signature scheme.
+//!
+//! The sleepy-model literature (and this paper, §3.1) treats signatures as
+//! an ideal primitive: every message ⟨m⟩ᵢ is unforgeably bound to its
+//! sender vᵢ. We reproduce that interface with keyed digests:
+//!
+//! * a [`SecretKey`] is a 32-byte seed,
+//! * `sign(m) = H("sig" ‖ seed ‖ m)`,
+//! * the [`PublicKey`] carries the same seed (it is a *simulation* public
+//!   key: "public keys are common knowledge" in the model, and
+//!   unforgeability is enforced by the execution environment, not by
+//!   computational hardness — no honest component ever signs with a key it
+//!   does not own, and adversarial components may only sign for corrupted
+//!   validators).
+//!
+//! This keeps the whole repository deterministic and dependency-free while
+//! preserving every protocol-visible property of signatures: binding,
+//! verifiability, and per-sender message attribution (used for
+//! equivocation evidence).
+
+use std::fmt;
+
+use crate::digest::{Digest, Hasher};
+
+/// Secret signing key (a 32-byte seed).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    seed: Digest,
+}
+
+/// Public verification key.
+///
+/// In this simulated scheme the public key embeds the seed; see the module
+/// docs for why this is sound in the sleepy-model idealization.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    seed: Digest,
+}
+
+/// A signature: the keyed digest binding `(seed, message)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    binding: Digest,
+}
+
+/// A signing keypair.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Keypair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl Keypair {
+    /// Derives a keypair deterministically from a numeric seed.
+    ///
+    /// Validator `i` in a simulation conventionally uses seed `i`, making
+    /// every run reproducible.
+    ///
+    /// ```
+    /// use tobsvd_crypto::Keypair;
+    /// let a = Keypair::from_seed(1);
+    /// let b = Keypair::from_seed(1);
+    /// assert_eq!(a.public(), b.public());
+    /// ```
+    pub fn from_seed(seed: u64) -> Self {
+        let mut h = Hasher::new("tobsvd/keygen");
+        h.update_u64(seed);
+        let seed = h.finalize();
+        Keypair {
+            secret: SecretKey { seed },
+            public: PublicKey { seed },
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.secret.sign(message)
+    }
+}
+
+impl SecretKey {
+    /// Signs a message with this key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut h = Hasher::new("tobsvd/sig");
+        h.update_digest(&self.seed);
+        h.update(message);
+        Signature { binding: h.finalize() }
+    }
+}
+
+impl PublicKey {
+    /// Verifies that `sig` binds `message` under this key.
+    ///
+    /// ```
+    /// use tobsvd_crypto::Keypair;
+    /// let kp = Keypair::from_seed(3);
+    /// let sig = kp.sign(b"msg");
+    /// assert!(kp.public().verify(b"msg", &sig));
+    /// ```
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        let mut h = Hasher::new("tobsvd/sig");
+        h.update_digest(&self.seed);
+        h.update(message);
+        h.finalize() == sig.binding
+    }
+
+    /// A stable digest identifying this key (e.g. for registries).
+    pub fn fingerprint(&self) -> Digest {
+        let mut h = Hasher::new("tobsvd/pk-fp");
+        h.update_digest(&self.seed);
+        h.finalize()
+    }
+}
+
+impl Signature {
+    /// Raw binding digest (for wire encoding).
+    pub fn as_digest(&self) -> &Digest {
+        &self.binding
+    }
+
+    /// Reconstructs a signature from its wire digest.
+    pub fn from_digest(d: Digest) -> Self {
+        Signature { binding: d }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material, even simulated key material.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({}..)", self.fingerprint().short())
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}..)", self.binding.short())
+    }
+}
+
+impl fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Keypair({:?})", self.public)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = Keypair::from_seed(42);
+        let sig = kp.sign(b"the message");
+        assert!(kp.public().verify(b"the message", &sig));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = Keypair::from_seed(42);
+        let sig = kp.sign(b"a");
+        assert!(!kp.public().verify(b"b", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = Keypair::from_seed(1);
+        let kp2 = Keypair::from_seed(2);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn deterministic_keygen() {
+        assert_eq!(Keypair::from_seed(9).public(), Keypair::from_seed(9).public());
+        assert_ne!(Keypair::from_seed(9).public(), Keypair::from_seed(10).public());
+    }
+
+    #[test]
+    fn signature_digest_roundtrip() {
+        let kp = Keypair::from_seed(5);
+        let sig = kp.sign(b"wire");
+        let restored = Signature::from_digest(*sig.as_digest());
+        assert!(kp.public().verify(b"wire", &restored));
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let kp = Keypair::from_seed(5);
+        let printed = format!("{:?}", kp);
+        assert!(!printed.contains(&kp.public().seed.to_hex()));
+    }
+}

@@ -1,0 +1,257 @@
+//! The sans-io finality gadget core.
+
+use std::collections::BTreeMap;
+
+use tobsvd_ga::LogTracker;
+use tobsvd_types::{BlockStore, Log, ValidatorId};
+
+/// Gadget parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FinalityConfig {
+    /// Number of validators.
+    pub n: usize,
+    /// Views per finality epoch (a finality vote fires at the decide
+    /// phase of every `epoch_views`-th view).
+    pub epoch_views: u64,
+    /// Votes required to finalize (> 2n/3 by default).
+    pub quorum: usize,
+}
+
+impl FinalityConfig {
+    /// Standard parameters: epochs of 2 views, quorum ⌊2n/3⌋ + 1.
+    pub fn new(n: usize) -> Self {
+        FinalityConfig { n, epoch_views: 2, quorum: 2 * n / 3 + 1 }
+    }
+
+    /// Sets the epoch length in views.
+    pub fn with_epoch_views(mut self, views: u64) -> Self {
+        assert!(views >= 1, "epochs must span at least one view");
+        self.epoch_views = views;
+        self
+    }
+}
+
+/// Per-validator finality tracking: votes per epoch, the finalized
+/// checkpoint, and its history.
+#[derive(Debug)]
+pub struct FinalityState {
+    cfg: FinalityConfig,
+    /// One tracker per epoch: `V` = unique votes, equivocators removed.
+    votes: BTreeMap<u64, LogTracker>,
+    finalized: Log,
+    history: Vec<(u64, Log)>,
+}
+
+impl FinalityState {
+    /// Creates the gadget state anchored at the genesis log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quorum is not a strict majority (uniqueness of the
+    /// finalized log per epoch relies on it).
+    pub fn new(cfg: FinalityConfig, store: &BlockStore) -> Self {
+        assert!(2 * cfg.quorum > cfg.n, "finality quorum must exceed n/2");
+        FinalityState {
+            cfg,
+            votes: BTreeMap::new(),
+            finalized: Log::genesis(store),
+            history: Vec::new(),
+        }
+    }
+
+    /// The gadget configuration.
+    pub fn config(&self) -> &FinalityConfig {
+        &self.cfg
+    }
+
+    /// Records a finality vote; returns the newly finalized checkpoint
+    /// if this vote completed a quorum.
+    ///
+    /// A second, different vote from the same sender for the same epoch
+    /// is equivocation: both votes are discarded and the sender is
+    /// disenfranchised for the epoch (accountable misbehaviour).
+    pub fn on_vote(
+        &mut self,
+        epoch: u64,
+        sender: ValidatorId,
+        log: Log,
+        store: &BlockStore,
+    ) -> Option<Log> {
+        let tracker = self.votes.entry(epoch).or_default();
+        tracker.on_log(sender, log);
+        let entries: Vec<(ValidatorId, Log)> = tracker.v_entries().collect();
+        let candidate = highest_with_quorum(&entries, self.cfg.quorum, store)?;
+        // Monotonicity: a checkpoint must extend the previous one; a
+        // conflicting quorum is slashing evidence, never adopted.
+        if candidate.len() > self.finalized.len() && candidate.extends(&self.finalized, store) {
+            self.finalized = candidate;
+            self.history.push((epoch, candidate));
+            // Old epochs can no longer change anything.
+            let keep_from = epoch.saturating_sub(2);
+            self.votes.retain(|e, _| *e >= keep_from);
+            return Some(candidate);
+        }
+        None
+    }
+
+    /// The current finalized checkpoint.
+    pub fn finalized(&self) -> Log {
+        self.finalized
+    }
+
+    /// `(epoch, checkpoint)` finalization history.
+    pub fn history(&self) -> &[(u64, Log)] {
+        &self.history
+    }
+
+    /// The log an honest validator should vote to finalize, given its
+    /// decided log: the decided log when it extends the current
+    /// checkpoint, otherwise the checkpoint itself (never vote against
+    /// finality).
+    pub fn vote_target(&self, decided: Log, store: &BlockStore) -> Log {
+        if decided.extends(&self.finalized, store) {
+            decided
+        } else {
+            self.finalized
+        }
+    }
+}
+
+/// The longest log supported by at least `quorum` of the (per-validator
+/// unique) entries. Unique when `2·quorum > n ≥ |entries|`: conflicting
+/// logs would need disjoint quorums.
+fn highest_with_quorum(
+    entries: &[(ValidatorId, Log)],
+    quorum: usize,
+    store: &BlockStore,
+) -> Option<Log> {
+    if entries.len() < quorum {
+        return None;
+    }
+    // Iterated LCA: supported by everyone.
+    let mut base = entries[0].1;
+    for (_, log) in entries.iter().skip(1) {
+        let lca = store.lca(base.tip(), log.tip());
+        base = Log::at_tip(store, lca).expect("lca stored");
+    }
+    let mut counts: std::collections::HashMap<tobsvd_types::BlockId, usize> =
+        std::collections::HashMap::new();
+    for (_, log) in entries {
+        let mut cur = log.tip();
+        while cur != base.tip() {
+            *counts.entry(cur).or_insert(0) += 1;
+            cur = store.get(cur).expect("chain stored").parent();
+        }
+    }
+    let mut best: Option<(u64, tobsvd_types::BlockId)> = None;
+    for (id, count) in &counts {
+        if *count >= quorum {
+            let h = store.height(*id).expect("stored");
+            if best.map(|(bh, _)| h > bh).unwrap_or(true) {
+                best = Some((h, *id));
+            }
+        }
+    }
+    match best {
+        Some((_, id)) => Log::at_tip(store, id),
+        None => Some(base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_types::View;
+
+    fn v(i: u32) -> ValidatorId {
+        ValidatorId::new(i)
+    }
+
+    fn setup() -> (BlockStore, Log, Log, Log) {
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let a = g.extend_empty(&store, v(0), View::new(1));
+        let a2 = a.extend_empty(&store, v(1), View::new(2));
+        (store, g, a, a2)
+    }
+
+    #[test]
+    fn quorum_finalizes() {
+        let (store, _, a, _) = setup();
+        let mut fin = FinalityState::new(FinalityConfig::new(4), &store); // quorum 3
+        assert_eq!(fin.on_vote(1, v(0), a, &store), None);
+        assert_eq!(fin.on_vote(1, v(1), a, &store), None);
+        assert_eq!(fin.on_vote(1, v(2), a, &store), Some(a));
+        assert_eq!(fin.finalized(), a);
+        assert_eq!(fin.history(), &[(1, a)]);
+    }
+
+    #[test]
+    fn votes_for_extensions_count_toward_prefixes() {
+        let (store, _, a, a2) = setup();
+        let mut fin = FinalityState::new(FinalityConfig::new(4), &store);
+        fin.on_vote(1, v(0), a2, &store);
+        fin.on_vote(1, v(1), a2, &store);
+        // A vote for `a` plus two for its extension a2: quorum at `a`.
+        assert_eq!(fin.on_vote(1, v(2), a, &store), Some(a));
+        assert_eq!(fin.finalized(), a);
+    }
+
+    #[test]
+    fn equivocating_voter_is_discarded() {
+        let (store, g, a, _) = setup();
+        let b = g.extend_empty(&store, v(9), View::new(1));
+        let mut fin = FinalityState::new(FinalityConfig::new(4), &store);
+        fin.on_vote(1, v(0), a, &store);
+        fin.on_vote(1, v(1), a, &store);
+        // v2 votes a, then equivocates to b: both discarded.
+        fin.on_vote(1, v(2), a, &store);
+        // The tracker had already finalized on v2's first vote…
+        assert_eq!(fin.finalized(), a);
+        // …but a fresh state never finalizes from an equivocator.
+        let mut fin = FinalityState::new(FinalityConfig::new(4), &store);
+        fin.on_vote(1, v(0), a, &store);
+        fin.on_vote(1, v(2), a, &store);
+        fin.on_vote(1, v(2), b, &store); // equivocation
+        assert_eq!(fin.on_vote(1, v(1), a, &store), None, "only 2 valid votes remain");
+        assert!(fin.finalized().is_genesis(&store));
+    }
+
+    #[test]
+    fn conflicting_checkpoint_never_adopted() {
+        let (store, g, a, _) = setup();
+        let b = g.extend_empty(&store, v(9), View::new(1));
+        let mut fin = FinalityState::new(FinalityConfig::new(4), &store);
+        for i in 0..3 {
+            fin.on_vote(1, v(i), a, &store);
+        }
+        assert_eq!(fin.finalized(), a);
+        // A later epoch somehow gathers a quorum for the other branch
+        // (only possible with mass equivocation — slashing evidence):
+        // the monotonicity rule refuses it.
+        for i in 0..3 {
+            assert_eq!(fin.on_vote(2, v(i), b, &store), None);
+        }
+        assert_eq!(fin.finalized(), a);
+    }
+
+    #[test]
+    fn vote_target_never_conflicts_with_finalized() {
+        let (store, g, a, a2) = setup();
+        let b = g.extend_empty(&store, v(9), View::new(1));
+        let mut fin = FinalityState::new(FinalityConfig::new(4), &store);
+        for i in 0..3 {
+            fin.on_vote(1, v(i), a, &store);
+        }
+        assert_eq!(fin.vote_target(a2, &store), a2, "extending decided log is voted");
+        assert_eq!(fin.vote_target(b, &store), a, "conflicting decided log is not");
+    }
+
+    #[test]
+    #[should_panic(expected = "finality quorum must exceed n/2")]
+    fn minority_quorum_rejected() {
+        let store = BlockStore::new();
+        let cfg = FinalityConfig { n: 6, epoch_views: 2, quorum: 3 };
+        let _ = FinalityState::new(cfg, &store);
+    }
+}

@@ -1,0 +1,235 @@
+//! Whole-network ebb-and-flow simulation with injectable asynchrony.
+
+use rand::rngs::StdRng;
+use tobsvd_core::TobConfig;
+use tobsvd_sim::{DelayPolicy, SimConfig, Simulation};
+use tobsvd_types::{
+    Delta, Log, SignedMessage, Time, Transaction, ValidatorId, View,
+};
+
+use crate::gadget::FinalityConfig;
+use crate::node::FinalizingValidator;
+
+/// Delay policy with an asynchrony window: 1-tick delays normally,
+/// `factor`·Δ during `[from, to)` — the network "loses synchrony" for a
+/// while, then recovers (GST inside the window's end).
+struct AsyncWindowDelay {
+    from: Time,
+    to: Time,
+    factor: u64,
+}
+
+impl DelayPolicy for AsyncWindowDelay {
+    fn delay(
+        &mut self,
+        _msg: &SignedMessage,
+        _from: ValidatorId,
+        _to: ValidatorId,
+        at: Time,
+        delta: Delta,
+        _rng: &mut StdRng,
+    ) -> u64 {
+        if at >= self.from && at < self.to {
+            delta.ticks() * self.factor
+        } else {
+            1
+        }
+    }
+}
+
+/// Per-validator outcome of a finality run.
+#[derive(Clone, Debug)]
+pub struct FinalityOutcome {
+    /// The validator.
+    pub validator: ValidatorId,
+    /// Its decided (available-chain) log length.
+    pub decided_len: u64,
+    /// Its finalized checkpoint.
+    pub finalized: Log,
+    /// Its `(epoch, checkpoint)` history.
+    pub history: Vec<(u64, Log)>,
+}
+
+/// Result of a [`FinalitySimulation`] run.
+#[derive(Debug)]
+pub struct FinalityReport {
+    /// Per-validator outcomes.
+    pub outcomes: Vec<FinalityOutcome>,
+    /// Whether the available chain stayed safe (it may not, through
+    /// asynchrony — that is the point of the gadget).
+    pub available_chain_safe: bool,
+    /// The shared store (for relation checks).
+    pub store: tobsvd_types::BlockStore,
+}
+
+impl FinalityReport {
+    /// Whether every pair of finalized checkpoints — current and
+    /// historical, across all validators — is compatible.
+    pub fn checkpoints_consistent(&self) -> bool {
+        let mut all: Vec<Log> = Vec::new();
+        for o in &self.outcomes {
+            all.push(o.finalized);
+            all.extend(o.history.iter().map(|(_, l)| *l));
+        }
+        for x in &all {
+            for y in &all {
+                if !x.compatible(y, &self.store) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The shortest finalized length across validators.
+    pub fn min_finalized_len(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.finalized.len()).min().unwrap_or(1)
+    }
+
+    /// The longest finalized length across validators.
+    pub fn max_finalized_len(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.finalized.len()).max().unwrap_or(1)
+    }
+}
+
+/// Runs a network of [`FinalizingValidator`]s.
+pub struct FinalitySimulation {
+    /// Validators.
+    pub n: usize,
+    /// Views to simulate.
+    pub views: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Views per finality epoch.
+    pub epoch_views: u64,
+    /// Optional asynchrony window (in views) with the given delay factor.
+    pub async_window: Option<(u64, u64, u64)>,
+}
+
+impl FinalitySimulation {
+    /// Default configuration.
+    pub fn new(n: usize) -> Self {
+        FinalitySimulation { n, views: 12, seed: 0, epoch_views: 2, async_window: None }
+    }
+
+    /// Injects asynchrony: views `[from, to)` have `factor`·Δ delays.
+    pub fn with_asynchrony(mut self, from_view: u64, to_view: u64, factor: u64) -> Self {
+        self.async_window = Some((from_view, to_view, factor));
+        self
+    }
+
+    /// Runs the network and collects finality outcomes.
+    pub fn run(self) -> FinalityReport {
+        let delta = Delta::default();
+        let cfg = SimConfig::new(self.n).with_delta(delta).with_seed(self.seed);
+        let factor = self.async_window.map(|(_, _, f)| f).unwrap_or(1);
+        let mut builder = Simulation::builder(cfg).max_delay_factor(factor);
+        let store = builder.store().clone();
+
+        // Seed a small workload so blocks have content.
+        for i in 0..(self.views * 2) {
+            builder
+                .mempool()
+                .submit(Transaction::synthetic(i, 32), View::new(i / 2).start_time(delta));
+        }
+
+        for v in ValidatorId::all(self.n) {
+            let tob = TobConfig::new(self.n).with_delta(delta);
+            let fin = FinalityConfig::new(self.n).with_epoch_views(self.epoch_views);
+            builder = builder.node(v, Box::new(FinalizingValidator::new(v, tob, fin, &store)));
+        }
+        if let Some((from_v, to_v, f)) = self.async_window {
+            builder = builder.delay(Box::new(AsyncWindowDelay {
+                from: View::new(from_v).start_time(delta),
+                to: View::new(to_v).start_time(delta),
+                factor: f,
+            }));
+        }
+        let mut sim = builder.build();
+        sim.run_until(View::new(self.views).start_time(delta) + delta * 2);
+
+        let outcomes = ValidatorId::all(self.n)
+            .map(|v| {
+                let node = sim
+                    .node(v)
+                    .as_any()
+                    .downcast_ref::<FinalizingValidator>()
+                    .expect("finalizing validators installed");
+                FinalityOutcome {
+                    validator: v,
+                    decided_len: node.inner().decided().len(),
+                    finalized: node.finalized(),
+                    history: node.finality_history().to_vec(),
+                }
+            })
+            .collect();
+        FinalityReport {
+            outcomes,
+            available_chain_safe: sim.observer().is_safe(),
+            store,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_network_finalizes_and_agrees() {
+        let report = FinalitySimulation::new(6).run();
+        assert!(report.available_chain_safe);
+        assert!(report.checkpoints_consistent());
+        assert!(
+            report.min_finalized_len() > 1,
+            "checkpoints should advance: {:?}",
+            report.outcomes
+        );
+        // Finality lags the available chain by at most ~2 epochs.
+        for o in &report.outcomes {
+            assert!(
+                o.decided_len >= o.finalized.len(),
+                "finalized cannot outrun decided: {o:?}"
+            );
+            assert!(
+                o.decided_len - o.finalized.len() <= 3 * 2,
+                "finality lag too large: {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoints_survive_asynchrony() {
+        // Views 4..8 are asynchronous (3Δ delays): the available chain's
+        // guarantees need synchrony; the checkpoints must stay
+        // consistent throughout — the ebb-and-flow property.
+        let report = FinalitySimulation::new(6)
+            .with_asynchrony(4, 8, 3)
+            .run();
+        assert!(
+            report.checkpoints_consistent(),
+            "finalized checkpoints must never conflict: {:?}",
+            report.outcomes
+        );
+        // Finality resumes after GST: with 12 views total, epochs after
+        // view 8 finalize again.
+        assert!(
+            report.max_finalized_len() > 1,
+            "finality should make progress outside the asynchrony window"
+        );
+    }
+
+    #[test]
+    fn longer_asynchrony_only_pauses_finality() {
+        let report = FinalitySimulation::new(5)
+            .with_asynchrony(2, 10, 4)
+            .run();
+        assert!(report.checkpoints_consistent());
+        // No wrong checkpoint, even if little or nothing finalized.
+        for o in &report.outcomes {
+            for (_, cp) in &o.history {
+                assert!(cp.compatible(&o.finalized, &report.store));
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Ebb-and-flow finality gadget on top of TOB-SVD.
+//!
+//! The paper's introduction points at the construction of Neu, Tas and
+//! Tse ("Ebb-and-flow protocols", S&P 2021): pair a *dynamically
+//! available* total-order broadcast — safe and live under synchrony at
+//! any participation level — with a *finality gadget* — a partially
+//! synchronous layer whose checkpoints stay safe even through
+//! asynchrony, and live again after `max(GST, GAT)`. TOB-SVD is
+//! explicitly designed to slot into that pairing ("we strongly believe
+//! that similar results can be achieved by replacing their dynamically
+//! available protocol with the protocol presented in this work").
+//!
+//! This crate provides that pairing:
+//!
+//! * [`FinalityState`] — the sans-io gadget core: per-epoch finality
+//!   votes with equivocation discarding (one vote per validator per
+//!   epoch; a second, different vote is evidence and disenfranchises
+//!   the sender), a ⌈2n/3⌉ quorum rule, and the monotonicity rule that
+//!   a new checkpoint must extend the previous one.
+//! * [`FinalizingValidator`] — a [`tobsvd_core::Validator`] that
+//!   additionally votes to finalize its decided log at every epoch
+//!   boundary and tracks everyone's finality votes.
+//! * [`FinalitySimulation`] — a harness running a whole network of
+//!   finalizing validators, including through injected *asynchrony
+//!   periods* (message delays beyond Δ), which is where the ebb-and-flow
+//!   separation shows: the available chain's guarantees need synchrony,
+//!   the checkpoints' safety does not.
+//!
+//! Assumption note: the gadget's safety quorum is the standard
+//! partially-synchronous one (safe against < n/3 Byzantine,
+//! accountable beyond); its liveness needs ≥ quorum honest validators
+//! awake and synchrony — both strictly stronger than the sleepy model
+//! of the base chain, exactly as in the ebb-and-flow paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gadget;
+mod harness;
+mod node;
+
+pub use gadget::{FinalityConfig, FinalityState};
+pub use harness::{FinalityReport, FinalitySimulation};
+pub use node::FinalizingValidator;

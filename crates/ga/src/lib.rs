@@ -1,0 +1,48 @@
+//! Graded Agreement (GA) primitives of the TOB-SVD paper.
+//!
+//! A Graded Agreement with `k` grades lets each validator input a log Λ
+//! and output logs with grades `0 ≤ g < k`, subject to (paper §3.2):
+//!
+//! 1. **Consistency** — grade-`g` outputs (g > 0) of honest validators
+//!    never conflict;
+//! 2. **Graded Delivery** — an honest grade-`g` output (Λ, g) forces
+//!    every honest participant in the grade-`g−1` output phase to output
+//!    (Λ, g−1);
+//! 3. **Validity** — if every honest validator awake at time 0 inputs an
+//!    extension of Λ, all participants output (Λ, g) for every grade;
+//! 4. **Integrity** — no honest output extends a log no honest validator
+//!    input an extension of;
+//! 5. **Uniqueness** — one honest validator never outputs two conflicting
+//!    logs at the same grade.
+//!
+//! Three implementations:
+//!
+//! * [`Ga2`] — Figure 1: k = 2, 3Δ duration, works in the (3Δ, 0, ½)-
+//!   sleepy model. Satisfies Uniqueness at *every* grade.
+//! * [`Ga3`] — Figure 2: k = 3, 5Δ duration, (5Δ, 0, ½)-sleepy model;
+//!   the nested time-shifted quorum. This is the GA TOB-SVD runs.
+//! * [`MrGa`] — the §4 background protocol of Momose–Ren, with `VOTE`
+//!   messages; grade-0 outputs may violate Uniqueness (counting
+//!   equivocations in `X_Λ`), which the `mr_uniqueness_gap` experiment
+//!   demonstrates.
+//!
+//! All three are sans-io state machines driven by `on_log` / `on_vote` /
+//! `on_phase`; [`GaNode`] adapts any of them to the simulator's
+//! [`tobsvd_sim::Node`] interface, and `tobsvd-core` embeds [`Ga3`]
+//! directly inside the TOB-SVD validator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ga2;
+mod ga3;
+pub mod harness;
+mod mr;
+pub mod support;
+mod tracker;
+
+pub use ga2::Ga2;
+pub use ga3::Ga3;
+pub use harness::{GaHarness, GaKind, GaNode, GaRunResult};
+pub use mr::MrGa;
+pub use tracker::{LogTracker, TrackOutcome, VSnapshot};

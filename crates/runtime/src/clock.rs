@@ -1,0 +1,74 @@
+//! Shared-epoch tick clock.
+//!
+//! The model assumes synchronized clocks (§3.1); a local cluster gets
+//! them by sharing one epoch `Instant` across all node threads and
+//! mapping tick `k` to `epoch + k·tick_duration`.
+
+use std::time::{Duration, Instant};
+
+use tobsvd_types::Time;
+
+/// Maps discrete protocol ticks onto wall-clock time.
+#[derive(Clone, Copy, Debug)]
+pub struct TickClock {
+    epoch: Instant,
+    tick: Duration,
+}
+
+impl TickClock {
+    /// A clock starting at `epoch` with the given tick duration.
+    pub fn new(epoch: Instant, tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "tick duration must be positive");
+        TickClock { epoch, tick }
+    }
+
+    /// The wall-clock instant of tick `k`.
+    pub fn instant_of(&self, k: u64) -> Instant {
+        self.epoch + self.tick.mul_f64(k as f64)
+    }
+
+    /// Sleeps until tick `k` (no-op if already past).
+    pub fn wait_for(&self, k: u64) {
+        let target = self.instant_of(k);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+    }
+
+    /// The current tick (ticks fully elapsed since the epoch).
+    pub fn now_tick(&self) -> Time {
+        let elapsed = Instant::now().saturating_duration_since(self.epoch);
+        Time::new((elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64)
+    }
+
+    /// The tick duration.
+    pub fn tick_duration(&self) -> Duration {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic() {
+        let epoch = Instant::now();
+        let clock = TickClock::new(epoch, Duration::from_millis(10));
+        assert_eq!(clock.instant_of(5), epoch + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wait_and_read_progress() {
+        let clock = TickClock::new(Instant::now(), Duration::from_millis(2));
+        clock.wait_for(3);
+        assert!(clock.now_tick() >= Time::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick duration must be positive")]
+    fn zero_tick_rejected() {
+        let _ = TickClock::new(Instant::now(), Duration::ZERO);
+    }
+}

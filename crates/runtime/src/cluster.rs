@@ -1,0 +1,239 @@
+//! Local cluster orchestration: spawn n nodes on ephemeral localhost
+//! ports, run for a fixed number of views, collect and cross-check
+//! their decisions.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use tobsvd_types::{Delta, Transaction, ValidatorId};
+
+use crate::clock::TickClock;
+use crate::node::{spawn_node, NodeConfig, NodeOutcomeInner};
+
+/// Cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Views to run.
+    pub views: u64,
+    /// Δ in ticks.
+    pub delta: Delta,
+    /// Wall-clock duration of one tick.
+    pub tick: Duration,
+    /// Transactions seeded into every node's pool.
+    pub seed_txs: usize,
+}
+
+impl ClusterConfig {
+    /// Defaults: Δ = 4 ticks of 10 ms (Δ = 40 ms), 4 views, 4 txs.
+    pub fn new(n: usize) -> Self {
+        ClusterConfig {
+            n,
+            views: 4,
+            delta: Delta::new(4),
+            tick: Duration::from_millis(10),
+            seed_txs: 4,
+        }
+    }
+
+    /// Sets the number of views.
+    pub fn views(mut self, views: u64) -> Self {
+        self.views = views;
+        self
+    }
+
+    /// Sets the tick duration.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+}
+
+/// Errors from [`LocalCluster::run`].
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Could not bind a listener.
+    Bind(std::io::Error),
+    /// A node thread panicked.
+    NodePanic(String),
+    /// Configuration invalid.
+    BadConfig(&'static str),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Bind(e) => write!(f, "bind failed: {e}"),
+            ClusterError::NodePanic(m) => write!(f, "node panicked: {m}"),
+            ClusterError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-node outcome in the report.
+#[derive(Clone, Debug)]
+pub struct NodeOutcome {
+    /// The node.
+    pub me: ValidatorId,
+    /// Length of its decided log.
+    pub decided_len: u64,
+    /// Votes it cast.
+    pub votes_cast: u64,
+    /// Frames it received / sent.
+    pub frames: (u64, u64),
+}
+
+/// Report of a cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    outcomes: Vec<NodeOutcomeInner>,
+}
+
+impl ClusterReport {
+    /// Per-node summary.
+    pub fn outcomes(&self) -> Vec<NodeOutcome> {
+        self.outcomes
+            .iter()
+            .map(|o| NodeOutcome {
+                me: o.me,
+                decided_len: o.decided.len(),
+                votes_cast: o.votes_cast,
+                frames: (o.frames_received, o.frames_sent),
+            })
+            .collect()
+    }
+
+    /// Shortest decided log length across nodes.
+    pub fn min_decided_len(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.decided.len()).min().unwrap_or(1)
+    }
+
+    /// Longest decided log length across nodes.
+    pub fn max_decided_len(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.decided.len()).max().unwrap_or(1)
+    }
+
+    /// Checks pairwise compatibility of all decided logs (Safety across
+    /// real processes): for every pair, the shorter log's tip must be an
+    /// ancestor of the longer log's tip in the longer node's store.
+    pub fn agreement(&self) -> bool {
+        for a in &self.outcomes {
+            for b in &self.outcomes {
+                let (short, long) =
+                    if a.decided.len() <= b.decided.len() { (a, b) } else { (b, a) };
+                if short.decided.len() == 1 {
+                    continue; // genesis is a prefix of everything
+                }
+                if !long.store.is_ancestor(short.decided.tip(), long.decided.tip()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Panics unless all decided logs are pairwise compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on disagreement.
+    pub fn assert_agreement(&self) {
+        assert!(self.agreement(), "cluster nodes decided conflicting logs");
+    }
+}
+
+/// Orchestrates local clusters.
+pub struct LocalCluster;
+
+impl LocalCluster {
+    /// Runs a cluster to completion.
+    ///
+    /// # Errors
+    ///
+    /// Socket/bind failures and node panics.
+    pub fn run(cfg: ClusterConfig) -> Result<ClusterReport, ClusterError> {
+        if cfg.n == 0 {
+            return Err(ClusterError::BadConfig("n must be ≥ 1"));
+        }
+        if cfg.views == 0 {
+            return Err(ClusterError::BadConfig("views must be ≥ 1"));
+        }
+        // Bind all listeners first so dialing cannot race.
+        let mut listeners = Vec::with_capacity(cfg.n);
+        let mut addrs: HashMap<ValidatorId, SocketAddr> = HashMap::new();
+        for v in ValidatorId::all(cfg.n) {
+            let l = TcpListener::bind("127.0.0.1:0").map_err(ClusterError::Bind)?;
+            addrs.insert(v, l.local_addr().map_err(ClusterError::Bind)?);
+            listeners.push((v, l));
+        }
+
+        // Shared workload: identical txs (content-addressed) on every node.
+        let txs: Vec<Transaction> =
+            (0..cfg.seed_txs).map(|i| Transaction::synthetic(i as u64, 48)).collect();
+
+        // Epoch slightly in the future so all nodes start at tick 0.
+        let epoch = Instant::now() + Duration::from_millis(150);
+        let clock = TickClock::new(epoch, cfg.tick);
+        // Run length: `views` views of 4Δ plus the trailing 2Δ decide.
+        let run_ticks = cfg.views * 4 * cfg.delta.ticks() + 2 * cfg.delta.ticks();
+
+        let mut handles = Vec::with_capacity(cfg.n);
+        for (v, listener) in listeners {
+            let peers: HashMap<ValidatorId, SocketAddr> = addrs
+                .iter()
+                .filter(|(p, _)| **p != v)
+                .map(|(p, a)| (*p, *a))
+                .collect();
+            let node_cfg = NodeConfig {
+                me: v,
+                n: cfg.n,
+                delta: cfg.delta,
+                run_ticks,
+                seed_txs: txs.clone(),
+            };
+            handles.push(spawn_node(node_cfg, listener, peers, clock));
+        }
+
+        let mut outcomes = Vec::with_capacity(cfg.n);
+        for h in handles {
+            outcomes.push(h.join().map_err(ClusterError::NodePanic)?);
+        }
+        Ok(ClusterReport { outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_node_cluster_decides_and_agrees() {
+        let report = LocalCluster::run(ClusterConfig::new(3).views(4)).expect("cluster runs");
+        report.assert_agreement();
+        assert!(
+            report.min_decided_len() > 1,
+            "every node should decide at least one block: {:?}",
+            report.outcomes()
+        );
+        // Everyone voted roughly once per view.
+        for o in report.outcomes() {
+            assert!(o.votes_cast >= 3, "{:?}", o);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            LocalCluster::run(ClusterConfig::new(0)),
+            Err(ClusterError::BadConfig(_))
+        ));
+        assert!(matches!(
+            LocalCluster::run(ClusterConfig::new(2).views(0)),
+            Err(ClusterError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! Length-prefixed framing over TCP streams.
+//!
+//! Frame layout: `u32` big-endian payload length, then the payload (a
+//! [`tobsvd_types::wire`]-encoded message). Frames above
+//! [`MAX_FRAME_BYTES`] are rejected on both sides.
+
+use std::io::{self, Read, Write};
+
+use bytes::Bytes;
+
+/// Upper bound on frame payload size (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Framing errors.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure (including clean EOF between frames).
+    Io(io::Error),
+    /// Peer announced a frame longer than [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] if `payload` exceeds the limit, otherwise
+/// any underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// I/O errors (including `UnexpectedEof` on a closed connection) and
+/// [`FrameError::TooLarge`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(&read_frame(&mut cur).unwrap()[..], b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 0);
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 1000);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversize_rejected_on_write() {
+        let mut buf = Vec::new();
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(write_frame(&mut buf, &huge), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversize_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+}

@@ -1,0 +1,281 @@
+//! A single TOB-SVD node over TCP.
+//!
+//! Thread layout per node:
+//!
+//! * reader threads — one per inbound connection, decoding frames into a
+//!   crossbeam channel;
+//! * the node loop — wakes at every tick, drains the inbox into
+//!   [`Validator::on_message`], fires `on_phase` on Δ-boundaries, and
+//!   writes the collected outgoing messages to the peer mesh.
+//!
+//! Each node owns a private [`BlockStore`]; logs cross the network as
+//! full block chains (wire codec), so stores converge by content
+//! address.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use tobsvd_core::{TobConfig, Validator};
+use tobsvd_sim::{Context, Mempool, Node as SimNode, Outgoing};
+use tobsvd_types::{wire, BlockStore, Delta, Log, SignedMessage, Time, Transaction, ValidatorId};
+
+use crate::clock::TickClock;
+use crate::codec::{read_frame, write_frame};
+
+/// Configuration of one node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's identity.
+    pub me: ValidatorId,
+    /// Number of validators.
+    pub n: usize,
+    /// Δ in ticks.
+    pub delta: Delta,
+    /// Total ticks to run.
+    pub run_ticks: u64,
+    /// Transactions to seed into this node's pool at start.
+    pub seed_txs: Vec<Transaction>,
+}
+
+/// What a node reports after its run.
+#[derive(Clone, Debug)]
+pub struct NodeOutcomeInner {
+    /// The node's identity.
+    pub me: ValidatorId,
+    /// Its final decided log.
+    pub decided: Log,
+    /// Its private store (for cross-checking ancestry).
+    pub store: BlockStore,
+    /// Votes cast.
+    pub votes_cast: u64,
+    /// Frames received.
+    pub frames_received: u64,
+    /// Frames sent.
+    pub frames_sent: u64,
+}
+
+/// Handle to a running node (join to get its outcome).
+pub struct NodeHandle {
+    join: std::thread::JoinHandle<NodeOutcomeInner>,
+}
+
+impl NodeHandle {
+    /// Waits for the node to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the node thread panicked.
+    pub fn join(self) -> Result<NodeOutcomeInner, String> {
+        self.join.map_err_join()
+    }
+}
+
+trait JoinExt {
+    fn map_err_join(self) -> Result<NodeOutcomeInner, String>;
+}
+
+impl JoinExt for std::thread::JoinHandle<NodeOutcomeInner> {
+    fn map_err_join(self) -> Result<NodeOutcomeInner, String> {
+        self.join().map_err(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "node thread panicked".to_string())
+        })
+    }
+}
+
+/// Spawns a node: `listener` accepts inbound mesh connections; `peers`
+/// maps every other validator to its listen address; `clock` is the
+/// shared epoch clock.
+pub fn spawn_node(
+    cfg: NodeConfig,
+    listener: TcpListener,
+    peers: HashMap<ValidatorId, SocketAddr>,
+    clock: TickClock,
+) -> NodeHandle {
+    let join = std::thread::Builder::new()
+        .name(format!("tobsvd-{}", cfg.me))
+        .spawn(move || run_node(cfg, listener, peers, clock))
+        .expect("spawn node thread");
+    NodeHandle { join }
+}
+
+fn run_node(
+    cfg: NodeConfig,
+    listener: TcpListener,
+    peers: HashMap<ValidatorId, SocketAddr>,
+    clock: TickClock,
+) -> NodeOutcomeInner {
+    let store = BlockStore::new();
+    let mempool = Mempool::new();
+    for tx in &cfg.seed_txs {
+        mempool.submit(tx.clone(), Time::ZERO);
+    }
+    let tob_cfg = TobConfig::new(cfg.n).with_delta(cfg.delta);
+    let mut validator = Validator::new(cfg.me, tob_cfg, &store);
+
+    // Inbox fed by reader threads (and by our own loopback).
+    let (tx_in, rx_in): (Sender<SignedMessage>, Receiver<SignedMessage>) = unbounded();
+
+    // Acceptor thread: owns the listener for the whole run.
+    let acceptor_store = store.clone();
+    let acceptor_tx = tx_in.clone();
+    let deadline = clock.instant_of(cfg.run_ticks + 2);
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    let accept_handle = std::thread::spawn(move || {
+        let mut readers = Vec::new();
+        while std::time::Instant::now() < deadline {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    stream
+                        .set_read_timeout(Some(Duration::from_millis(200)))
+                        .ok();
+                    let store = acceptor_store.clone();
+                    let tx = acceptor_tx.clone();
+                    let dl = deadline;
+                    readers.push(std::thread::spawn(move || {
+                        reader_loop(stream, store, tx, dl)
+                    }));
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+    });
+
+    // Outbound mesh: dial every peer.
+    let mut outbound: HashMap<ValidatorId, Arc<Mutex<TcpStream>>> = HashMap::new();
+    for (peer, addr) in &peers {
+        let stream = dial_with_retry(*addr, clock.instant_of(cfg.run_ticks));
+        if let Some(s) = stream {
+            outbound.insert(*peer, Arc::new(Mutex::new(s)));
+        }
+    }
+
+    let mut frames_sent = 0u64;
+    let mut frames_received = 0u64;
+
+    // The node loop.
+    for tick in 0..=cfg.run_ticks {
+        clock.wait_for(tick);
+        let now = Time::new(tick);
+
+        // Drain inbox.
+        while let Ok(msg) = rx_in.try_recv() {
+            frames_received += 1;
+            let mut ctx = Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
+            validator.on_message(&msg, &mut ctx);
+            frames_sent += flush(&mut ctx, &store, &outbound, &tx_in, cfg.me);
+        }
+
+        // Phase boundary.
+        if now.is_phase_boundary(cfg.delta) {
+            let mut ctx = Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
+            validator.on_phase(&mut ctx);
+            frames_sent += flush(&mut ctx, &store, &outbound, &tx_in, cfg.me);
+        }
+    }
+
+    // Close outbound so peers' readers wind down.
+    for (_, s) in outbound {
+        let _ = s.lock().shutdown(std::net::Shutdown::Both);
+    }
+    let _ = accept_handle.join();
+
+    NodeOutcomeInner {
+        me: cfg.me,
+        decided: validator.decided(),
+        store,
+        votes_cast: validator.votes_cast(),
+        frames_received,
+        frames_sent,
+    }
+}
+
+fn dial_with_retry(addr: SocketAddr, until: std::time::Instant) -> Option<TcpStream> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Some(s);
+            }
+            Err(_) if std::time::Instant::now() < until => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    store: BlockStore,
+    tx: Sender<SignedMessage>,
+    deadline: std::time::Instant,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(bytes) => match wire::decode_message(bytes, &store) {
+                Ok(msg) => {
+                    if tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => { /* malformed frame: drop it */ }
+            },
+            Err(crate::codec::FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if std::time::Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sends a context's collected actions over the mesh; returns frames
+/// written. Self-copies go through the loopback channel.
+fn flush(
+    ctx: &mut Context,
+    store: &BlockStore,
+    outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
+    loopback: &Sender<SignedMessage>,
+    me: ValidatorId,
+) -> u64 {
+    let mut sent = 0u64;
+    for action in ctx.take_outbox() {
+        let (targets, msg): (Vec<ValidatorId>, SignedMessage) = match action {
+            Outgoing::Broadcast(m) => (outbound.keys().copied().chain([me]).collect(), m),
+            // Forwards skip self: the node has already processed the message.
+            Outgoing::Forward(m) => (outbound.keys().copied().collect(), m),
+            Outgoing::ForwardTo(t, m) | Outgoing::Multicast(t, m) => (t, m),
+        };
+        let bytes = wire::encode_message(&msg, store);
+        for target in targets {
+            if target == me {
+                let _ = loopback.send(msg);
+                continue;
+            }
+            if let Some(stream) = outbound.get(&target) {
+                if write_frame(&mut *stream.lock(), &bytes).is_ok() {
+                    sent += 1;
+                }
+            }
+        }
+    }
+    sent
+}

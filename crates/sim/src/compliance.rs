@@ -1,0 +1,228 @@
+//! Condition (1) — (T_b, T_s, ρ)-sleepy-model compliance checking.
+//!
+//! A system is compliant with the (T_b, T_s, ρ)-sleepy model iff for
+//! every time t ≥ 0:
+//!
+//! ```text
+//! |B_{t+T_b}| < ρ · |H_{t−T_s,t} ∪ B_{t+T_b}|        (Condition 1)
+//! ```
+//!
+//! where `H_{t1,t2} = ⋂_{s∈[t1,t2]} H_s` is the set of honest validators
+//! awake throughout `[t1, t2]` (with `H_s := V` for `s < 0`). The GA
+//! protocols need (3Δ,0,½) / (5Δ,0,½); TOB-SVD needs (5Δ,2Δ,½).
+//!
+//! Experiments call [`check`] on their generated schedules before running
+//! so that claimed results genuinely fall inside the model.
+
+use tobsvd_types::{Time, ValidatorId};
+
+use crate::schedule::{CorruptionSchedule, ParticipationSchedule};
+
+/// Parameters of the sleepy model variant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SleepyParams {
+    /// Backward-simulation window T_b, in ticks.
+    pub t_b: u64,
+    /// Stabilization period T_s, in ticks.
+    pub t_s: u64,
+    /// Failure ratio ρ ≤ ½ (as a fraction).
+    pub rho: f64,
+}
+
+impl SleepyParams {
+    /// The (T_b, T_s, ½) model used throughout the paper.
+    pub fn half(t_b: u64, t_s: u64) -> Self {
+        SleepyParams { t_b, t_s, rho: 0.5 }
+    }
+}
+
+/// A violation of Condition (1) at a specific time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComplianceViolation {
+    /// The time `t` at which the condition fails.
+    pub at: Time,
+    /// `|B_{t+T_b}|`.
+    pub byzantine: usize,
+    /// `|H_{t−T_s,t} ∪ B_{t+T_b}|` — the active validators at `t`.
+    pub active: usize,
+}
+
+impl std::fmt::Display for ComplianceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Condition (1) violated at {}: |B| = {} !< ρ·|active| with |active| = {}",
+            self.at, self.byzantine, self.active
+        )
+    }
+}
+
+/// Checks Condition (1) for every `t ∈ [0, horizon]`.
+///
+/// Returns the first violation, or `None` if the schedules are compliant.
+///
+/// ```
+/// use tobsvd_sim::compliance::{check, SleepyParams};
+/// use tobsvd_sim::{CorruptionSchedule, ParticipationSchedule};
+/// use tobsvd_types::{Time, ValidatorId};
+///
+/// let part = ParticipationSchedule::always_awake(4);
+/// let corr = CorruptionSchedule::from_genesis([ValidatorId::new(0)]);
+/// // 1 Byzantine of 4 active: 1 < 0.5·4 — compliant.
+/// assert!(check(&part, &corr, SleepyParams::half(40, 16), Time::new(200)).is_none());
+/// ```
+pub fn check(
+    participation: &ParticipationSchedule,
+    corruption: &CorruptionSchedule,
+    params: SleepyParams,
+    horizon: Time,
+) -> Option<ComplianceViolation> {
+    let n = participation.n();
+    for t in 0..=horizon.ticks() {
+        let t = Time::new(t);
+        let (byz, active) = active_sets(participation, corruption, params, t, n);
+        if (byz as f64) >= params.rho * (active as f64) {
+            return Some(ComplianceViolation { at: t, byzantine: byz, active });
+        }
+    }
+    None
+}
+
+/// Computes `(|B_{t+T_b}|, |H_{t−T_s,t} ∪ B_{t+T_b}|)` at time `t`.
+pub fn active_sets(
+    participation: &ParticipationSchedule,
+    corruption: &CorruptionSchedule,
+    params: SleepyParams,
+    t: Time,
+    n: usize,
+) -> (usize, usize) {
+    let b_end = t + params.t_b;
+    let from = t.saturating_sub(Time::new(params.t_s));
+    let mut byz = 0usize;
+    let mut active = 0usize;
+    for v in ValidatorId::all(n) {
+        let is_byz = corruption.is_byzantine(v, b_end);
+        // v ∈ H_{t−T_s,t}: awake for all of [t−T_s, t] and still honest at t.
+        let in_h = !corruption.is_byzantine(v, t) && participation.awake_throughout(v, from, t);
+        if is_byz {
+            byz += 1;
+        }
+        if is_byz || in_h {
+            active += 1;
+        }
+    }
+    (byz, active)
+}
+
+/// Brute-force reference implementation of `H_{t1,t2}` used by the
+/// property tests: intersects `H_s` tick by tick.
+pub fn honest_throughout_bruteforce(
+    participation: &ParticipationSchedule,
+    corruption: &CorruptionSchedule,
+    from: Time,
+    to: Time,
+) -> Vec<ValidatorId> {
+    let mut result: Option<Vec<ValidatorId>> = None;
+    let mut s = from;
+    loop {
+        let h_s = participation.awake_honest_at(s, corruption);
+        result = Some(match result {
+            None => h_s,
+            Some(prev) => prev.into_iter().filter(|v| h_s.contains(v)).collect(),
+        });
+        if s >= to {
+            break;
+        }
+        s = s + 1;
+    }
+    result.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_honest_always_compliant() {
+        let part = ParticipationSchedule::always_awake(4);
+        let corr = CorruptionSchedule::none();
+        assert!(check(&part, &corr, SleepyParams::half(40, 16), Time::new(100)).is_none());
+    }
+
+    #[test]
+    fn half_byzantine_violates() {
+        let part = ParticipationSchedule::always_awake(4);
+        let corr = CorruptionSchedule::from_genesis([ValidatorId::new(0), ValidatorId::new(1)]);
+        // 2 Byzantine of 4 active: 2 !< 0.5·4.
+        let v = check(&part, &corr, SleepyParams::half(40, 16), Time::new(100));
+        assert_eq!(
+            v,
+            Some(ComplianceViolation { at: Time::ZERO, byzantine: 2, active: 4 })
+        );
+    }
+
+    #[test]
+    fn sleeping_honest_shrinks_active_set() {
+        // 5 validators, 2 Byzantine: compliant while all awake (2 < 2.5),
+        // but if one honest validator sleeps, active = 4 and 2 !< 2.
+        let mut part = ParticipationSchedule::always_awake(5);
+        let corr =
+            CorruptionSchedule::from_genesis([ValidatorId::new(0), ValidatorId::new(1)]);
+        assert!(check(&part, &corr, SleepyParams::half(8, 0), Time::new(50)).is_none());
+        part.set_intervals(ValidatorId::new(2), vec![(Time::new(0), Time::new(10))]);
+        let v = check(&part, &corr, SleepyParams::half(8, 0), Time::new(50)).expect("violation");
+        assert_eq!(v.at, Time::new(10));
+    }
+
+    #[test]
+    fn backward_window_counts_future_corruptions() {
+        // Corruption effective at t=20 with T_b=10: counted from t=10.
+        let part = ParticipationSchedule::always_awake(2);
+        let mut corr = CorruptionSchedule::none();
+        corr.schedule(ValidatorId::new(0), Time::new(12), tobsvd_types::Delta::new(8));
+        let params = SleepyParams::half(10, 0);
+        let (b_at_9, _) = active_sets(&part, &corr, params, Time::new(9), 2);
+        let (b_at_10, _) = active_sets(&part, &corr, params, Time::new(10), 2);
+        assert_eq!(b_at_9, 0);
+        assert_eq!(b_at_10, 1);
+    }
+
+    #[test]
+    fn stabilization_window_excludes_churning_honest() {
+        // An honest validator awake only from t=5 is not in H_{t−T_s,t}
+        // until t ≥ 5 + T_s.
+        let mut part = ParticipationSchedule::always_awake(2);
+        part.set_intervals(ValidatorId::new(1), vec![(Time::new(5), Time::new(1000))]);
+        let corr = CorruptionSchedule::none();
+        let params = SleepyParams::half(0, 4);
+        let (_, active_at_7) = active_sets(&part, &corr, params, Time::new(7), 2);
+        let (_, active_at_9) = active_sets(&part, &corr, params, Time::new(9), 2);
+        assert_eq!(active_at_7, 1); // window [3,7] not fully awake
+        assert_eq!(active_at_9, 2); // window [5,9] fully awake
+    }
+
+    #[test]
+    fn bruteforce_matches_fast_path() {
+        let mut part = ParticipationSchedule::always_awake(4);
+        part.set_intervals(ValidatorId::new(0), vec![(Time::new(3), Time::new(9))]);
+        part.set_intervals(ValidatorId::new(1), vec![(Time::new(0), Time::new(6)), (Time::new(8), Time::new(20))]);
+        let mut corr = CorruptionSchedule::none();
+        corr.schedule(ValidatorId::new(2), Time::new(2), tobsvd_types::Delta::new(4));
+        for t in 0..20u64 {
+            let t = Time::new(t);
+            let from = t.saturating_sub(Time::new(3));
+            let brute = honest_throughout_bruteforce(&part, &corr, from, t);
+            let fast: Vec<ValidatorId> = ValidatorId::all(4)
+                .filter(|v| {
+                    !corr.is_byzantine(*v, t) && part.awake_throughout(*v, from, t)
+                })
+                .collect();
+            // The brute force also excludes validators corrupted mid-window.
+            let brute_fixed: Vec<ValidatorId> = brute
+                .into_iter()
+                .filter(|v| !corr.is_byzantine(*v, t))
+                .collect();
+            assert_eq!(fast, brute_fixed, "at {t}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Live adversary controller.
+//!
+//! The sleepy-model adversary is *fully adaptive* for sleep/wake and
+//! *mildly adaptive* for corruption (paper §3.1). Pre-computed schedules
+//! cover most experiments, but reactive strategies — corrupt whoever
+//! broadcast the highest VRF value this view (the Lemma 2 scenario) —
+//! need to observe the execution. An [`AdversaryController`] is called at
+//! the end of every tick with the messages sent during that tick and may
+//! issue [`AdversaryCommand`]s. The engine enforces the model's rules:
+//! corruptions take effect Δ later and the Byzantine set stays monotone;
+//! sleep changes apply from the next tick and never affect Byzantine
+//! validators (which are always awake).
+
+use tobsvd_types::{SignedMessage, Time, ValidatorId};
+
+/// What the adversary saw happen during one tick.
+#[derive(Debug)]
+pub struct TickView<'a> {
+    /// The tick that just completed.
+    pub time: Time,
+    /// Messages sent (originals and forwards) during this tick, in send
+    /// order. The network adversary observes all traffic.
+    pub sent: &'a [SignedMessage],
+}
+
+/// Commands an adversary controller may issue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdversaryCommand {
+    /// Schedule corruption of a validator; effective at `now + Δ`.
+    Corrupt(ValidatorId),
+    /// Put an honest validator to sleep starting next tick.
+    Sleep(ValidatorId),
+    /// Wake an honest validator starting next tick.
+    Wake(ValidatorId),
+}
+
+/// A reactive adversary observing the execution tick by tick.
+pub trait AdversaryController: Send {
+    /// Called after all events of a tick have been processed.
+    fn on_tick(&mut self, view: &TickView<'_>) -> Vec<AdversaryCommand>;
+}
+
+/// A controller that never does anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullController;
+
+impl AdversaryController for NullController {
+    fn on_tick(&mut self, _view: &TickView<'_>) -> Vec<AdversaryCommand> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_controller_is_inert() {
+        let mut c = NullController;
+        let view = TickView { time: Time::ZERO, sent: &[] };
+        assert!(c.on_tick(&view).is_empty());
+    }
+}

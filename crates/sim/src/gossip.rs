@@ -1,0 +1,152 @@
+//! Gossip bookkeeping shared by honest nodes.
+//!
+//! §3.3 of the paper: "At any time, honest validators forward any message
+//! received. Up to two different LOG messages per sender are forwarded
+//! upon reception" — the second copy spreads equivocation evidence; a
+//! third or later distinct message from the same sender is neither
+//! accepted nor forwarded.
+//!
+//! [`GossipState`] answers, for each delivered message, whether the
+//! protocol should process it (`fresh`) and whether the node should
+//! re-broadcast it (`forward`). Deduplication is by message id, so the
+//! same signed message arriving over multiple forwarding paths is handled
+//! once.
+
+use std::collections::{HashMap, HashSet};
+
+use tobsvd_crypto::Digest;
+use tobsvd_types::{SignedMessage, ValidatorId};
+
+/// Outcome of receiving a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reception {
+    /// First sighting of this exact message — process it.
+    pub fresh: bool,
+    /// The message should be re-broadcast (first or second distinct
+    /// payload from this sender for this equivocation key).
+    pub forward: bool,
+}
+
+/// Per-node gossip state.
+#[derive(Debug, Default)]
+pub struct GossipState {
+    seen: HashSet<Digest>,
+    /// Count of distinct payloads seen per (sender, equivocation key).
+    distinct: HashMap<(ValidatorId, (u8, u64)), u8>,
+}
+
+impl GossipState {
+    /// Creates empty gossip state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a received message and returns how to treat it.
+    ///
+    /// ```
+    /// use tobsvd_crypto::Keypair;
+    /// use tobsvd_sim::gossip::GossipState;
+    /// use tobsvd_types::{BlockStore, InstanceId, Log, Payload, SignedMessage, ValidatorId};
+    ///
+    /// let store = BlockStore::new();
+    /// let v = ValidatorId::new(0);
+    /// let kp = Keypair::from_seed(v.key_seed());
+    /// let msg = SignedMessage::sign(&kp, v,
+    ///     Payload::Log { instance: InstanceId(0), log: Log::genesis(&store) });
+    ///
+    /// let mut gossip = GossipState::new();
+    /// let first = gossip.on_receive(&msg);
+    /// assert!(first.fresh && first.forward);
+    /// let dup = gossip.on_receive(&msg);
+    /// assert!(!dup.fresh && !dup.forward);
+    /// ```
+    pub fn on_receive(&mut self, msg: &SignedMessage) -> Reception {
+        if !self.seen.insert(msg.id()) {
+            return Reception { fresh: false, forward: false };
+        }
+        let key = match msg.payload().equivocation_key() {
+            Some(k) => k,
+            None => return Reception { fresh: true, forward: true },
+        };
+        let count = self.distinct.entry((msg.sender(), key)).or_insert(0);
+        if *count >= 2 {
+            // Third or later distinct message from this sender for this
+            // key: neither accepted nor forwarded.
+            return Reception { fresh: false, forward: false };
+        }
+        *count += 1;
+        Reception { fresh: true, forward: true }
+    }
+
+    /// Number of distinct messages seen (diagnostics).
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_crypto::Keypair;
+    use tobsvd_types::{BlockStore, InstanceId, Log, Payload, View};
+
+    fn msg(_store: &BlockStore, sender: u32, instance: u64, log: Log) -> SignedMessage {
+        let v = ValidatorId::new(sender);
+        let kp = Keypair::from_seed(v.key_seed());
+        SignedMessage::sign(&kp, v, Payload::Log { instance: InstanceId(instance), log })
+    }
+
+    #[test]
+    fn first_two_distinct_accepted_third_dropped() {
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let l1 = g.extend_empty(&store, ValidatorId::new(9), View::new(1));
+        let l2 = g.extend_empty(&store, ValidatorId::new(8), View::new(1));
+        let mut gossip = GossipState::new();
+
+        let r1 = gossip.on_receive(&msg(&store, 0, 5, g));
+        let r2 = gossip.on_receive(&msg(&store, 0, 5, l1));
+        let r3 = gossip.on_receive(&msg(&store, 0, 5, l2));
+        assert_eq!(r1, Reception { fresh: true, forward: true });
+        assert_eq!(r2, Reception { fresh: true, forward: true });
+        assert_eq!(r3, Reception { fresh: false, forward: false });
+    }
+
+    #[test]
+    fn instances_tracked_independently() {
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let l1 = g.extend_empty(&store, ValidatorId::new(9), View::new(1));
+        let l2 = g.extend_empty(&store, ValidatorId::new(8), View::new(1));
+        let mut gossip = GossipState::new();
+        // Two distinct in instance 1 exhausts instance 1 only.
+        assert!(gossip.on_receive(&msg(&store, 0, 1, l1)).fresh);
+        assert!(gossip.on_receive(&msg(&store, 0, 1, l2)).fresh);
+        assert!(!gossip.on_receive(&msg(&store, 0, 1, g)).fresh);
+        // Instance 2 unaffected.
+        assert!(gossip.on_receive(&msg(&store, 0, 2, g)).fresh);
+    }
+
+    #[test]
+    fn senders_tracked_independently() {
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let l1 = g.extend_empty(&store, ValidatorId::new(9), View::new(1));
+        let l2 = g.extend_empty(&store, ValidatorId::new(8), View::new(1));
+        let mut gossip = GossipState::new();
+        assert!(gossip.on_receive(&msg(&store, 0, 1, l1)).fresh);
+        assert!(gossip.on_receive(&msg(&store, 0, 1, l2)).fresh);
+        assert!(gossip.on_receive(&msg(&store, 1, 1, l1)).fresh);
+    }
+
+    #[test]
+    fn duplicate_exact_message_ignored() {
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let m = msg(&store, 0, 1, g);
+        let mut gossip = GossipState::new();
+        assert!(gossip.on_receive(&m).fresh);
+        assert!(!gossip.on_receive(&m).fresh);
+        assert_eq!(gossip.seen_count(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete-event simulator for the sleepy model of consensus.
+//!
+//! This crate is the execution substrate for every protocol in the
+//! repository. It mechanizes the model of §3.1 of the TOB-SVD paper:
+//!
+//! * **Synchronous network with delay bound Δ** — every message sent at
+//!   time `t` is delivered to every awake recipient by `t + Δ`; the exact
+//!   delay of each copy is chosen by a pluggable, possibly adversarial,
+//!   [`DelayPolicy`]. Deliveries at a tick are processed *before* phase
+//!   timers at that tick, so "received by time t" is inclusive — the
+//!   convention the paper's proofs use.
+//! * **Sleep/wake (dynamic participation)** — a [`ParticipationSchedule`]
+//!   gives per-validator awake intervals; messages addressed to asleep
+//!   validators are buffered and delivered in full at the wake tick
+//!   ("upon waking up, validators immediately receive all messages they
+//!   should have received while asleep").
+//! * **Growing, mildly adaptive adversary** — the Byzantine set `B_t` is
+//!   monotone non-decreasing; a corruption scheduled at `t` takes effect
+//!   at `t + Δ`. Byzantine validators are always awake. A live
+//!   [`AdversaryController`] may schedule corruptions and sleep changes
+//!   reactively during the run.
+//! * **Condition (1) compliance** — [`compliance::check`] verifies that a
+//!   given participation + corruption schedule satisfies
+//!   `|B_{t+T_b}| < ρ·|H_{t−T_s,t} ∪ B_{t+T_b}|` for every tick, so
+//!   experiments can assert they operate inside the (T_b, T_s, ρ)-sleepy
+//!   model before drawing conclusions.
+//!
+//! Protocol logic plugs in through the sans-io [`Node`] trait; the
+//! engine ([`Simulation`]) owns the event loop, gossip bookkeeping
+//! helpers live in [`gossip`], workload generation in [`Mempool`], and
+//! measurement in [`Metrics`] and [`DecisionObserver`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compliance;
+mod config;
+mod controller;
+mod engine;
+pub mod gossip;
+mod mempool;
+mod metrics;
+mod network;
+mod node;
+mod observer;
+mod schedule;
+
+pub use config::SimConfig;
+pub use controller::{AdversaryCommand, AdversaryController, NullController, TickView};
+pub use engine::{ByzantineFactory, SimReport, Simulation, SimulationBuilder};
+pub use mempool::{Mempool, TxRecord};
+pub use metrics::{MessageKind, Metrics};
+pub use network::{BestCaseDelay, DelayPolicy, UniformDelay, WorstCaseDelay};
+pub use node::{Context, IdleNode, Node, Outgoing};
+pub use observer::{ConfirmedTx, DecisionObserver, DecisionRecord, SafetyViolation};
+pub use schedule::{CorruptionSchedule, ParticipationSchedule};

@@ -1,0 +1,214 @@
+//! The external transaction pool of §2/§3.2.
+//!
+//! "Upon submission, transactions are immediately added to a transaction
+//! pool from which validators can retrieve and validate them … honest
+//! validators batch into any proposed block any valid transaction
+//! included in the transaction pool that is not already included in the
+//! log that the proposed block is appended to."
+//!
+//! The pool records submission times so the latency experiments can
+//! measure confirmation time = decision time − submission time.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tobsvd_types::{BlockId, BlockStore, Log, Time, Transaction, TxId};
+
+/// A pooled transaction plus its submission time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxRecord {
+    /// The transaction.
+    pub tx: Transaction,
+    /// When it entered the pool.
+    pub submitted_at: Time,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Pool in submission order.
+    pool: Vec<TxRecord>,
+    by_id: HashMap<TxId, usize>,
+    /// Memoized set of tx ids included on the chain ending at each block.
+    inclusion: HashMap<BlockId, Arc<HashSet<TxId>>>,
+}
+
+/// Shared transaction pool with submission-time tracking and an
+/// inclusion index for efficient "not already included" filtering.
+///
+/// ```
+/// use tobsvd_sim::Mempool;
+/// use tobsvd_types::{BlockStore, Log, Time, Transaction};
+///
+/// let store = BlockStore::new();
+/// let pool = Mempool::new();
+/// let tx = Transaction::new(b"tx".to_vec());
+/// pool.submit(tx.clone(), Time::new(5));
+/// let pending = pool.pending_for(&Log::genesis(&store), &store);
+/// assert_eq!(pending, vec![tx]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a transaction at `now`. Duplicate ids are ignored (the
+    /// first submission time wins).
+    pub fn submit(&self, tx: Transaction, now: Time) {
+        let mut inner = self.inner.lock();
+        let id = tx.id();
+        if inner.by_id.contains_key(&id) {
+            return;
+        }
+        let idx = inner.pool.len();
+        inner.pool.push(TxRecord { tx, submitted_at: now });
+        inner.by_id.insert(id, idx);
+    }
+
+    /// Submission time of a transaction, if pooled.
+    pub fn submitted_at(&self, id: TxId) -> Option<Time> {
+        let inner = self.inner.lock();
+        inner.by_id.get(&id).map(|&i| inner.pool[i].submitted_at)
+    }
+
+    /// Number of pooled transactions (ever submitted).
+    pub fn len(&self) -> usize {
+        self.inner.lock().pool.len()
+    }
+
+    /// Whether the pool has never seen a transaction.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All pooled transactions submitted at or before `now` that are not
+    /// already included in `log` — the batch an honest proposer puts in
+    /// its next block.
+    pub fn pending_for_at(&self, log: &Log, store: &BlockStore, now: Time) -> Vec<Transaction> {
+        let included = self.included_set(log.tip(), store);
+        let inner = self.inner.lock();
+        inner
+            .pool
+            .iter()
+            .filter(|r| r.submitted_at <= now && !included.contains(&r.tx.id()))
+            .map(|r| r.tx.clone())
+            .collect()
+    }
+
+    /// [`Mempool::pending_for_at`] with no submission-time cutoff.
+    pub fn pending_for(&self, log: &Log, store: &BlockStore) -> Vec<Transaction> {
+        self.pending_for_at(log, store, Time::new(u64::MAX))
+    }
+
+    /// The set of tx ids included on the chain ending at `tip`, memoized
+    /// per block so repeated queries stay cheap as the chain grows.
+    pub fn included_set(&self, tip: BlockId, store: &BlockStore) -> Arc<HashSet<TxId>> {
+        let mut inner = self.inner.lock();
+        if let Some(set) = inner.inclusion.get(&tip) {
+            return Arc::clone(set);
+        }
+        // Walk down to the nearest memoized ancestor, then build back up.
+        let mut stack = Vec::new();
+        let mut cur = tip;
+        let base = loop {
+            if let Some(set) = inner.inclusion.get(&cur) {
+                break Arc::clone(set);
+            }
+            let block = match store.get(cur) {
+                Some(b) => b,
+                None => break Arc::new(HashSet::new()),
+            };
+            stack.push(Arc::clone(&block));
+            if block.is_genesis() {
+                break Arc::new(HashSet::new());
+            }
+            cur = block.parent();
+        };
+        let mut acc = base;
+        while let Some(block) = stack.pop() {
+            let mut set: HashSet<TxId> = (*acc).clone();
+            set.extend(block.txs().iter().map(|t| t.id()));
+            acc = Arc::new(set);
+            inner.inclusion.insert(block.id(), Arc::clone(&acc));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_types::{ValidatorId, View};
+
+    #[test]
+    fn submit_and_query() {
+        let pool = Mempool::new();
+        let tx = Transaction::new(vec![1]);
+        pool.submit(tx.clone(), Time::new(3));
+        assert_eq!(pool.submitted_at(tx.id()), Some(Time::new(3)));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_submission_keeps_first_time() {
+        let pool = Mempool::new();
+        let tx = Transaction::new(vec![1]);
+        pool.submit(tx.clone(), Time::new(3));
+        pool.submit(tx.clone(), Time::new(9));
+        assert_eq!(pool.submitted_at(tx.id()), Some(Time::new(3)));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn pending_excludes_included() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let t1 = Transaction::new(vec![1]);
+        let t2 = Transaction::new(vec![2]);
+        pool.submit(t1.clone(), Time::ZERO);
+        pool.submit(t2.clone(), Time::ZERO);
+        let log = Log::genesis(&store).extend(
+            &store,
+            ValidatorId::new(0),
+            View::new(1),
+            vec![t1.clone()],
+        );
+        assert_eq!(pool.pending_for(&log, &store), vec![t2.clone()]);
+        // But t1 still pending relative to genesis.
+        assert_eq!(pool.pending_for(&Log::genesis(&store), &store).len(), 2);
+    }
+
+    #[test]
+    fn pending_respects_submission_cutoff() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let t1 = Transaction::new(vec![1]);
+        pool.submit(t1, Time::new(10));
+        let g = Log::genesis(&store);
+        assert!(pool.pending_for_at(&g, &store, Time::new(9)).is_empty());
+        assert_eq!(pool.pending_for_at(&g, &store, Time::new(10)).len(), 1);
+    }
+
+    #[test]
+    fn inclusion_memoization_consistent_across_extensions() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let txs: Vec<Transaction> = (0..5).map(|i| Transaction::new(vec![i])).collect();
+        for tx in &txs {
+            pool.submit(tx.clone(), Time::ZERO);
+        }
+        let mut log = Log::genesis(&store);
+        for (i, tx) in txs.iter().enumerate() {
+            log = log.extend(&store, ValidatorId::new(0), View::new(i as u64 + 1), vec![tx.clone()]);
+            let included = pool.included_set(log.tip(), &store);
+            assert_eq!(included.len(), i + 1);
+        }
+        assert!(pool.pending_for(&log, &store).is_empty());
+    }
+}

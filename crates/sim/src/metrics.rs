@@ -1,0 +1,139 @@
+//! Measurement: message counts, bytes, voting phases.
+//!
+//! The counters here feed the Table 1 reproduction directly:
+//!
+//! * *voting phases per new block* — a voting phase is "a point in time
+//!   when every honest validator … sends a **new** message" (paper
+//!   footnote 3). We count original `LOG` broadcasts (GA inputs) and
+//!   `VOTE` broadcasts; proposals and forwards are not voting phases.
+//! * *communication complexity* — per-delivery message counts and
+//!   nominal byte counts (full-log sizes), whose growth vs `n` the
+//!   complexity experiment fits against O(n²)/O(n³).
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a message for accounting purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageKind {
+    /// GA input `⟨LOG, Λ⟩` (a vote in TOB-SVD's sense).
+    Log,
+    /// Leader-election proposal.
+    Proposal,
+    /// Momose–Ren GA `VOTE`.
+    Vote,
+    /// `RECOVERY` request (§2 recovery protocol).
+    Recovery,
+    /// Finality-gadget vote (ebb-and-flow extension).
+    FinalityVote,
+}
+
+/// Aggregated counters for one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Original (non-forward) broadcasts of `LOG` payloads.
+    pub log_broadcasts: u64,
+    /// Original broadcasts of `PROPOSAL` payloads.
+    pub proposal_broadcasts: u64,
+    /// Original broadcasts of `VOTE` payloads.
+    pub vote_broadcasts: u64,
+    /// Original broadcasts of `RECOVERY` requests.
+    pub recovery_broadcasts: u64,
+    /// Original broadcasts of finality votes.
+    pub finality_broadcasts: u64,
+    /// Forwarded (re-broadcast or recovery-resent) messages.
+    pub forwards: u64,
+    /// Per-recipient message deliveries.
+    pub deliveries: u64,
+    /// Nominal bytes delivered (full-log sizes + fixed envelope).
+    pub bytes_delivered: u64,
+    /// Messages buffered for asleep validators.
+    pub buffered: u64,
+    /// Messages dropped because the recipient was asleep (only in
+    /// drop-while-asleep mode — the practical setting the §2 recovery
+    /// protocol exists for).
+    pub dropped: u64,
+    /// Decisions reported by nodes.
+    pub decisions: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+}
+
+/// Fixed per-message envelope overhead assumed by byte accounting.
+pub const MESSAGE_ENVELOPE_BYTES: u64 = 64;
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an original broadcast of the given kind.
+    pub fn record_broadcast(&mut self, kind: MessageKind) {
+        match kind {
+            MessageKind::Log => self.log_broadcasts += 1,
+            MessageKind::Proposal => self.proposal_broadcasts += 1,
+            MessageKind::Vote => self.vote_broadcasts += 1,
+            MessageKind::Recovery => self.recovery_broadcasts += 1,
+            MessageKind::FinalityVote => self.finality_broadcasts += 1,
+        }
+    }
+
+    /// Total *voting-phase* messages: original LOG + VOTE broadcasts.
+    pub fn voting_messages(&self) -> u64 {
+        self.log_broadcasts + self.vote_broadcasts
+    }
+
+    /// Total original broadcasts of any kind.
+    pub fn total_broadcasts(&self) -> u64 {
+        self.log_broadcasts
+            + self.proposal_broadcasts
+            + self.vote_broadcasts
+            + self.recovery_broadcasts
+    }
+
+    /// Merges another metrics bundle into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.log_broadcasts += other.log_broadcasts;
+        self.proposal_broadcasts += other.proposal_broadcasts;
+        self.vote_broadcasts += other.vote_broadcasts;
+        self.recovery_broadcasts += other.recovery_broadcasts;
+        self.finality_broadcasts += other.finality_broadcasts;
+        self.forwards += other.forwards;
+        self.deliveries += other.deliveries;
+        self.bytes_delivered += other.bytes_delivered;
+        self.buffered += other.buffered;
+        self.dropped += other.dropped;
+        self.decisions += other.decisions;
+        self.ticks = self.ticks.max(other.ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_classification() {
+        let mut m = Metrics::new();
+        m.record_broadcast(MessageKind::Log);
+        m.record_broadcast(MessageKind::Log);
+        m.record_broadcast(MessageKind::Proposal);
+        m.record_broadcast(MessageKind::Vote);
+        assert_eq!(m.log_broadcasts, 2);
+        assert_eq!(m.voting_messages(), 3);
+        assert_eq!(m.total_broadcasts(), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Metrics::new();
+        a.deliveries = 5;
+        a.ticks = 10;
+        let mut b = Metrics::new();
+        b.deliveries = 7;
+        b.ticks = 4;
+        a.merge(&b);
+        assert_eq!(a.deliveries, 12);
+        assert_eq!(a.ticks, 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Core data types for the TOB-SVD reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace, mirroring §3 ("Model and Definitions") of the paper:
+//!
+//! * [`Time`] — discrete simulation time in ticks; Δ (the network delay
+//!   bound) is a configurable number of ticks.
+//! * [`View`] — protocol views; TOB-SVD views span 4Δ.
+//! * [`ValidatorId`] — validator identities `v_1 … v_n`.
+//! * [`Transaction`], [`Block`], [`Log`], [`BlockStore`] — the log model
+//!   of §3.2: a log is a finite sequence of hash-linked blocks extending
+//!   the genesis log Λ_g; prefix (⪯), compatibility and conflict are
+//!   ancestry relations on the block tree.
+//! * [`Payload`], [`SignedMessage`], [`InstanceId`] — the `LOG` message
+//!   of §3.3 plus the auxiliary `PROPOSAL` (leader election) and `VOTE`
+//!   (Momose–Ren background GA, §4) payloads.
+//! * [`wire`] — a hand-rolled, length-prefixed binary codec used by the
+//!   real TCP runtime; LOG messages carry full logs on the wire, exactly
+//!   the O(L·n³) accounting of Table 1.
+//!
+//! # Example
+//!
+//! ```
+//! use tobsvd_types::{BlockStore, Log, ValidatorId, View};
+//!
+//! let store = BlockStore::new();
+//! let genesis = Log::genesis(&store);
+//! let a = genesis.extend_empty(&store, ValidatorId::new(0), View::new(1));
+//! let b = a.extend_empty(&store, ValidatorId::new(1), View::new(2));
+//! assert!(genesis.is_prefix_of(&b, &store));
+//! assert!(a.compatible(&b, &store));
+//! assert_eq!(b.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod ids;
+mod log;
+mod message;
+mod store;
+mod time;
+mod tx;
+mod view;
+pub mod wire;
+
+pub use block::{Block, BlockId};
+pub use ids::ValidatorId;
+pub use log::Log;
+pub use message::{InstanceId, Payload, SignedMessage};
+pub use store::BlockStore;
+pub use time::{Delta, Time};
+pub use tx::{Transaction, TxId};
+pub use view::View;

@@ -1,0 +1,330 @@
+//! Protocol messages.
+//!
+//! The paper defines one message type, `⟨LOG, Λ⟩_i` (§3.3). Mechanically
+//! the repository uses three payloads:
+//!
+//! * [`Payload::Log`] — the GA input message `⟨LOG, Λ⟩` tagged with the
+//!   GA instance it belongs to (for TOB-SVD, the view number of `GA_v`);
+//! * [`Payload::Proposal`] — the leader-election proposal carrying a log
+//!   and the proposer's VRF value for the view (paper §3.3 "validators
+//!   broadcast one together with their VRF value");
+//! * [`Payload::Vote`] — the `VOTE` message of the background Momose–Ren
+//!   GA (§4); unused by TOB-SVD itself.
+//!
+//! A [`SignedMessage`] binds a payload to its sender; two different `Log`
+//! (or `Proposal`) payloads from one sender for one instance constitute
+//! *equivocation evidence* (§3.3).
+
+use std::fmt;
+
+use tobsvd_crypto::{Digest, Hasher, Keypair, PublicKey, Signature, VrfOutput, VrfProof};
+
+use crate::ids::ValidatorId;
+use crate::log::Log;
+use crate::view::View;
+
+/// Identifies a Graded Agreement instance.
+///
+/// TOB-SVD runs one GA per view (`GA_v` has instance id `v`); standalone
+/// GA harnesses use arbitrary ids.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct InstanceId(pub u64);
+
+impl InstanceId {
+    /// The GA instance belonging to a TOB-SVD view.
+    pub fn for_view(view: View) -> Self {
+        InstanceId(view.number())
+    }
+
+    /// The view this instance belongs to (TOB-SVD convention).
+    pub fn view(&self) -> View {
+        View::new(self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GA{}", self.0)
+    }
+}
+
+/// Message payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Payload {
+    /// `⟨LOG, Λ⟩` — input to Graded Agreement `instance`.
+    Log {
+        /// The GA instance this LOG message feeds.
+        instance: InstanceId,
+        /// The log Λ being input.
+        log: Log,
+    },
+    /// A leader-election proposal for `view`.
+    Proposal {
+        /// The view being proposed for.
+        view: View,
+        /// The proposed log (extends the proposer's grade-0 candidate).
+        log: Log,
+        /// The proposer's VRF output for this view.
+        vrf: VrfOutput,
+        /// Proof accompanying the VRF output.
+        proof: VrfProof,
+    },
+    /// `VOTE` message of the Momose–Ren background GA (§4).
+    Vote {
+        /// The GA instance this vote belongs to.
+        instance: InstanceId,
+        /// The log voted for.
+        log: Log,
+    },
+    /// `RECOVERY` request (paper §2): sent by a validator upon waking so
+    /// peers re-send messages it missed while asleep. Carries the
+    /// requester's highest decided log (so peers can skip what it
+    /// already has) and the first view it wants messages for.
+    Recovery {
+        /// First view the requester needs messages from.
+        from_view: View,
+        /// The requester's highest decided log.
+        log: Log,
+    },
+    /// Finality-gadget vote (the ebb-and-flow construction the paper's
+    /// introduction points to): a vote to finalize the sender's decided
+    /// log as the checkpoint of `epoch`. Two different votes for one
+    /// epoch are equivocation evidence.
+    FinalityVote {
+        /// The finality epoch.
+        epoch: u64,
+        /// The log voted for finalization.
+        log: Log,
+    },
+}
+
+impl Payload {
+    /// The log carried by this payload.
+    pub fn log(&self) -> Log {
+        match self {
+            Payload::Log { log, .. }
+            | Payload::Proposal { log, .. }
+            | Payload::Vote { log, .. }
+            | Payload::Recovery { log, .. }
+            | Payload::FinalityVote { log, .. } => *log,
+        }
+    }
+
+    /// A stable digest of the payload, used as the signing target.
+    pub fn signing_digest(&self) -> Digest {
+        let mut h = Hasher::new("tobsvd/payload");
+        match self {
+            Payload::Log { instance, log } => {
+                h.update_u64(0);
+                h.update_u64(instance.0);
+                h.update_digest(&log.tip().0);
+                h.update_u64(log.len());
+            }
+            Payload::Proposal { view, log, vrf, proof } => {
+                h.update_u64(1);
+                h.update_u64(view.number());
+                h.update_digest(&log.tip().0);
+                h.update_u64(log.len());
+                h.update_digest(&vrf.0);
+                h.update_digest(&proof.0);
+            }
+            Payload::Vote { instance, log } => {
+                h.update_u64(2);
+                h.update_u64(instance.0);
+                h.update_digest(&log.tip().0);
+                h.update_u64(log.len());
+            }
+            Payload::Recovery { from_view, log } => {
+                h.update_u64(3);
+                h.update_u64(from_view.number());
+                h.update_digest(&log.tip().0);
+                h.update_u64(log.len());
+            }
+            Payload::FinalityVote { epoch, log } => {
+                h.update_u64(4);
+                h.update_u64(*epoch);
+                h.update_digest(&log.tip().0);
+                h.update_u64(log.len());
+            }
+        }
+        h.finalize()
+    }
+
+    /// The equivocation key: two distinct payloads with the same key from
+    /// one sender are equivocation evidence.
+    ///
+    /// Returns `None` for payload kinds where equivocation is not tracked.
+    pub fn equivocation_key(&self) -> Option<(u8, u64)> {
+        match self {
+            Payload::Log { instance, .. } => Some((0, instance.0)),
+            Payload::Proposal { view, .. } => Some((1, view.number())),
+            Payload::Vote { instance, .. } => Some((2, instance.0)),
+            Payload::Recovery { from_view, .. } => Some((3, from_view.number())),
+            Payload::FinalityVote { epoch, .. } => Some((4, *epoch)),
+        }
+    }
+}
+
+/// A payload signed by its sender.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SignedMessage {
+    sender: ValidatorId,
+    payload: Payload,
+    signature: Signature,
+    id: Digest,
+}
+
+impl SignedMessage {
+    /// Signs `payload` as `sender`.
+    ///
+    /// ```
+    /// use tobsvd_crypto::Keypair;
+    /// use tobsvd_types::{BlockStore, InstanceId, Log, Payload, SignedMessage, ValidatorId};
+    ///
+    /// let store = BlockStore::new();
+    /// let sender = ValidatorId::new(0);
+    /// let kp = Keypair::from_seed(sender.key_seed());
+    /// let msg = SignedMessage::sign(
+    ///     &kp,
+    ///     sender,
+    ///     Payload::Log { instance: InstanceId(0), log: Log::genesis(&store) },
+    /// );
+    /// assert!(msg.verify(&kp.public()));
+    /// ```
+    pub fn sign(keypair: &Keypair, sender: ValidatorId, payload: Payload) -> Self {
+        let digest = Self::binding_digest(sender, &payload);
+        let signature = keypair.sign(digest.as_bytes());
+        let id = Self::message_id(sender, &payload);
+        SignedMessage { sender, payload, signature, id }
+    }
+
+    /// Reassembles a message from wire parts without verification.
+    pub fn from_parts(sender: ValidatorId, payload: Payload, signature: Signature) -> Self {
+        let id = Self::message_id(sender, &payload);
+        SignedMessage { sender, payload, signature, id }
+    }
+
+    fn binding_digest(sender: ValidatorId, payload: &Payload) -> Digest {
+        let mut h = Hasher::new("tobsvd/msg-bind");
+        h.update_u64(u64::from(sender.raw()));
+        h.update_digest(&payload.signing_digest());
+        h.finalize()
+    }
+
+    fn message_id(sender: ValidatorId, payload: &Payload) -> Digest {
+        let mut h = Hasher::new("tobsvd/msg-id");
+        h.update_u64(u64::from(sender.raw()));
+        h.update_digest(&payload.signing_digest());
+        h.finalize()
+    }
+
+    /// Verifies the signature against the sender's public key.
+    pub fn verify(&self, public: &PublicKey) -> bool {
+        public.verify(
+            Self::binding_digest(self.sender, &self.payload).as_bytes(),
+            &self.signature,
+        )
+    }
+
+    /// The claimed sender.
+    pub fn sender(&self) -> ValidatorId {
+        self.sender
+    }
+
+    /// The payload.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// A unique id for deduplication (hash of sender + payload).
+    pub fn id(&self) -> Digest {
+        self.id
+    }
+}
+
+impl fmt::Display for SignedMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            Payload::Log { instance, log } => {
+                write!(f, "⟨LOG,{log}⟩ from {} in {instance}", self.sender)
+            }
+            Payload::Proposal { view, log, .. } => {
+                write!(f, "⟨PROPOSAL,{log}⟩ from {} for {view}", self.sender)
+            }
+            Payload::Vote { instance, log } => {
+                write!(f, "⟨VOTE,{log}⟩ from {} in {instance}", self.sender)
+            }
+            Payload::Recovery { from_view, log } => {
+                write!(f, "⟨RECOVERY,{log}⟩ from {} since {from_view}", self.sender)
+            }
+            Payload::FinalityVote { epoch, log } => {
+                write!(f, "⟨FINALIZE,{log}⟩ from {} for epoch {epoch}", self.sender)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::BlockStore;
+
+    fn log_payload(store: &BlockStore, instance: u64) -> Payload {
+        Payload::Log { instance: InstanceId(instance), log: Log::genesis(store) }
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let store = BlockStore::new();
+        let sender = ValidatorId::new(2);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let msg = SignedMessage::sign(&kp, sender, log_payload(&store, 1));
+        assert!(msg.verify(&kp.public()));
+        let other = Keypair::from_seed(ValidatorId::new(3).key_seed());
+        assert!(!msg.verify(&other.public()));
+    }
+
+    #[test]
+    fn message_id_distinguishes_senders_and_payloads() {
+        let store = BlockStore::new();
+        let kp0 = Keypair::from_seed(ValidatorId::new(0).key_seed());
+        let kp1 = Keypair::from_seed(ValidatorId::new(1).key_seed());
+        let m0 = SignedMessage::sign(&kp0, ValidatorId::new(0), log_payload(&store, 1));
+        let m1 = SignedMessage::sign(&kp1, ValidatorId::new(1), log_payload(&store, 1));
+        let m2 = SignedMessage::sign(&kp0, ValidatorId::new(0), log_payload(&store, 2));
+        assert_ne!(m0.id(), m1.id());
+        assert_ne!(m0.id(), m2.id());
+    }
+
+    #[test]
+    fn equivocation_keys() {
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let p1 = Payload::Log { instance: InstanceId(4), log: g };
+        let p2 = Payload::Vote { instance: InstanceId(4), log: g };
+        assert_ne!(p1.equivocation_key(), p2.equivocation_key());
+        let p3 = Payload::Log { instance: InstanceId(5), log: g };
+        assert_ne!(p1.equivocation_key(), p3.equivocation_key());
+        let p4 = Payload::Log {
+            instance: InstanceId(4),
+            log: g.extend_empty(&store, ValidatorId::new(0), View::new(1)),
+        };
+        // Same key, different payload => equivocation evidence.
+        assert_eq!(p1.equivocation_key(), p4.equivocation_key());
+        assert_ne!(p1, p4);
+    }
+
+    #[test]
+    fn tampered_sender_fails_verification() {
+        let store = BlockStore::new();
+        let kp = Keypair::from_seed(ValidatorId::new(0).key_seed());
+        let m = SignedMessage::sign(&kp, ValidatorId::new(0), log_payload(&store, 1));
+        let forged = SignedMessage::from_parts(ValidatorId::new(1), *m.payload(), *m.signature());
+        assert!(!forged.verify(&kp.public()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Discrete time.
+//!
+//! The paper works in continuous time with a network delay bound Δ > 0 and
+//! all protocol actions at multiples of Δ. We discretize: [`Time`] counts
+//! *ticks*, and [`Delta`] is the number of ticks in one Δ. Keeping Δ a
+//! multi-tick quantity lets the adversary choose sub-Δ delivery delays
+//! (e.g. deliver a message after 0.3Δ to half the validators and after
+//! 1.0Δ to the rest), which several attack strategies need.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in discrete simulation time, measured in ticks.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The origin of time, `t = 0`.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from a raw tick count.
+    pub fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// The raw tick count.
+    pub fn ticks(&self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Whether this time falls on a multiple of `delta`.
+    ///
+    /// Protocol actions (phase boundaries) only fire on Δ-multiples.
+    pub fn is_phase_boundary(&self, delta: Delta) -> bool {
+        self.0 % delta.ticks() == 0
+    }
+
+    /// Number of whole Δ intervals elapsed.
+    pub fn delta_count(&self, delta: Delta) -> u64 {
+        self.0 / delta.ticks()
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Add<Delta> for Time {
+    type Output = Time;
+    fn add(self, rhs: Delta) -> Time {
+        Time(self.0 + rhs.ticks())
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    /// Elapsed ticks between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`.
+    fn sub(self, rhs: Time) -> u64 {
+        debug_assert!(rhs.0 <= self.0, "time subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The network delay bound Δ, in ticks.
+///
+/// ```
+/// use tobsvd_types::{Delta, Time};
+/// let delta = Delta::new(8);
+/// let t = Time::ZERO + delta * 3;
+/// assert_eq!(t.ticks(), 24);
+/// assert!(t.is_phase_boundary(delta));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Delta(u64);
+
+impl Delta {
+    /// Creates a Δ of the given number of ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks == 0`; the paper requires Δ > 0.
+    pub fn new(ticks: u64) -> Self {
+        assert!(ticks > 0, "delta must be positive");
+        Delta(ticks)
+    }
+
+    /// Ticks per Δ.
+    pub fn ticks(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Delta {
+    /// Eight ticks per Δ: enough resolution for sub-Δ adversarial delays.
+    fn default() -> Self {
+        Delta(8)
+    }
+}
+
+impl std::ops::Mul<u64> for Delta {
+    type Output = Delta;
+    fn mul(self, rhs: u64) -> Delta {
+        Delta(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::new(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t + Delta::new(8), Time::new(18));
+        assert_eq!(Time::new(15) - t, 5);
+        assert_eq!(Time::new(3).saturating_sub(Time::new(10)), Time::ZERO);
+    }
+
+    #[test]
+    fn phase_boundaries() {
+        let d = Delta::new(8);
+        assert!(Time::new(0).is_phase_boundary(d));
+        assert!(Time::new(16).is_phase_boundary(d));
+        assert!(!Time::new(17).is_phase_boundary(d));
+        assert_eq!(Time::new(25).delta_count(d), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn zero_delta_rejected() {
+        let _ = Delta::new(0);
+    }
+
+    #[test]
+    fn delta_scaling() {
+        assert_eq!((Delta::new(4) * 5).ticks(), 20);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::new(7).to_string(), "t7");
+        assert_eq!(Delta::new(8).to_string(), "Δ=8");
+    }
+}

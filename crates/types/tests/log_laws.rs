@@ -1,0 +1,137 @@
+//! Algebraic laws of the log relations of §3.2, property-tested over
+//! randomly generated block trees.
+//!
+//! The prefix relation ⪯ must be a partial order; compatibility must be
+//! reflexive and symmetric (but not transitive in general — two
+//! branches are each compatible with their common prefix);
+//! `common_prefix` must be the greatest lower bound.
+
+use proptest::prelude::*;
+use tobsvd_types::{BlockStore, Log, ValidatorId, View};
+
+/// A random tree of logs: a sequence of (parent index, proposer) build
+/// instructions; log 0 is genesis.
+#[derive(Clone, Debug)]
+struct TreeSpec {
+    builds: Vec<(usize, u32)>,
+    picks: (usize, usize, usize),
+}
+
+fn tree_spec() -> impl Strategy<Value = TreeSpec> {
+    proptest::collection::vec((0usize..8, 0u32..5), 1..12)
+        .prop_flat_map(|builds| {
+            let n = builds.len() + 1;
+            ((0..n, 0..n, 0..n), Just(builds))
+        })
+        .prop_map(|(picks, builds)| TreeSpec { builds, picks })
+}
+
+fn build_tree(spec: &TreeSpec) -> (BlockStore, Vec<Log>, Log, Log, Log) {
+    let store = BlockStore::new();
+    let mut logs = vec![Log::genesis(&store)];
+    for (i, (parent, proposer)) in spec.builds.iter().enumerate() {
+        let parent_log = logs[parent % logs.len()];
+        let child = parent_log.extend_empty(
+            &store,
+            ValidatorId::new(*proposer),
+            View::new(i as u64 + 1),
+        );
+        logs.push(child);
+    }
+    let a = logs[spec.picks.0 % logs.len()];
+    let b = logs[spec.picks.1 % logs.len()];
+    let c = logs[spec.picks.2 % logs.len()];
+    (store, logs, a, b, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// ⪯ is reflexive, antisymmetric and transitive.
+    #[test]
+    fn prefix_is_a_partial_order(spec in tree_spec()) {
+        let (store, _, a, b, c) = build_tree(&spec);
+        prop_assert!(a.is_prefix_of(&a, &store), "reflexivity");
+        if a.is_prefix_of(&b, &store) && b.is_prefix_of(&a, &store) {
+            prop_assert_eq!(a, b, "antisymmetry");
+        }
+        if a.is_prefix_of(&b, &store) && b.is_prefix_of(&c, &store) {
+            prop_assert!(a.is_prefix_of(&c, &store), "transitivity");
+        }
+    }
+
+    /// Genesis is the bottom element.
+    #[test]
+    fn genesis_is_bottom(spec in tree_spec()) {
+        let (store, _, a, _, _) = build_tree(&spec);
+        prop_assert!(Log::genesis(&store).is_prefix_of(&a, &store));
+    }
+
+    /// Compatibility is reflexive and symmetric, and equals
+    /// "one is a prefix of the other".
+    #[test]
+    fn compatibility_laws(spec in tree_spec()) {
+        let (store, _, a, b, _) = build_tree(&spec);
+        prop_assert!(a.compatible(&a, &store));
+        prop_assert_eq!(a.compatible(&b, &store), b.compatible(&a, &store));
+        prop_assert_eq!(
+            a.compatible(&b, &store),
+            a.is_prefix_of(&b, &store) || b.is_prefix_of(&a, &store)
+        );
+        prop_assert_eq!(a.conflicts(&b, &store), !a.compatible(&b, &store));
+    }
+
+    /// `common_prefix` is the greatest lower bound: a prefix of both,
+    /// and any common prefix is a prefix of it.
+    #[test]
+    fn common_prefix_is_glb(spec in tree_spec()) {
+        let (store, logs, a, b, _) = build_tree(&spec);
+        let cp = a.common_prefix(&b, &store);
+        prop_assert!(cp.is_prefix_of(&a, &store));
+        prop_assert!(cp.is_prefix_of(&b, &store));
+        for l in &logs {
+            if l.is_prefix_of(&a, &store) && l.is_prefix_of(&b, &store) {
+                prop_assert!(l.is_prefix_of(&cp, &store), "{l} is a lower bound above {cp}");
+            }
+        }
+        // Idempotence on compatible logs.
+        if a.is_prefix_of(&b, &store) {
+            prop_assert_eq!(cp, a);
+        }
+    }
+
+    /// `prefix(len)` inverts extension and respects the order.
+    #[test]
+    fn prefix_extraction_laws(spec in tree_spec()) {
+        let (store, _, a, _, _) = build_tree(&spec);
+        for len in 1..=a.len() {
+            let p = a.prefix(len, &store).expect("in range");
+            prop_assert_eq!(p.len(), len);
+            prop_assert!(p.is_prefix_of(&a, &store));
+        }
+        prop_assert_eq!(a.prefix(0, &store), None);
+        prop_assert_eq!(a.prefix(a.len() + 1, &store), None);
+        prop_assert_eq!(a.prefix(a.len(), &store), Some(a));
+    }
+
+    /// Ancestry in the store agrees with the log-level relation.
+    #[test]
+    fn store_ancestry_consistent(spec in tree_spec()) {
+        let (store, _, a, b, _) = build_tree(&spec);
+        prop_assert_eq!(
+            store.is_ancestor(a.tip(), b.tip()),
+            a.is_prefix_of(&b, &store)
+        );
+        let lca = store.lca(a.tip(), b.tip());
+        prop_assert_eq!(lca, a.common_prefix(&b, &store).tip());
+    }
+
+    /// Nominal size is strictly monotone along extensions.
+    #[test]
+    fn nominal_size_monotone(spec in tree_spec()) {
+        let (store, _, a, b, _) = build_tree(&spec);
+        if a.is_prefix_of(&b, &store) && a != b {
+            prop_assert!(a.nominal_size(&store) < b.nominal_size(&store));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Prints the Figure 3 timeline: three consecutive views with their
+//! Propose/Vote/Decide phases and the two overlapping GA instances.
+//!
+//! ```sh
+//! cargo run --example timeline
+//! ```
+
+use tob_svd::protocol::ViewSchedule;
+use tob_svd::types::{Delta, View};
+
+fn main() {
+    let sched = ViewSchedule::new(Delta::new(8));
+    let v = View::new(5);
+    println!("Figure 3 — views v−1, v, v+1 with overlapping GA instances (v = 5):\n");
+    println!("{}", sched.render_timeline(v));
+    println!("arrows of the figure:");
+    println!(
+        "  grade-0 output of GA_{} at {} → candidate for Propose({}) at {}",
+        v.number() - 1,
+        sched.ga_output_time(View::new(v.number() - 1), 0),
+        v,
+        sched.propose_time(v),
+    );
+    println!(
+        "  grade-1 output of GA_{} at {} → lock for Vote({}) at {} (= input of GA_{})",
+        v.number() - 1,
+        sched.ga_output_time(View::new(v.number() - 1), 1),
+        v,
+        sched.vote_time(v),
+        v.number(),
+    );
+    println!(
+        "  grade-2 output of GA_{} at {} → Decide({}) at {}",
+        v.number() - 1,
+        sched.ga_output_time(View::new(v.number() - 1), 2),
+        v,
+        sched.decide_time(v),
+    );
+}

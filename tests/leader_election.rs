@@ -1,0 +1,145 @@
+//! Lemma 2 — "Any view has a good leader with probability greater than
+//! ½" — and the mild-adaptivity requirement behind it.
+
+use tob_svd::adversary::AdaptiveLeaderCorruptor;
+use tob_svd::protocol::{leader, TobSimulationBuilder, TxWorkload};
+use tob_svd::sim::{CorruptionSchedule, ParticipationSchedule};
+use tob_svd::types::{Delta, Time, ValidatorId, View};
+
+#[test]
+fn good_leader_fraction_exceeds_half_at_the_bound() {
+    // Monte Carlo over the VRF lottery: n validators, f = (n−1)/2
+    // Byzantine from genesis, everyone awake. A view is good iff the
+    // highest VRF among all n belongs to an honest validator:
+    // p = h/(h+f) > ½.
+    for n in [5usize, 9, 15, 21] {
+        let f = (n - 1) / 2;
+        let h = n - f;
+        let honest: Vec<ValidatorId> = ValidatorId::all(n).take(h).collect();
+        let byz: Vec<ValidatorId> = ValidatorId::all(n).skip(h).collect();
+        let views = 4000u64;
+        let good = (0..views)
+            .filter(|v| leader::good_leader(View::new(*v), &honest, &byz).is_some())
+            .count() as f64
+            / views as f64;
+        let expect = h as f64 / n as f64;
+        assert!(
+            good > 0.5,
+            "n={n}: good-leader fraction {good:.3} must exceed 1/2"
+        );
+        assert!(
+            (good - expect).abs() < 0.04,
+            "n={n}: fraction {good:.3} far from h/n = {expect:.3}"
+        );
+    }
+}
+
+#[test]
+fn mild_adaptivity_lets_the_proposed_view_succeed() {
+    // The adaptive corruptor sees the winning proposal at t_v and
+    // corrupts its sender — but the corruption lands at t_v + Δ, after
+    // the proposal reached every honest validator. The proposing view
+    // still decides; only *future* views lose that validator.
+    let n = 9;
+    let budget = 3; // stays under the Condition (1) bound
+    let report = TobSimulationBuilder::new(n)
+        .views(20)
+        .seed(9)
+        .workload(TxWorkload::PerView { count: 1, size: 32 })
+        .controller(Box::new(AdaptiveLeaderCorruptor::new(Delta::default(), budget)))
+        .run()
+        .expect("runs");
+    report.assert_safety();
+    // The corruptor burns its whole budget on the first views' leaders…
+    let corrupted = report
+        .good_leaders
+        .iter()
+        .filter(|(v, _)| v.number() < 3)
+        .count();
+    assert_eq!(corrupted, 3);
+    // …but the chain keeps growing: mild adaptivity cannot stop the
+    // views it reacts to, and the budget bounds the long-run damage.
+    assert!(
+        report.decided_blocks() >= report.views - 4,
+        "only {} blocks over {} views",
+        report.decided_blocks(),
+        report.views
+    );
+}
+
+#[test]
+fn corrupted_leaders_reduce_future_good_views() {
+    // Ground truth via `good_leader`: corrupting the k all-time-best VRF
+    // holders of a view window lowers the good fraction, but it stays
+    // above ½ while f < h.
+    let n = 11;
+    let views: Vec<View> = (0..1000).map(View::new).collect();
+    let all: Vec<ValidatorId> = ValidatorId::all(n).collect();
+
+    let baseline = views
+        .iter()
+        .filter(|v| leader::good_leader(**v, &all, &[]).is_some())
+        .count();
+    assert_eq!(baseline, views.len(), "no corruption → every view is good");
+
+    let byz: Vec<ValidatorId> = all[6..].to_vec(); // f = 5 < h = 6
+    let honest: Vec<ValidatorId> = all[..6].to_vec();
+    let good = views
+        .iter()
+        .filter(|v| leader::good_leader(**v, &honest, &byz).is_some())
+        .count() as f64
+        / views.len() as f64;
+    assert!(good > 0.5 && good < 0.65, "fraction {good} should be ≈ 6/11");
+}
+
+#[test]
+fn good_leader_definition_uses_corruption_at_tv_plus_delta() {
+    // A validator whose corruption lands *between* t_v and t_v + Δ is
+    // not a good leader for view v (B_{t_v+Δ} counts it), matching the
+    // paper's definition — this is where mild adaptivity bites.
+    let n = 5;
+    let delta = Delta::new(8);
+    let all: Vec<ValidatorId> = ValidatorId::all(n).collect();
+    let view = View::new(7);
+    let t_v = view.start_time(delta);
+    let winner = all
+        .iter()
+        .copied()
+        .max_by_key(|v| leader::vrf_for(*v, view).0)
+        .unwrap();
+
+    let mut corr = CorruptionSchedule::none();
+    // Scheduled right at t_v: effective at t_v + Δ.
+    corr.schedule(winner, t_v, delta);
+    let part = ParticipationSchedule::always_awake(n);
+    let awake = part.awake_honest_at(t_v, &corr);
+    assert!(awake.contains(&winner), "still honest at t_v");
+    let byz = corr.byzantine_at(t_v + delta);
+    assert_eq!(byz, vec![winner]);
+    assert_eq!(
+        leader::good_leader(view, &awake, &byz),
+        None,
+        "the view's winner is in B_(t_v+Δ): no good leader"
+    );
+    // One tick later and the corruption misses the window.
+    let mut corr_late = CorruptionSchedule::none();
+    corr_late.schedule(winner, t_v + 1u64, delta);
+    let byz_late = corr_late.byzantine_at(t_v + delta);
+    assert!(byz_late.is_empty());
+    assert_eq!(leader::good_leader(view, &awake, &byz_late), Some(winner));
+    let _ = Time::ZERO;
+}
+
+#[test]
+fn vrf_priorities_are_deterministic_and_verifiable() {
+    for v in 0..6u32 {
+        for view in 0..6u64 {
+            let (out, proof) = leader::vrf_for(ValidatorId::new(v), View::new(view));
+            assert!(leader::verify_vrf(ValidatorId::new(v), View::new(view), &out, &proof));
+            // Re-evaluation matches (determinism = the adversary cannot
+            // grind; fixed before corruption choices).
+            let (out2, _) = leader::vrf_for(ValidatorId::new(v), View::new(view));
+            assert_eq!(out, out2);
+        }
+    }
+}

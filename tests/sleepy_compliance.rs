@@ -1,0 +1,195 @@
+//! Property tests of the Condition (1) compliance checker against a
+//! direct transcription of the paper's definition, plus unit coverage
+//! of the (T_b, T_s, ρ) parameter behaviour.
+
+use proptest::prelude::*;
+use tob_svd::sim::compliance::{active_sets, check, honest_throughout_bruteforce, SleepyParams};
+use tob_svd::sim::{CorruptionSchedule, ParticipationSchedule};
+use tob_svd::types::{Delta, Time, ValidatorId};
+
+#[derive(Clone, Debug)]
+struct RandomSchedules {
+    n: usize,
+    /// Per-validator awake intervals as (start, len) pairs.
+    intervals: Vec<Vec<(u64, u64)>>,
+    /// Corruption schedule times (validator index, scheduled tick).
+    corruptions: Vec<(usize, u64)>,
+    t_b: u64,
+    t_s: u64,
+}
+
+fn schedules() -> impl Strategy<Value = RandomSchedules> {
+    (2usize..7)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(
+                    proptest::collection::vec((0u64..60, 1u64..40), 0..3),
+                    n,
+                ),
+                proptest::collection::vec((0..n, 0u64..50), 0..3),
+                0u64..20,
+                0u64..10,
+            )
+        })
+        .prop_map(|(n, intervals, corruptions, t_b, t_s)| RandomSchedules {
+            n,
+            intervals,
+            corruptions,
+            t_b,
+            t_s,
+        })
+}
+
+fn build(rs: &RandomSchedules) -> (ParticipationSchedule, CorruptionSchedule) {
+    let mut part = ParticipationSchedule::always_awake(rs.n);
+    for (i, ivs) in rs.intervals.iter().enumerate() {
+        if ivs.is_empty() {
+            continue; // keep always-awake default
+        }
+        let intervals: Vec<(Time, Time)> = ivs
+            .iter()
+            .map(|(s, l)| (Time::new(*s), Time::new(s + l)))
+            .collect();
+        part.set_intervals(ValidatorId::new(i as u32), intervals);
+    }
+    let mut corr = CorruptionSchedule::none();
+    for (i, t) in &rs.corruptions {
+        corr.schedule(ValidatorId::new(*i as u32), Time::new(*t), Delta::new(8));
+    }
+    (part, corr)
+}
+
+/// Direct transcription of Condition (1) at a single time `t`.
+fn condition1_direct(
+    part: &ParticipationSchedule,
+    corr: &CorruptionSchedule,
+    params: SleepyParams,
+    t: Time,
+    n: usize,
+) -> bool {
+    let b_end = t + params.t_b;
+    let byz: Vec<ValidatorId> = corr.byzantine_at(b_end);
+    let from = t.saturating_sub(Time::new(params.t_s));
+    let h_window = honest_throughout_bruteforce(part, corr, from, t);
+    let mut active: Vec<ValidatorId> = h_window;
+    for b in &byz {
+        if !active.contains(b) {
+            active.push(*b);
+        }
+    }
+    let _ = n;
+    (byz.len() as f64) < params.rho * (active.len() as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// `active_sets` agrees with the direct set construction at every
+    /// tick of the horizon.
+    #[test]
+    fn active_sets_match_direct_definition(rs in schedules()) {
+        let (part, corr) = build(&rs);
+        let params = SleepyParams::half(rs.t_b, rs.t_s);
+        for t in (0..80u64).step_by(3) {
+            let t = Time::new(t);
+            let (byz, active) = active_sets(&part, &corr, params, t, rs.n);
+            let b_direct = corr.byzantine_at(t + params.t_b).len();
+            let from = t.saturating_sub(Time::new(params.t_s));
+            let h_direct = honest_throughout_bruteforce(&part, &corr, from, t);
+            let mut union = h_direct.clone();
+            for b in corr.byzantine_at(t + params.t_b) {
+                if !union.contains(&b) {
+                    union.push(b);
+                }
+            }
+            prop_assert_eq!(byz, b_direct, "byzantine count at {}", t);
+            prop_assert_eq!(active, union.len(), "active count at {}", t);
+        }
+    }
+
+    /// The checker's verdict equals checking the direct transcription at
+    /// every tick.
+    #[test]
+    fn checker_matches_direct_condition(rs in schedules()) {
+        let (part, corr) = build(&rs);
+        let params = SleepyParams::half(rs.t_b, rs.t_s);
+        let horizon = Time::new(60);
+        let verdict = check(&part, &corr, params, horizon);
+        let first_direct_violation = (0..=horizon.ticks())
+            .map(Time::new)
+            .find(|t| !condition1_direct(&part, &corr, params, *t, rs.n));
+        match (verdict, first_direct_violation) {
+            (None, None) => {}
+            (Some(v), Some(t)) => prop_assert_eq!(v.at, t),
+            (v, d) => prop_assert!(false, "checker {:?} vs direct {:?}", v, d),
+        }
+    }
+
+    /// Monotonicity in ρ: lowering the failure ratio can only introduce
+    /// violations, never remove them.
+    #[test]
+    fn monotone_in_rho(rs in schedules()) {
+        let (part, corr) = build(&rs);
+        let horizon = Time::new(60);
+        let strict = SleepyParams { t_b: rs.t_b, t_s: rs.t_s, rho: 0.3 };
+        let loose = SleepyParams { t_b: rs.t_b, t_s: rs.t_s, rho: 0.5 };
+        if check(&part, &corr, loose, horizon).is_some() {
+            prop_assert!(
+                check(&part, &corr, strict, horizon).is_some(),
+                "violation at ρ=.5 must persist at ρ=.3"
+            );
+        }
+    }
+
+    /// Growing T_b can only make compliance harder (B_{t+T_b} grows).
+    #[test]
+    fn monotone_in_tb(rs in schedules()) {
+        let (part, corr) = build(&rs);
+        let horizon = Time::new(60);
+        let small = SleepyParams::half(rs.t_b, rs.t_s);
+        let large = SleepyParams::half(rs.t_b + 15, rs.t_s);
+        if check(&part, &corr, small, horizon).is_some() {
+            prop_assert!(check(&part, &corr, large, horizon).is_some());
+        }
+    }
+}
+
+#[test]
+fn tob_svd_model_parameters() {
+    // The (5Δ, 2Δ, ½) model of Theorem 3, at Δ = 8 ticks.
+    let delta = Delta::new(8);
+    let params = SleepyParams::half(5 * delta.ticks(), 2 * delta.ticks());
+    let n = 9;
+    // 4 of 9 Byzantine with everyone awake: compliant.
+    let part = ParticipationSchedule::always_awake(n);
+    let corr = CorruptionSchedule::from_genesis((5..9).map(ValidatorId::new));
+    assert!(check(&part, &corr, params, Time::new(500)).is_none());
+    // A fifth corruption tips it over.
+    let corr = CorruptionSchedule::from_genesis((4..9).map(ValidatorId::new));
+    assert!(check(&part, &corr, params, Time::new(500)).is_some());
+}
+
+#[test]
+fn stabilization_window_matters_for_compliance() {
+    // A validator that wakes shortly before t only counts once it has
+    // been awake for T_s; with T_s = 2Δ the margin matters near the
+    // corruption bound.
+    let delta = Delta::new(8);
+    let n = 5;
+    let corr = CorruptionSchedule::from_genesis((3..5).map(ValidatorId::new));
+    let mut part = ParticipationSchedule::always_awake(n);
+    // v2 awake only from t = 100.
+    part.set_intervals(ValidatorId::new(2), vec![(Time::new(100), Time::new(10_000))]);
+
+    // With T_s = 0, v2 counts from t = 100: 2 byz of 5 active → compliant
+    // from then on, but during [0, 100) only 2 honest are awake: 2 !< 2.
+    let no_stab = SleepyParams::half(5 * delta.ticks(), 0);
+    let v = check(&part, &corr, no_stab, Time::new(300)).expect("violation before v2 wakes");
+    assert_eq!(v.at, Time::ZERO);
+
+    // Wake v2 from the start: compliant even with stabilization.
+    let part_all = ParticipationSchedule::always_awake(n);
+    let with_stab = SleepyParams::half(5 * delta.ticks(), 2 * delta.ticks());
+    assert!(check(&part_all, &corr, with_stab, Time::new(300)).is_none());
+}
