@@ -91,6 +91,7 @@ pub fn random_churn(
 /// Tries up to `max_tries` seeds (derived from `seed`), raising the
 /// awake probability by 5 % after each failure. Returns `None` if no
 /// compliant schedule was found.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (n, horizon, window, p, B, params) surface
 pub fn compliant_random_churn(
     n: usize,
     horizon: Time,

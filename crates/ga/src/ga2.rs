@@ -91,10 +91,8 @@ impl Ga2 {
             return;
         };
         match k {
-            1 => {
-                if self.snap_delta.is_none() {
-                    self.snap_delta = Some(self.tracker.snapshot());
-                }
+            1 if self.snap_delta.is_none() => {
+                self.snap_delta = Some(self.tracker.snapshot());
             }
             2 => {
                 // Output phase for grade 0: current V against current S.

@@ -106,15 +106,11 @@ impl Ga3 {
             return;
         };
         match k {
-            1 => {
-                if self.snap_delta.is_none() {
-                    self.snap_delta = Some(self.tracker.snapshot());
-                }
+            1 if self.snap_delta.is_none() => {
+                self.snap_delta = Some(self.tracker.snapshot());
             }
-            2 => {
-                if self.snap_2delta.is_none() {
-                    self.snap_2delta = Some(self.tracker.snapshot());
-                }
+            2 if self.snap_2delta.is_none() => {
+                self.snap_2delta = Some(self.tracker.snapshot());
             }
             3 => {
                 let entries: Vec<_> = self.tracker.v_entries().collect();

@@ -133,7 +133,7 @@ pub fn honest_throughout_bruteforce(
         if s >= to {
             break;
         }
-        s = s + 1;
+        s += 1;
     }
     result.unwrap_or_default()
 }

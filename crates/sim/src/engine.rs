@@ -417,7 +417,7 @@ impl Simulation {
             self.apply_command(cmd);
         }
 
-        self.time = self.time + 1;
+        self.time += 1;
     }
 
     fn apply_event(&mut self, ev: Event) {

@@ -56,7 +56,9 @@ impl Log {
         self.tip
     }
 
-    /// Number of blocks, genesis included. Always ≥ 1.
+    /// Number of blocks, genesis included. Always ≥ 1 — a log is never
+    /// empty, which is why there is no `is_empty` (see [`Log::is_genesis`]).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u64 {
         self.len
     }

@@ -48,6 +48,7 @@ pub use tobsvd_core as protocol;
 pub use tobsvd_crypto as crypto;
 pub use tobsvd_finality as finality;
 pub use tobsvd_ga as ga;
+#[cfg(feature = "runtime")]
 pub use tobsvd_runtime as runtime;
 pub use tobsvd_sim as sim;
 pub use tobsvd_types as types;

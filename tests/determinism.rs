@@ -1,0 +1,145 @@
+//! Seed-determinism regression: two simulations built with identical
+//! parameters must produce **byte-identical** decided logs, validator
+//! by validator — block ids, proposers, views and transaction payloads
+//! included. This pins down reproducibility before any performance
+//! work touches the engine: a refactor that reorders RNG draws or
+//! iteration over hash maps will flip these bytes and fail here, not
+//! in a flaky downstream experiment.
+
+use tob_svd::adversary::SplitBrainNode;
+use tob_svd::protocol::{TobConfig, TobReport, TobSimulationBuilder, TxWorkload};
+use tob_svd::sim::WorstCaseDelay;
+use tob_svd::types::{BlockStore, Log, ValidatorId};
+
+/// Serializes a decided log into a canonical byte transcript: length,
+/// then per block (genesis excluded) the content-address digest,
+/// proposer, view and every transaction payload. Two logs with equal
+/// transcripts decided the same blocks in the same order.
+fn log_transcript(out: &mut Vec<u8>, log: &Log, store: &BlockStore) {
+    out.extend_from_slice(&log.len().to_be_bytes());
+    let ids = store.chain_range(log.tip(), 1).expect("decided chain is stored");
+    for id in ids {
+        let block = store.get(id).expect("chain block stored");
+        out.extend_from_slice(block.id().0.as_bytes());
+        out.extend_from_slice(&block.proposer().expect("non-genesis").raw().to_be_bytes());
+        out.extend_from_slice(&block.view().number().to_be_bytes());
+        for tx in block.txs() {
+            out.extend_from_slice(&(tx.payload().len() as u64).to_be_bytes());
+            out.extend_from_slice(tx.payload());
+        }
+    }
+}
+
+/// The full determinism transcript of a report: every honest
+/// validator's latest decision (id, tick, log bytes) plus the longest
+/// decided log.
+fn report_transcript(report: &TobReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    for rec in &report.report.latest_decisions {
+        out.extend_from_slice(&rec.validator.raw().to_be_bytes());
+        out.extend_from_slice(&rec.at.ticks().to_be_bytes());
+        log_transcript(&mut out, &rec.log, &report.store);
+    }
+    if let Some(longest) = &report.report.longest_decided {
+        log_transcript(&mut out, longest, &report.store);
+    }
+    out
+}
+
+fn fault_free_run(seed: u64) -> TobReport {
+    TobSimulationBuilder::new(7)
+        .views(10)
+        .seed(seed)
+        .workload(TxWorkload::PerView { count: 2, size: 48 })
+        .run()
+        .expect("valid configuration")
+}
+
+fn adversarial_run(seed: u64) -> TobReport {
+    let n = 9;
+    let half_a: Vec<ValidatorId> = ValidatorId::all(n).filter(|v| v.index() % 2 == 0).collect();
+    let half_b: Vec<ValidatorId> = ValidatorId::all(n).filter(|v| v.index() % 2 == 1).collect();
+    let mut builder = TobSimulationBuilder::new(n)
+        .views(12)
+        .seed(seed)
+        .workload(TxWorkload::PerView { count: 1, size: 32 })
+        .delay(Box::new(WorstCaseDelay));
+    for v in ValidatorId::all(n).skip(n - 3) {
+        let (a, b) = (half_a.clone(), half_b.clone());
+        let cfg = TobConfig::new(n);
+        builder = builder.byzantine(
+            v,
+            Box::new(move |store| Box::new(SplitBrainNode::new(v, cfg, store, a, b))),
+        );
+    }
+    builder.run().expect("valid configuration")
+}
+
+#[test]
+fn fault_free_runs_are_byte_identical_per_seed() {
+    for seed in [0u64, 7, 0xdead_beef] {
+        let (r1, r2) = (fault_free_run(seed), fault_free_run(seed));
+        r1.assert_safety();
+        assert!(r1.decided_blocks() > 0, "seed {seed}: nothing decided");
+        assert_eq!(
+            report_transcript(&r1),
+            report_transcript(&r2),
+            "seed {seed}: two identical runs diverged"
+        );
+    }
+}
+
+#[test]
+fn adversarial_runs_are_byte_identical_per_seed() {
+    for seed in [1u64, 42] {
+        let (r1, r2) = (adversarial_run(seed), adversarial_run(seed));
+        r1.assert_safety();
+        assert_eq!(
+            report_transcript(&r1),
+            report_transcript(&r2),
+            "seed {seed}: adversarial runs diverged"
+        );
+    }
+}
+
+fn random_workload_run(seed: u64) -> TobReport {
+    TobSimulationBuilder::new(7)
+        .views(10)
+        .seed(seed)
+        .workload(TxWorkload::Random { total: 20, size: 40 })
+        .run()
+        .expect("valid configuration")
+}
+
+#[test]
+fn transcript_is_seed_sensitive() {
+    // The engine seed drives the random-workload submission times (and
+    // the uniform delay draws), so different seeds should pack
+    // different transactions into the decided blocks somewhere across a
+    // batch of seeds. (Equality of a single pair would not be a bug, so
+    // compare the whole batch.) Fault-free runs with the `PerView`
+    // workload are intentionally seed-*insensitive* — leader election
+    // is VRF-determined — which the identical-run tests above pin.
+    let transcripts: Vec<Vec<u8>> =
+        (0..4u64).map(|s| report_transcript(&random_workload_run(s))).collect();
+    assert!(
+        transcripts.windows(2).any(|w| w[0] != w[1]),
+        "four different seeds produced identical transcripts — seed is being ignored"
+    );
+}
+
+#[test]
+fn random_workload_runs_are_byte_identical_per_seed() {
+    let (r1, r2) = (random_workload_run(5), random_workload_run(5));
+    r1.assert_safety();
+    assert_eq!(report_transcript(&r1), report_transcript(&r2));
+}
+
+#[test]
+fn metrics_and_leaders_are_deterministic_per_seed() {
+    let (r1, r2) = (fault_free_run(11), fault_free_run(11));
+    assert_eq!(r1.report.metrics.deliveries, r2.report.metrics.deliveries);
+    assert_eq!(r1.report.metrics.bytes_delivered, r2.report.metrics.bytes_delivered);
+    assert_eq!(r1.good_leaders, r2.good_leaders);
+    assert_eq!(r1.report.final_time, r2.report.final_time);
+}

@@ -58,8 +58,8 @@ fn mr_ga_outputs_conflicting_logs_at_grade_0() {
         .iter()
         .any(|x| honest0.iter().any(|y| x.conflicts(y, &result.store)));
     assert!(has_conflict, "outputs must conflict: {honest0:?}");
-    assert!(honest0.iter().any(|l| *l == a));
-    assert!(honest0.iter().any(|l| *l == b));
+    assert!(honest0.contains(&a));
+    assert!(honest0.contains(&b));
 }
 
 #[test]

@@ -1,0 +1,799 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Implements the surface API the workspace's property tests use — the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), [`Strategy`]
+//! with `prop_map`/`prop_flat_map`, integer/float range strategies,
+//! tuple strategies, [`collection::vec`], [`option::of`], [`Just`],
+//! [`any`], [`prop_oneof!`] and the `prop_assert*` macros — on top of
+//! plain deterministic random generation.
+//!
+//! Differences from the real crate, deliberate for an offline stub:
+//!
+//! * **No shrinking.** A failing case reports its full `Debug` input
+//!   instead of a minimized one.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG
+//!   from `hash(module_path::t, i)`, so failures reproduce exactly
+//!   across runs and machines with no persistence files.
+//!
+//! Swap the workspace path dependency for the real `proptest` when a
+//! registry is available; the test sources need no changes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! The deterministic RNG and per-test configuration.
+
+    /// Splitmix64-based RNG seeding each test case deterministically.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the named test.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) };
+            // Discard one output so near-identical seeds decorrelate.
+            let _ = rng.next_u64();
+            rng
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Fair coin.
+        pub fn coin(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    pub use super::{ProptestConfig as Config, TestCaseError};
+}
+
+pub use test_runner::TestRng;
+
+/// Per-test configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejects simply skip the case.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases with other settings default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be skipped (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (skip) with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f`, generating from the strategy
+    /// `f` returns (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (retries a bounded number of
+    /// times, then rejects the case).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<T: Strategy + ?Sized> Strategy for Box<T> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T: Strategy + ?Sized> Strategy for &T {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 straight candidates", self.whence);
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Clone + Debug + Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.coin()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy {self:?}");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy {self:?}");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident @ $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A @ 0);
+impl_tuple_strategy!(A @ 0, B @ 1);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6, H @ 7);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6, H @ 7, I @ 8);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6, H @ 7, I @ 8, J @ 9);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6, H @ 7, I @ 8, J @ 9, K @ 10);
+impl_tuple_strategy!(A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6, H @ 7, I @ 8, J @ 9, K @ 10, L @ 11);
+
+/// Uniform choice among boxed strategies of one value type
+/// (the expansion of [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug> Union<V> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range {r:?}");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`
+    /// (a `usize` for exact length, or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.coin() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Strategy yielding `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        Union,
+    };
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+/// Used by the expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+pub fn __panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Fails the current test case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Skips the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            $vis fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(case),
+                    );
+                    let input = $crate::Strategy::generate(&strategies, &mut rng);
+                    let repr = ::std::format!("{input:?}");
+                    // catch_unwind so a plain assert!/expect inside the
+                    // body still reports the case number and input.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            let ($($arg,)+) = input;
+                            $body
+                            ::std::result::Result::Ok(())
+                        }),
+                    );
+                    match outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::TestCaseError::Reject(_),
+                        )) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::TestCaseError::Fail(msg),
+                        )) => {
+                            ::std::panic!(
+                                "proptest case {}/{} failed: {}\n  input: {}",
+                                case + 1,
+                                config.cases,
+                                msg,
+                                repr,
+                            );
+                        }
+                        ::std::result::Result::Err(payload) => {
+                            let msg = $crate::__panic_message(payload.as_ref());
+                            ::std::panic!(
+                                "proptest case {}/{} panicked: {}\n  input: {}",
+                                case + 1,
+                                config.cases,
+                                msg,
+                                repr,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug)]
+    struct Pair {
+        a: u8,
+        b: u64,
+    }
+
+    fn pair() -> impl Strategy<Value = Pair> {
+        (0u8..10)
+            .prop_flat_map(|a| (Just(a), u64::from(a)..100))
+            .prop_map(|(a, b)| Pair { a, b })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn flat_map_dependency_holds(p in pair()) {
+            prop_assert!(u64::from(p.a) <= p.b, "{} > {}", p.a, p.b);
+            prop_assert!(p.a < 10 && p.b < 100);
+        }
+
+        #[test]
+        fn vec_and_option_sizes(
+            v in crate::collection::vec(0u32..5, 2..6),
+            exact in crate::collection::vec(any::<bool>(), 3usize),
+            o in crate::option::of(0i64..4),
+            pick in prop_oneof![Just("x"), Just("y")],
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 3);
+            if let Some(x) = o {
+                prop_assert!((0..4).contains(&x));
+            }
+            prop_assert!(pick == "x" || pick == "y");
+        }
+
+        #[test]
+        fn early_return_ok_works(mut n in 0u32..10) {
+            n += 1;
+            if n < 100 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = pair();
+        let mut r1 = crate::TestRng::for_case("x", 3);
+        let mut r2 = crate::TestRng::for_case("x", 3);
+        let (a, b) = (strat.generate(&mut r1), strat.generate(&mut r2));
+        assert_eq!((a.a, a.b), (b.a, b.b));
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked: boom\n  input: (2,)")]
+    fn panicking_body_reports_case_and_input() {
+        mod inner {
+            use crate::prelude::*;
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+                pub fn panics_on_two(x in 2u8..3) {
+                    prop_assert!(x == 2); // strategy always yields 2
+                    assert!(x != 2, "boom");
+                }
+            }
+        }
+        inner::panics_on_two();
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failure_reports_input() {
+        mod inner {
+            use crate::prelude::*;
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+                pub fn always_fails(x in 0u8..4) {
+                    prop_assert!(x > 200, "x was {}", x);
+                }
+            }
+        }
+        inner::always_fails();
+    }
+}
