@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use tobsvd_core::leader::verify_vrf;
 use tobsvd_sim::{AdversaryCommand, AdversaryController, TickView};
-use tobsvd_types::{Delta, Payload, ValidatorId, View};
+use tobsvd_types::{Delta, Payload, Time, ValidatorId, View};
 
 /// The Lemma 2 adversary: watches proposal traffic, and the instant a
 /// view's highest-VRF proposer reveals itself, schedules its corruption.
@@ -70,6 +70,12 @@ impl AdversaryController for AdaptiveLeaderCorruptor {
             }
         }
         Vec::new()
+    }
+
+    /// Purely traffic-driven: quiet ticks carry no proposals, so the
+    /// event-driven engine may skip them without consulting us.
+    fn next_wakeup(&mut self, _from: Time) -> Option<Time> {
+        None
     }
 }
 

@@ -34,14 +34,18 @@ pub fn verify_vrf(sender: ValidatorId, view: View, out: &VrfOutput, proof: &VrfP
 ///
 /// `awake` is `H_{t_v}` (honest validators awake at `t_v`);
 /// `byz` is `B_{t_v+Δ}`.
+///
+/// Returns `None` — never panics — when the candidate set is empty
+/// (every validator asleep and none Byzantine: a view nobody can lead)
+/// or when the maximum lies outside `awake \ byz`. Callers treat both
+/// the same way: the view has no good leader and liveness for it is not
+/// guaranteed.
 pub fn good_leader(view: View, awake: &[ValidatorId], byz: &[ValidatorId]) -> Option<ValidatorId> {
-    let candidates: Vec<ValidatorId> = awake
-        .iter()
-        .chain(byz.iter())
-        .copied()
-        .collect::<std::collections::BTreeSet<_>>()
-        .into_iter()
-        .collect();
+    let candidates: std::collections::BTreeSet<ValidatorId> =
+        awake.iter().chain(byz.iter()).copied().collect();
+    // An empty candidate pool (all validators asleep, none corrupted)
+    // falls out of `max_by_key` as None: no proposal can even be
+    // received by t_v + Δ, so the view trivially has no good leader.
     let best = candidates
         .into_iter()
         .max_by_key(|v| vrf_for(*v, view).0)?;
@@ -139,6 +143,23 @@ mod tests {
         // Corrupting someone else leaves the good leader in place.
         let other = all.iter().copied().find(|x| *x != max).unwrap();
         assert_eq!(good_leader(view, &all, &[other]), Some(max));
+    }
+
+    #[test]
+    fn empty_candidate_set_has_no_leader_and_does_not_panic() {
+        // All validators asleep, none Byzantine — the Lemma 2 candidate
+        // pool `H_{t_v} ∪ B_{t_v+Δ}` is empty.
+        for view in (0..8).map(View::new) {
+            assert_eq!(good_leader(view, &[], &[]), None);
+        }
+    }
+
+    #[test]
+    fn all_asleep_with_byzantine_awake_has_no_good_leader() {
+        // Every honest validator asleep: whatever the VRF maximum is, it
+        // lies in the Byzantine set, so the view has no good leader.
+        let byz: Vec<ValidatorId> = (0..3).map(v).collect();
+        assert_eq!(good_leader(View::new(2), &[], &byz), None);
     }
 
     #[test]

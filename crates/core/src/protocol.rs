@@ -3,8 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tobsvd_sim::{
-    AdversaryController, ByzantineFactory, CorruptionSchedule, DecisionRecord, DelayPolicy,
-    Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
+    AdvanceMode, AdversaryController, ByzantineFactory, CorruptionSchedule, DecisionRecord,
+    DelayPolicy, Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
 };
 use tobsvd_types::{
     BlockStore, Delta, Time, Transaction, ValidatorId, View,
@@ -74,6 +74,7 @@ pub struct TobSimulationBuilder {
     byz_factory: Option<ByzantineFactory>,
     recovery: bool,
     drop_while_asleep: bool,
+    advance: AdvanceMode,
 }
 
 /// Errors from [`TobSimulationBuilder::run`].
@@ -117,7 +118,16 @@ impl TobSimulationBuilder {
             byz_factory: None,
             recovery: false,
             drop_while_asleep: false,
+            advance: AdvanceMode::default(),
         }
+    }
+
+    /// Selects the engine's time-advancement strategy (event-driven by
+    /// default; [`AdvanceMode::TickLoop`] is the reference oracle the
+    /// differential determinism suite compares against).
+    pub fn advance(mut self, mode: AdvanceMode) -> Self {
+        self.advance = mode;
+        self
     }
 
     /// Enables the §2 recovery protocol on every honest validator.
@@ -225,8 +235,9 @@ impl TobSimulationBuilder {
             .with_max_txs(self.max_txs_per_block)
             .with_recovery(self.recovery);
         let sched = ViewSchedule::new(self.delta);
-        let mut builder =
-            Simulation::builder(cfg).drop_while_asleep(self.drop_while_asleep);
+        let mut builder = Simulation::builder(cfg)
+            .drop_while_asleep(self.drop_while_asleep)
+            .advance_mode(self.advance);
 
         // Workload: pre-submit with future submission times.
         let horizon = sched.view_start(View::new(self.views));

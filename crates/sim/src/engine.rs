@@ -1,7 +1,7 @@
 //! The discrete-event simulation engine.
 //!
-//! The engine advances tick by tick. Within one tick, events are applied
-//! in a fixed order that mirrors the paper's timing conventions:
+//! Within one executed tick, events are applied in a fixed order that
+//! mirrors the paper's timing conventions:
 //!
 //! 1. **Wake** — the validator's buffered messages are delivered, then
 //!    `on_wake` runs ("upon waking up, validators immediately receive all
@@ -17,6 +17,30 @@
 //!    validator order).
 //! 6. **Controller** — the adversary observes the tick's traffic and may
 //!    issue commands.
+//!
+//! # Time advancement
+//!
+//! How the engine moves *between* ticks is governed by [`AdvanceMode`]:
+//!
+//! * [`AdvanceMode::EventDriven`] (the default) jumps simulation time
+//!   directly to the next *interesting* tick —
+//!   `min(next heap event, next phase boundary, next controller wakeup)`
+//!   — and executes only those. A tick with no scheduled event, off the
+//!   Δ-grid, and unclaimed by [`AdversaryController::next_wakeup`] can
+//!   affect nothing (steps 1–4 have no events to drain, step 5 does not
+//!   fire, and step 6 would see an empty [`TickView`]), so skipping it
+//!   is unobservable. In particular, no RNG draws happen on skipped
+//!   ticks (delays are drawn per delivery when a message is sent), so
+//!   the event-driven engine produces **byte-identical transcripts** to
+//!   the tick loop for the same seed and inputs.
+//! * [`AdvanceMode::TickLoop`] executes every tick in `[0, t_end]` —
+//!   the original reference semantics, kept as the oracle for the
+//!   differential determinism suite and the speedup benchmarks.
+//!
+//! [`Metrics::executed_ticks`] counts the ticks actually executed; in
+//! sparse executions (long horizons, large Δ, quiet controllers) it is
+//! orders of magnitude below [`Metrics::ticks`], which is where the
+//! event-driven engine's speedup comes from.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -39,6 +63,22 @@ use crate::schedule::{CorruptionSchedule, ParticipationSchedule};
 /// Factory that produces the Byzantine replacement node when a validator
 /// is corrupted mid-run.
 pub type ByzantineFactory = Box<dyn FnMut(ValidatorId, Time) -> Box<dyn Node> + Send>;
+
+/// How [`Simulation::run_until`] advances time between ticks.
+///
+/// Both modes execute the same ticks' contents in the same order and are
+/// guaranteed to produce byte-identical transcripts; they differ only in
+/// whether provably-inert ticks are visited at all (see the module doc).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdvanceMode {
+    /// Jump straight to the next heap event, phase boundary, or
+    /// controller wakeup. O(events + phases) per run.
+    #[default]
+    EventDriven,
+    /// Visit every tick of the horizon. O(horizon) per run; the
+    /// reference semantics used as the differential-testing oracle.
+    TickLoop,
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
@@ -105,6 +145,7 @@ pub struct SimulationBuilder {
     byz_factory: ByzantineFactory,
     drop_while_asleep: bool,
     max_delay_factor: u64,
+    advance: AdvanceMode,
 }
 
 impl SimulationBuilder {
@@ -125,8 +166,15 @@ impl SimulationBuilder {
             byz_at_start: vec![false; n],
             drop_while_asleep: false,
             max_delay_factor: 1,
+            advance: AdvanceMode::default(),
             cfg,
         }
+    }
+
+    /// Selects the time-advancement strategy (event-driven by default).
+    pub fn advance_mode(mut self, mode: AdvanceMode) -> Self {
+        self.advance = mode;
+        self
     }
 
     /// Switches the engine to the *practical* sleep semantics of §2:
@@ -262,6 +310,8 @@ impl SimulationBuilder {
             sent_this_tick: Vec::new(),
             drop_while_asleep: self.drop_while_asleep,
             max_delay_factor: self.max_delay_factor,
+            advance: self.advance,
+            pruned_len: 1,
             cfg: self.cfg,
             store: self.store,
             mempool: self.mempool,
@@ -299,6 +349,11 @@ pub struct Simulation {
     drop_while_asleep: bool,
     /// Delay clamp ceiling as a multiple of Δ (1 = synchronous).
     max_delay_factor: u64,
+    /// Time-advancement strategy (see [`AdvanceMode`]).
+    advance: AdvanceMode,
+    /// Length of the decided-anchor prefix already pruned from the
+    /// mempool (1 = genesis only, nothing pruned yet).
+    pruned_len: u64,
 }
 
 impl Simulation {
@@ -376,16 +431,57 @@ impl Simulation {
     }
 
     /// Runs the simulation up to and including tick `t_end`.
+    ///
+    /// In [`AdvanceMode::EventDriven`] (the default) time jumps straight
+    /// to each next interesting tick; in [`AdvanceMode::TickLoop`] every
+    /// tick is visited. Both end with `now() == t_end + 1` and identical
+    /// state (see the module doc's determinism argument).
     pub fn run_until(&mut self, t_end: Time) {
-        while self.time <= t_end {
-            self.step_tick();
+        match self.advance {
+            AdvanceMode::TickLoop => {
+                while self.time <= t_end {
+                    self.step_tick();
+                }
+            }
+            AdvanceMode::EventDriven => {
+                while self.time <= t_end {
+                    let next = self.next_interesting_tick();
+                    if next > t_end {
+                        self.time = t_end + 1;
+                        break;
+                    }
+                    self.time = next;
+                    self.step_tick();
+                }
+            }
         }
         self.metrics.ticks = self.time.ticks();
+    }
+
+    /// The earliest tick at or after `self.time` where anything can
+    /// happen: a scheduled heap event, a Δ phase boundary, or a
+    /// controller-requested wakeup.
+    fn next_interesting_tick(&mut self) -> Time {
+        let now = self.time;
+        let delta = self.cfg.delta.ticks();
+        // Next phase boundary at or after `now`. Saturating: with a
+        // sentinel-sized horizon the rounded-up boundary may exceed
+        // u64::MAX, which must read as "past t_end", not wrap backwards.
+        let mut next = Time::new(now.ticks().div_ceil(delta).saturating_mul(delta));
+        if let Some(Reverse(ev)) = self.events.peek() {
+            debug_assert!(ev.time >= now, "stale event below current time");
+            next = next.min(ev.time.max(now));
+        }
+        if let Some(wakeup) = self.controller.next_wakeup(now) {
+            next = next.min(wakeup.max(now));
+        }
+        next
     }
 
     /// Processes one tick.
     fn step_tick(&mut self) {
         let now = self.time;
+        self.metrics.executed_ticks += 1;
         self.sent_this_tick.clear();
 
         // 1–4: drain all heap events scheduled for this tick, in
@@ -548,11 +644,25 @@ impl Simulation {
                 }
             }
         }
+        let decided_something = !ctx.decisions.is_empty();
         for log in ctx.decisions {
             self.metrics.decisions += 1;
             if !byzantine {
                 let t = self.time;
                 self.observer.record(from, t, log, &self.mempool);
+            }
+        }
+        // Memory hygiene for long sweeps: whenever the decided anchor
+        // grows (which only a decision can cause — keep this off the
+        // per-message path), drop its transactions from the mempool
+        // (they can never be proposed again) and reset the inclusion
+        // memo behind it.
+        if decided_something {
+            if let Some(anchor) = self.observer.longest_decided() {
+                if anchor.len() > self.pruned_len {
+                    self.mempool.prune_confirmed(&anchor, &self.store);
+                    self.pruned_len = anchor.len();
+                }
             }
         }
     }
@@ -885,6 +995,222 @@ mod tests {
         let eff = sim.effective_participation();
         assert!(eff.is_awake(ValidatorId::new(0), Time::new(10)));
         assert!(!eff.is_awake(ValidatorId::new(0), Time::new(12)));
+    }
+
+    /// A deliberately out-of-spec delay policy: returns `0` for copies to
+    /// even validators and `u64::MAX` for odd ones. The engine must clamp
+    /// both into `[1, Δ·max_delay_factor]`.
+    struct OutOfSpecDelay;
+    impl crate::network::DelayPolicy for OutOfSpecDelay {
+        fn delay(
+            &mut self,
+            _msg: &SignedMessage,
+            _from: ValidatorId,
+            to: ValidatorId,
+            _at: Time,
+            _delta: tobsvd_types::Delta,
+            _rng: &mut StdRng,
+        ) -> u64 {
+            if to.index() % 2 == 0 {
+                0
+            } else {
+                u64::MAX
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_spec_delays_are_clamped_into_synchrony_window() {
+        let delta = 8;
+        let cfg = SimConfig::new(3).with_seed(9);
+        let mut b = Simulation::builder(cfg).delay(Box::new(OutOfSpecDelay));
+        for v in ValidatorId::all(3) {
+            b = b.node(v, Box::new(PingNode::new(v)));
+        }
+        let mut sim = b.build();
+        sim.run_until(Time::new(3 * delta));
+        for v in ValidatorId::all(3) {
+            for (t, from) in ping_received(&sim, v) {
+                if from == &v {
+                    continue; // own copy always arrives at t+1
+                }
+                let expect = if v.index() % 2 == 0 { 1 } else { delta };
+                assert_eq!(
+                    t.ticks(),
+                    expect,
+                    "copy {from}->{v} must be clamped to {expect}, arrived at {t}"
+                );
+            }
+            // Nobody missed a message: a 0-delay must not become a
+            // same-tick (lost) delivery, a u64::MAX delay must not park
+            // the message past the horizon.
+            assert_eq!(ping_received(&sim, v).len(), 3);
+        }
+    }
+
+    #[test]
+    fn out_of_spec_delays_respect_lifted_clamp_ceiling() {
+        let cfg = SimConfig::new(2).with_seed(9);
+        let factor = 3;
+        let mut b = Simulation::builder(cfg)
+            .max_delay_factor(factor)
+            .delay(Box::new(OutOfSpecDelay));
+        for v in ValidatorId::all(2) {
+            b = b.node(v, Box::new(PingNode::new(v)));
+        }
+        let mut sim = b.build();
+        sim.run_until(Time::new(8 * factor + 8));
+        // v1 receives v0's copy at exactly Δ·factor.
+        let recv = ping_received(&sim, ValidatorId::new(1));
+        let from_v0: Vec<_> = recv.iter().filter(|(_, s)| s.index() == 0).collect();
+        assert_eq!(from_v0.len(), 1);
+        assert_eq!(from_v0[0].0.ticks(), 8 * factor);
+    }
+
+    fn build_ping_sim_mode(n: usize, seed: u64, mode: AdvanceMode) -> Simulation {
+        let cfg = SimConfig::new(n).with_seed(seed);
+        let mut b = Simulation::builder(cfg).advance_mode(mode);
+        for v in ValidatorId::all(n) {
+            b = b.node(v, Box::new(PingNode::new(v)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn event_driven_matches_tick_loop_byte_for_byte() {
+        for seed in [1u64, 7, 42] {
+            let mut ev = build_ping_sim_mode(5, seed, AdvanceMode::EventDriven);
+            let mut tl = build_ping_sim_mode(5, seed, AdvanceMode::TickLoop);
+            ev.run_until(Time::new(100));
+            tl.run_until(Time::new(100));
+            assert_eq!(ev.now(), tl.now());
+            for v in ValidatorId::all(5) {
+                assert_eq!(
+                    ping_received(&ev, v),
+                    ping_received(&tl, v),
+                    "seed {seed}: delivery transcripts diverged for {v}"
+                );
+            }
+            assert_eq!(ev.metrics().deliveries, tl.metrics().deliveries);
+            assert_eq!(ev.metrics().bytes_delivered, tl.metrics().bytes_delivered);
+            assert_eq!(ev.metrics().ticks, tl.metrics().ticks);
+            // The whole point: the event-driven run did strictly less work.
+            assert!(
+                ev.metrics().executed_ticks < tl.metrics().executed_ticks,
+                "event-driven executed {} ticks, tick loop {}",
+                ev.metrics().executed_ticks,
+                tl.metrics().executed_ticks
+            );
+        }
+    }
+
+    #[test]
+    fn event_driven_matches_tick_loop_with_sleep_and_corruption() {
+        let build = |mode: AdvanceMode| {
+            let n = 4;
+            let cfg = SimConfig::new(n).with_seed(11);
+            let mut part = ParticipationSchedule::always_awake(n);
+            part.set_intervals(
+                ValidatorId::new(2),
+                vec![(Time::new(30), Time::new(70)), (Time::new(90), Time::new(200))],
+            );
+            let mut corr = CorruptionSchedule::none();
+            corr.schedule(ValidatorId::new(3), Time::new(40), cfg.delta);
+            let mut b = Simulation::builder(cfg)
+                .advance_mode(mode)
+                .participation(part)
+                .corruption(corr)
+                .byzantine_factory(Box::new(|_, _| Box::new(IdleNode)));
+            for v in ValidatorId::all(n) {
+                b = b.node(v, Box::new(PingNode::new(v)));
+            }
+            b.build()
+        };
+        let mut ev = build(AdvanceMode::EventDriven);
+        let mut tl = build(AdvanceMode::TickLoop);
+        ev.run_until(Time::new(150));
+        tl.run_until(Time::new(150));
+        for v in ValidatorId::all(4) {
+            if ev.node(v).as_any().downcast_ref::<PingNode>().is_some() {
+                assert_eq!(ping_received(&ev, v), ping_received(&tl, v), "{v} diverged");
+            }
+        }
+        assert_eq!(ev.is_byzantine(ValidatorId::new(3)), tl.is_byzantine(ValidatorId::new(3)));
+        assert_eq!(ev.metrics().buffered, tl.metrics().buffered);
+        assert_eq!(
+            ev.effective_participation().transitions(ValidatorId::new(2)),
+            tl.effective_participation().transitions(ValidatorId::new(2))
+        );
+    }
+
+    #[test]
+    fn null_controller_costs_phases_not_horizon() {
+        // Sparse horizon: Δ=1000, everything delivered within the first
+        // 2Δ, then silence. The event-driven engine must only execute
+        // the phase boundaries plus the handful of event ticks — not the
+        // million-tick horizon.
+        let delta = 1000u64;
+        let horizon = 1_000_000u64;
+        let cfg = SimConfig::new(3).with_seed(5).with_delta(tobsvd_types::Delta::new(delta));
+        let mut b = Simulation::builder(cfg);
+        for v in ValidatorId::all(3) {
+            b = b.node(v, Box::new(PingNode::new(v)));
+        }
+        let mut sim = b.build();
+        sim.run_until(Time::new(horizon));
+        assert_eq!(sim.metrics().ticks, horizon + 1);
+        let phases = horizon / delta + 1;
+        assert!(
+            sim.metrics().executed_ticks <= phases + 20,
+            "executed {} ticks; expected about {} phase boundaries",
+            sim.metrics().executed_ticks,
+            phases
+        );
+        // Nothing was lost to the skipping.
+        for v in ValidatorId::all(3) {
+            assert_eq!(ping_received(&sim, v).len(), 3);
+        }
+    }
+
+    #[test]
+    fn time_triggered_controller_fires_via_next_wakeup() {
+        // A controller that acts at one quiet, off-phase tick and
+        // declares it through next_wakeup. The event-driven engine must
+        // execute that tick even though no event or phase falls on it.
+        struct SleepAt {
+            at: Time,
+            done: bool,
+        }
+        impl AdversaryController for SleepAt {
+            fn on_tick(&mut self, view: &TickView<'_>) -> Vec<AdversaryCommand> {
+                if view.time == self.at && !self.done {
+                    self.done = true;
+                    vec![AdversaryCommand::Sleep(ValidatorId::new(0))]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn next_wakeup(&mut self, from: Time) -> Option<Time> {
+                if self.done {
+                    None
+                } else {
+                    Some(self.at.max(from))
+                }
+            }
+        }
+        let delta = 100u64;
+        let at = Time::new(157); // off the Δ grid, no deliveries pending
+        let cfg = SimConfig::new(2).with_seed(6).with_delta(tobsvd_types::Delta::new(delta));
+        let mut b = Simulation::builder(cfg).controller(Box::new(SleepAt { at, done: false }));
+        for v in ValidatorId::all(2) {
+            b = b.node(v, Box::new(PingNode::new(v)));
+        }
+        let mut sim = b.build();
+        sim.run_until(Time::new(1000));
+        assert!(!sim.is_awake(ValidatorId::new(0)));
+        let eff = sim.effective_participation();
+        assert!(eff.is_awake(ValidatorId::new(0), at));
+        assert!(!eff.is_awake(ValidatorId::new(0), Time::new(200)));
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //! engine ([`Simulation`]) owns the event loop, gossip bookkeeping
 //! helpers live in [`gossip`], workload generation in [`Mempool`], and
 //! measurement in [`Metrics`] and [`DecisionObserver`].
+//!
+//! The engine is event-driven by default: time jumps straight to the
+//! next scheduled event, phase boundary, or controller wakeup instead of
+//! stepping tick by tick (see [`AdvanceMode`] and the advancement rules
+//! in the `engine` module doc). The reference tick loop is retained as
+//! [`AdvanceMode::TickLoop`] and differential tests pin the two to
+//! byte-identical transcripts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,7 +54,7 @@ mod schedule;
 
 pub use config::SimConfig;
 pub use controller::{AdversaryCommand, AdversaryController, NullController, TickView};
-pub use engine::{ByzantineFactory, SimReport, Simulation, SimulationBuilder};
+pub use engine::{AdvanceMode, ByzantineFactory, SimReport, Simulation, SimulationBuilder};
 pub use mempool::{Mempool, TxRecord};
 pub use metrics::{MessageKind, Metrics};
 pub use network::{BestCaseDelay, DelayPolicy, UniformDelay, WorstCaseDelay};

@@ -8,8 +8,22 @@
 //!
 //! The pool records submission times so the latency experiments can
 //! measure confirmation time = decision time − submission time.
+//!
+//! Two mechanisms keep memory bounded over million-tick sweeps:
+//!
+//! * [`Mempool::prune_confirmed`] drops the full records (payloads) of
+//!   transactions confirmed in the common decided prefix — the engine
+//!   calls it whenever the decision observer's anchor grows. Only the
+//!   `TxId → submission time` index survives pruning, so duplicate
+//!   suppression and latency lookups keep working.
+//! * The per-block inclusion memo is FIFO-capped at
+//!   [`Mempool::INCLUSION_MEMO_CAP`] entries and reset to a fresh base
+//!   at the decided tip on every prune. The base entry itself is exempt
+//!   from eviction, so inclusion walks always stop there: memo entry
+//!   count is bounded by the cap, and memoized sets only grow with the
+//!   chain *beyond the last decided prefix*, not with the whole chain.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -26,11 +40,41 @@ pub struct TxRecord {
 
 #[derive(Debug, Default)]
 struct Inner {
-    /// Pool in submission order.
+    /// Pending pool in submission order; pruned as the decided prefix
+    /// advances.
     pool: Vec<TxRecord>,
-    by_id: HashMap<TxId, usize>,
+    /// Submission time of every transaction ever submitted (ids only —
+    /// retained after pruning for duplicate suppression and latency
+    /// lookups).
+    submitted: HashMap<TxId, Time>,
     /// Memoized set of tx ids included on the chain ending at each block.
     inclusion: HashMap<BlockId, Arc<HashSet<TxId>>>,
+    /// Memo insertion order, for FIFO eviction.
+    inclusion_order: VecDeque<BlockId>,
+}
+
+impl Inner {
+    fn memoize(&mut self, id: BlockId, set: Arc<HashSet<TxId>>) {
+        if self.inclusion.insert(id, set).is_none() {
+            self.inclusion_order.push_back(id);
+        }
+        // Evict FIFO from the queue only; the prune base is never queued
+        // (see `memoize_base`), so it survives any amount of memo churn —
+        // evicting it would silently reopen the walk-to-genesis recompute
+        // path the base exists to close.
+        while self.inclusion.len() > Mempool::INCLUSION_MEMO_CAP {
+            if let Some(old) = self.inclusion_order.pop_front() {
+                self.inclusion.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Installs an eviction-exempt memo entry (the post-prune base).
+    fn memoize_base(&mut self, id: BlockId, set: Arc<HashSet<TxId>>) {
+        self.inclusion.insert(id, set);
+    }
 }
 
 /// Shared transaction pool with submission-time tracking and an
@@ -53,33 +97,50 @@ pub struct Mempool {
 }
 
 impl Mempool {
+    /// Maximum number of memoized inclusion sets kept at once. Old
+    /// entries are evicted FIFO — except the post-prune base entry,
+    /// which walks must be able to stop at; evicted blocks are simply
+    /// recomputed by walking to the nearest still-memoized ancestor.
+    pub const INCLUSION_MEMO_CAP: usize = 1024;
+
     /// Creates an empty pool.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Submits a transaction at `now`. Duplicate ids are ignored (the
-    /// first submission time wins).
+    /// first submission time wins), including ids whose records were
+    /// already pruned after confirmation.
     pub fn submit(&self, tx: Transaction, now: Time) {
         let mut inner = self.inner.lock();
         let id = tx.id();
-        if inner.by_id.contains_key(&id) {
+        if inner.submitted.contains_key(&id) {
             return;
         }
-        let idx = inner.pool.len();
+        inner.submitted.insert(id, now);
         inner.pool.push(TxRecord { tx, submitted_at: now });
-        inner.by_id.insert(id, idx);
     }
 
-    /// Submission time of a transaction, if pooled.
+    /// Submission time of a transaction, if ever submitted (survives
+    /// pruning).
     pub fn submitted_at(&self, id: TxId) -> Option<Time> {
-        let inner = self.inner.lock();
-        inner.by_id.get(&id).map(|&i| inner.pool[i].submitted_at)
+        self.inner.lock().submitted.get(&id).copied()
     }
 
     /// Number of pooled transactions (ever submitted).
     pub fn len(&self) -> usize {
+        self.inner.lock().submitted.len()
+    }
+
+    /// Number of transactions currently pending (submitted, not yet
+    /// pruned as confirmed).
+    pub fn pending_len(&self) -> usize {
         self.inner.lock().pool.len()
+    }
+
+    /// Number of memoized inclusion sets currently held.
+    pub fn inclusion_memo_len(&self) -> usize {
+        self.inner.lock().inclusion.len()
     }
 
     /// Whether the pool has never seen a transaction.
@@ -106,8 +167,29 @@ impl Mempool {
         self.pending_for_at(log, store, Time::new(u64::MAX))
     }
 
+    /// Drops the records of every pending transaction included in
+    /// `decided` (a log all honest validators' decisions are compatible
+    /// with — the engine passes the observer's anchor), and resets the
+    /// inclusion memo to an empty base at `decided.tip()`.
+    ///
+    /// After the reset, memoized sets only track transactions beyond the
+    /// pruned prefix. That is sufficient: `pending_for` consults the
+    /// memo solely for membership of still-pending ids, and anything in
+    /// the pruned prefix has just left the pool for good.
+    pub fn prune_confirmed(&self, decided: &Log, store: &BlockStore) {
+        let included = self.included_set(decided.tip(), store);
+        let mut inner = self.inner.lock();
+        inner.pool.retain(|r| !included.contains(&r.tx.id()));
+        inner.inclusion.clear();
+        inner.inclusion_order.clear();
+        inner.memoize_base(decided.tip(), Arc::new(HashSet::new()));
+    }
+
     /// The set of tx ids included on the chain ending at `tip`, memoized
     /// per block so repeated queries stay cheap as the chain grows.
+    ///
+    /// After a [`Mempool::prune_confirmed`] the sets are relative to the
+    /// pruned base block (they omit its, already unpoolable, prefix).
     pub fn included_set(&self, tip: BlockId, store: &BlockStore) -> Arc<HashSet<TxId>> {
         let mut inner = self.inner.lock();
         if let Some(set) = inner.inclusion.get(&tip) {
@@ -135,7 +217,7 @@ impl Mempool {
             let mut set: HashSet<TxId> = (*acc).clone();
             set.extend(block.txs().iter().map(|t| t.id()));
             acc = Arc::new(set);
-            inner.inclusion.insert(block.id(), Arc::clone(&acc));
+            inner.memoize(block.id(), Arc::clone(&acc));
         }
         acc
     }
@@ -153,6 +235,7 @@ mod tests {
         pool.submit(tx.clone(), Time::new(3));
         assert_eq!(pool.submitted_at(tx.id()), Some(Time::new(3)));
         assert_eq!(pool.len(), 1);
+        assert_eq!(pool.pending_len(), 1);
     }
 
     #[test]
@@ -163,6 +246,7 @@ mod tests {
         pool.submit(tx.clone(), Time::new(9));
         assert_eq!(pool.submitted_at(tx.id()), Some(Time::new(3)));
         assert_eq!(pool.len(), 1);
+        assert_eq!(pool.pending_len(), 1);
     }
 
     #[test]
@@ -210,5 +294,124 @@ mod tests {
             assert_eq!(included.len(), i + 1);
         }
         assert!(pool.pending_for(&log, &store).is_empty());
+    }
+
+    #[test]
+    fn prune_confirmed_drops_only_decided_txs() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let confirmed = Transaction::new(vec![1]);
+        let pending = Transaction::new(vec![2]);
+        pool.submit(confirmed.clone(), Time::new(1));
+        pool.submit(pending.clone(), Time::new(2));
+        let decided = Log::genesis(&store).extend(
+            &store,
+            ValidatorId::new(0),
+            View::new(1),
+            vec![confirmed.clone()],
+        );
+        pool.prune_confirmed(&decided, &store);
+
+        assert_eq!(pool.pending_len(), 1);
+        assert_eq!(pool.len(), 2, "len counts ever-submitted txs");
+        // The decided tx's submission time survives for latency lookups.
+        assert_eq!(pool.submitted_at(confirmed.id()), Some(Time::new(1)));
+        // Resubmitting a pruned tx is still suppressed.
+        pool.submit(confirmed.clone(), Time::new(50));
+        assert_eq!(pool.pending_len(), 1);
+        // The pending tx is still proposable on top of the decided log.
+        assert_eq!(pool.pending_for(&decided, &store), vec![pending]);
+    }
+
+    #[test]
+    fn pending_filter_correct_after_prune_and_further_extension() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let a = Transaction::new(vec![1]);
+        let b = Transaction::new(vec![2]);
+        let c = Transaction::new(vec![3]);
+        for tx in [&a, &b, &c] {
+            pool.submit(tx.clone(), Time::ZERO);
+        }
+        let l1 =
+            Log::genesis(&store).extend(&store, ValidatorId::new(0), View::new(1), vec![a]);
+        pool.prune_confirmed(&l1, &store);
+        // A block beyond the pruned base includes b; only c stays pending.
+        let l2 = l1.extend(&store, ValidatorId::new(1), View::new(2), vec![b]);
+        assert_eq!(pool.pending_for(&l2, &store), vec![c]);
+        pool.prune_confirmed(&l2, &store);
+        assert_eq!(pool.pending_len(), 1);
+    }
+
+    #[test]
+    fn inclusion_memo_is_capped() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let mut log = Log::genesis(&store);
+        for i in 0..(Mempool::INCLUSION_MEMO_CAP + 50) {
+            let tx = Transaction::new(i.to_be_bytes().to_vec());
+            pool.submit(tx.clone(), Time::ZERO);
+            log = log.extend(&store, ValidatorId::new(0), View::new(i as u64 + 1), vec![tx]);
+            let _ = pool.included_set(log.tip(), &store);
+        }
+        assert!(pool.inclusion_memo_len() <= Mempool::INCLUSION_MEMO_CAP);
+        // Evicted entries are recomputed correctly on demand.
+        let included = pool.included_set(log.tip(), &store);
+        assert_eq!(included.len(), Mempool::INCLUSION_MEMO_CAP + 50);
+    }
+
+    #[test]
+    fn prune_base_survives_memo_churn() {
+        // Regression: the post-prune base must be exempt from FIFO
+        // eviction. If it were evicted, later walks would fall through
+        // to genesis and rebuild *absolute* sets (containing pruned
+        // txs) — observable below as tx_a reappearing in the memo.
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let tx_a = Transaction::new(vec![0xa]);
+        pool.submit(tx_a.clone(), Time::ZERO);
+        let base = Log::genesis(&store).extend(
+            &store,
+            ValidatorId::new(0),
+            View::new(1),
+            vec![tx_a.clone()],
+        );
+        pool.prune_confirmed(&base, &store);
+        // Churn far past the cap so FIFO eviction runs many times.
+        let mut log = base;
+        for i in 0..(Mempool::INCLUSION_MEMO_CAP as u64 + 50) {
+            log = log.extend_empty(&store, ValidatorId::new(0), View::new(i + 2));
+            let _ = pool.included_set(log.tip(), &store);
+        }
+        assert!(pool.inclusion_memo_len() <= Mempool::INCLUSION_MEMO_CAP);
+        // A fresh branch off the base still resolves relative to it:
+        // the pruned tx must NOT resurface in its inclusion set.
+        let tx_b = Transaction::new(vec![0xb]);
+        pool.submit(tx_b.clone(), Time::ZERO);
+        let side = base.extend(&store, ValidatorId::new(1), View::new(9999), vec![tx_b.clone()]);
+        let included = pool.included_set(side.tip(), &store);
+        assert!(included.contains(&tx_b.id()));
+        assert!(
+            !included.contains(&tx_a.id()),
+            "base was evicted: walk fell through to genesis and rebuilt an absolute set"
+        );
+    }
+
+    #[test]
+    fn prune_resets_memo_to_single_base() {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let tx = Transaction::new(vec![9]);
+        pool.submit(tx.clone(), Time::ZERO);
+        let mut log = Log::genesis(&store);
+        for i in 0..10 {
+            log = log.extend_empty(&store, ValidatorId::new(0), View::new(i + 1));
+            let _ = pool.included_set(log.tip(), &store);
+        }
+        assert!(pool.inclusion_memo_len() >= 10);
+        pool.prune_confirmed(&log, &store);
+        assert_eq!(pool.inclusion_memo_len(), 1);
+        // The base is empty and the pending tx still proposable.
+        assert_eq!(pool.pending_for(&log, &store), vec![tx]);
     }
 }

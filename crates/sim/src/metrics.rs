@@ -54,8 +54,15 @@ pub struct Metrics {
     pub dropped: u64,
     /// Decisions reported by nodes.
     pub decisions: u64,
-    /// Ticks simulated.
+    /// Ticks simulated (the horizon covered, regardless of advance mode).
     pub ticks: u64,
+    /// Ticks actually executed by the engine. For a single run this
+    /// equals `ticks` under the tick loop and is far smaller under the
+    /// event-driven engine on sparse executions — the ratio is the
+    /// engine's work saving. After [`Metrics::merge`] it is a *total
+    /// work* counter (summed across runs, while `ticks` takes the max),
+    /// so the per-run relationship no longer holds.
+    pub executed_ticks: u64,
 }
 
 /// Fixed per-message envelope overhead assumed by byte accounting.
@@ -91,7 +98,9 @@ impl Metrics {
             + self.recovery_broadcasts
     }
 
-    /// Merges another metrics bundle into this one.
+    /// Merges another metrics bundle into this one. Counters sum
+    /// (including `executed_ticks`, which becomes total work across
+    /// runs); `ticks` takes the maximum horizon.
     pub fn merge(&mut self, other: &Metrics) {
         self.log_broadcasts += other.log_broadcasts;
         self.proposal_broadcasts += other.proposal_broadcasts;
@@ -105,6 +114,7 @@ impl Metrics {
         self.dropped += other.dropped;
         self.decisions += other.decisions;
         self.ticks = self.ticks.max(other.ticks);
+        self.executed_ticks += other.executed_ticks;
     }
 }
 

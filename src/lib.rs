@@ -21,6 +21,7 @@
 //! | [`analysis`] | `tobsvd-analysis` | statistics and table rendering |
 //! | [`runtime`] | `tobsvd-runtime` | real TCP multi-node deployment |
 //! | [`finality`] | `tobsvd-finality` | ebb-and-flow finality gadget (paper intro) |
+//! | [`sweep`] | `tobsvd-sweep` | declarative scenario matrices + parallel sweep runner |
 //!
 //! # Quickstart
 //!
@@ -51,4 +52,5 @@ pub use tobsvd_ga as ga;
 #[cfg(feature = "runtime")]
 pub use tobsvd_runtime as runtime;
 pub use tobsvd_sim as sim;
+pub use tobsvd_sweep as sweep;
 pub use tobsvd_types as types;

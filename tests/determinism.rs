@@ -6,10 +6,10 @@
 //! iteration over hash maps will flip these bytes and fail here, not
 //! in a flaky downstream experiment.
 
-use tob_svd::adversary::SplitBrainNode;
+use tob_svd::adversary::{churn, AdaptiveLeaderCorruptor, SplitBrainNode};
 use tob_svd::protocol::{TobConfig, TobReport, TobSimulationBuilder, TxWorkload};
-use tob_svd::sim::WorstCaseDelay;
-use tob_svd::types::{BlockStore, Log, ValidatorId};
+use tob_svd::sim::{AdvanceMode, CorruptionSchedule, WorstCaseDelay};
+use tob_svd::types::{BlockStore, Delta, Log, Time, ValidatorId, View};
 
 /// Serializes a decided log into a canonical byte transcript: length,
 /// then per block (genesis excluded) the content-address digest,
@@ -142,4 +142,155 @@ fn metrics_and_leaders_are_deterministic_per_seed() {
     assert_eq!(r1.report.metrics.bytes_delivered, r2.report.metrics.bytes_delivered);
     assert_eq!(r1.good_leaders, r2.good_leaders);
     assert_eq!(r1.report.final_time, r2.report.final_time);
+}
+
+// ---------------------------------------------------------------------
+// Differential determinism: the event-driven engine vs the tick-loop
+// reference. The two advance modes execute different *sets* of ticks but
+// must produce byte-identical transcripts — same decided blocks, same
+// decision times, same delivery/byte counts, same good-leader record —
+// across randomized seeds, participation schedules, corruption
+// schedules, delay policies and live controllers.
+// ---------------------------------------------------------------------
+
+/// Asserts a (mode-agnostic) full-report match between two runs and
+/// that the event-driven run did no more work than the reference.
+fn assert_reports_identical(ev: &TobReport, tl: &TobReport, what: &str) {
+    assert_eq!(
+        report_transcript(ev),
+        report_transcript(tl),
+        "{what}: decided-log transcripts diverged between advance modes"
+    );
+    assert_eq!(ev.report.final_time, tl.report.final_time, "{what}: final time");
+    assert_eq!(ev.report.metrics.deliveries, tl.report.metrics.deliveries, "{what}: deliveries");
+    assert_eq!(
+        ev.report.metrics.bytes_delivered, tl.report.metrics.bytes_delivered,
+        "{what}: bytes"
+    );
+    assert_eq!(ev.report.metrics.buffered, tl.report.metrics.buffered, "{what}: buffered");
+    assert_eq!(ev.report.metrics.dropped, tl.report.metrics.dropped, "{what}: dropped");
+    assert_eq!(ev.report.metrics.decisions, tl.report.metrics.decisions, "{what}: decisions");
+    assert_eq!(ev.report.metrics.ticks, tl.report.metrics.ticks, "{what}: horizon");
+    assert_eq!(ev.good_leaders, tl.good_leaders, "{what}: good-leader record");
+    assert_eq!(ev.report.confirmed.len(), tl.report.confirmed.len(), "{what}: confirmations");
+    assert!(
+        ev.report.metrics.executed_ticks <= tl.report.metrics.executed_ticks,
+        "{what}: event-driven engine executed more ticks than the tick loop"
+    );
+}
+
+/// A randomized sleepy-model run: seed-derived random churn, a
+/// seed-derived corruption schedule, and a random transaction workload.
+fn randomized_sleepy_run(seed: u64, mode: AdvanceMode) -> TobReport {
+    let n = 8usize;
+    let views = 10u64;
+    let delta = Delta::default();
+    let horizon = View::new(views + 1).start_time(delta);
+    let participation =
+        churn::random_churn(n, horizon, 2 * delta.ticks(), 0.8, seed ^ 0xfeed_f00d);
+    let mut corruption = CorruptionSchedule::none();
+    // Two seed-derived mid-run corruptions (mild adaptivity applies).
+    for k in 0..2u64 {
+        let v = ValidatorId::new(((seed + 3 * k) % n as u64) as u32);
+        corruption.schedule(v, Time::new(24 + (seed % 5 + k) * 16), delta);
+    }
+    TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(seed)
+        .advance(mode)
+        .workload(TxWorkload::Random { total: 24, size: 32 })
+        .participation(participation)
+        .corruption(corruption)
+        .run()
+        .expect("valid configuration")
+}
+
+#[test]
+fn event_driven_matches_tick_loop_under_randomized_churn_and_corruption() {
+    for seed in [0u64, 1, 2, 7, 42, 0xdead_beef] {
+        let ev = randomized_sleepy_run(seed, AdvanceMode::EventDriven);
+        let tl = randomized_sleepy_run(seed, AdvanceMode::TickLoop);
+        assert_reports_identical(&ev, &tl, &format!("churn+corruption seed {seed}"));
+    }
+}
+
+fn adversarial_mode_run(seed: u64, mode: AdvanceMode) -> TobReport {
+    let n = 9;
+    let half_a: Vec<ValidatorId> = ValidatorId::all(n).filter(|v| v.index() % 2 == 0).collect();
+    let half_b: Vec<ValidatorId> = ValidatorId::all(n).filter(|v| v.index() % 2 == 1).collect();
+    let mut builder = TobSimulationBuilder::new(n)
+        .views(8)
+        .seed(seed)
+        .advance(mode)
+        .workload(TxWorkload::PerView { count: 1, size: 32 })
+        .delay(Box::new(WorstCaseDelay));
+    for v in ValidatorId::all(n).skip(n - 3) {
+        let (a, b) = (half_a.clone(), half_b.clone());
+        let cfg = TobConfig::new(n);
+        builder = builder.byzantine(
+            v,
+            Box::new(move |store| Box::new(SplitBrainNode::new(v, cfg, store, a, b))),
+        );
+    }
+    builder.run().expect("valid configuration")
+}
+
+#[test]
+fn event_driven_matches_tick_loop_under_split_brain_equivocation() {
+    for seed in [1u64, 42] {
+        let ev = adversarial_mode_run(seed, AdvanceMode::EventDriven);
+        let tl = adversarial_mode_run(seed, AdvanceMode::TickLoop);
+        ev.assert_safety();
+        assert_reports_identical(&ev, &tl, &format!("split-brain seed {seed}"));
+    }
+}
+
+fn live_controller_run(seed: u64, mode: AdvanceMode) -> TobReport {
+    // The Lemma 2 adversary exercises the controller command path
+    // (reactive corruption via next_wakeup-less traffic observation).
+    TobSimulationBuilder::new(7)
+        .views(8)
+        .seed(seed)
+        .advance(mode)
+        .workload(TxWorkload::PerView { count: 1, size: 24 })
+        .controller(Box::new(AdaptiveLeaderCorruptor::new(Delta::default(), 2)))
+        .run()
+        .expect("valid configuration")
+}
+
+#[test]
+fn event_driven_matches_tick_loop_with_live_adversary_controller() {
+    for seed in [3u64, 9] {
+        let ev = live_controller_run(seed, AdvanceMode::EventDriven);
+        let tl = live_controller_run(seed, AdvanceMode::TickLoop);
+        assert_reports_identical(&ev, &tl, &format!("live controller seed {seed}"));
+    }
+}
+
+fn recovery_mode_run(seed: u64, mode: AdvanceMode) -> TobReport {
+    // Practical sleep semantics: dropped messages + recovery protocol.
+    let n = 6usize;
+    let views = 8u64;
+    let delta = Delta::default();
+    let horizon = View::new(views + 1).start_time(delta);
+    let participation = churn::rotating_sleep(n, 3, 4 * delta.ticks(), horizon);
+    TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(seed)
+        .advance(mode)
+        .drop_while_asleep(true)
+        .recovery(true)
+        .participation(participation)
+        .workload(TxWorkload::PerView { count: 1, size: 16 })
+        .run()
+        .expect("valid configuration")
+}
+
+#[test]
+fn event_driven_matches_tick_loop_with_drop_while_asleep_recovery() {
+    for seed in [5u64, 11] {
+        let ev = recovery_mode_run(seed, AdvanceMode::EventDriven);
+        let tl = recovery_mode_run(seed, AdvanceMode::TickLoop);
+        assert_reports_identical(&ev, &tl, &format!("recovery seed {seed}"));
+    }
 }

@@ -35,6 +35,46 @@ fn good_leader_fraction_exceeds_half_at_the_bound() {
 }
 
 #[test]
+fn all_asleep_views_run_without_panicking_and_have_no_leader() {
+    // Every validator sleeps through views 2 and 3 (an empty candidate
+    // set for the Lemma 2 pool). The run must complete gracefully, the
+    // asleep views must report no good leader, and the protocol must
+    // resume deciding once everyone wakes up.
+    let n = 5usize;
+    let views = 8u64;
+    let delta = Delta::default();
+    let blackout_start = View::new(2).start_time(delta);
+    let blackout_end = View::new(4).start_time(delta);
+    let horizon = View::new(views + 1).start_time(delta) + delta.ticks() * 2;
+    let mut part = ParticipationSchedule::always_awake(n);
+    for v in ValidatorId::all(n) {
+        part.set_intervals(v, vec![(Time::ZERO, blackout_start), (blackout_end, horizon)]);
+    }
+    let report = TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(13)
+        .participation(part)
+        .workload(TxWorkload::PerView { count: 1, size: 16 })
+        .run()
+        .expect("all-asleep views must not abort the run");
+    report.assert_safety();
+    for (view, leader) in &report.good_leaders {
+        if view.number() == 2 || view.number() == 3 {
+            assert_eq!(*leader, None, "asleep view {view:?} cannot have a good leader");
+        } else {
+            assert!(leader.is_some(), "awake view {view:?} should have a good leader");
+        }
+    }
+    assert!(
+        report.good_leader_fraction() < 1.0 && report.good_leader_fraction() > 0.5,
+        "fraction {}",
+        report.good_leader_fraction()
+    );
+    // Liveness resumes after the blackout.
+    assert!(report.decided_blocks() > 0, "nothing decided despite awake views");
+}
+
+#[test]
 fn mild_adaptivity_lets_the_proposed_view_succeed() {
     // The adaptive corruptor sees the winning proposal at t_v and
     // corrupts its sender — but the corruption lands at t_v + Δ, after

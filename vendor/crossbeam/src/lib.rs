@@ -1,12 +1,101 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` backed
-//! by `std::sync::mpsc`. The runtime crate only needs an unbounded
-//! MPSC channel with cloneable senders, which std provides directly.
-//! Swap the workspace path dependency for the real `crossbeam` when a
-//! registry is available.
+//! by `std::sync::mpsc`, and `crossbeam::thread::scope` scoped threads
+//! backed by `std::thread::scope`. These cover what the workspace needs
+//! (an unbounded MPSC channel with cloneable senders; scoped worker
+//! threads borrowing stack data). Swap the workspace path dependency
+//! for the real `crossbeam` when a registry is available.
 
 #![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread` API subset over `std`).
+
+    /// Creates a scope in which threads borrowing non-`'static` data can
+    /// be spawned; all spawned threads are joined before `scope`
+    /// returns.
+    ///
+    /// Mirrors `crossbeam::thread::scope`, including handing the scope
+    /// handle to each spawned closure so workers can spawn more workers.
+    /// One divergence from crossbeam: a panicking child thread
+    /// propagates at the end of the scope (std semantics) instead of
+    /// being collected into the returned `Result`, which is therefore
+    /// always `Ok` here.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// A scope handle: spawns threads that may borrow data outliving the
+    /// scope.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle
+        /// (crossbeam convention) so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a scoped thread; joined implicitly at scope end if not
+    /// joined explicitly.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        let part: u64 = chunk.iter().sum();
+                        sum.fetch_add(part, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(sum.into_inner(), 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_handle() {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+                });
+            })
+            .unwrap();
+            assert!(flag.into_inner());
+        }
+    }
+}
 
 pub mod channel {
     use std::sync::mpsc;
