@@ -1,0 +1,63 @@
+//! Model-checker exploration throughput.
+//!
+//! Measures randomized executions per second through the full
+//! `tobsvd-check` pipeline — per-index RNG derivation, scenario
+//! sampling, a complete invariant-instrumented simulation, verdict
+//! condensation and fingerprint folding — for a serial run and an
+//! all-cores run (on multi-core hosts the ratio is the scaling factor;
+//! results are bit-identical either way, which the bench asserts).
+//!
+//! Run: `cargo bench -p tobsvd-bench --bench checker_throughput`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tobsvd_check::{checker, CheckConfig, ScenarioSpace};
+
+const EXECUTIONS: usize = 200;
+
+fn space() -> ScenarioSpace {
+    ScenarioSpace { n: (4, 6), deltas: vec![2, 4], views: (3, 6), ..ScenarioSpace::default() }
+}
+
+fn bench_checker_throughput(c: &mut Criterion) {
+    // Sanity: verdicts must be thread-count independent before we
+    // compare timings of the two configurations.
+    let serial = checker::run(&CheckConfig::new(EXECUTIONS, 5).space(space()).threads(1));
+    let parallel = checker::run(&CheckConfig::new(EXECUTIONS, 5).space(space()).threads(0));
+    assert_eq!(serial.fingerprint, parallel.fingerprint, "thread count leaked");
+    assert!(serial.all_passed(), "compliant exploration must pass: {:?}", serial.failures);
+
+    let mut group = c.benchmark_group("checker_throughput");
+    group.sample_size(10);
+    for (threads, name) in [(1usize, "serial"), (0usize, "all_cores")] {
+        group.bench_with_input(
+            BenchmarkId::new(name, format!("x{EXECUTIONS}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    checker::run(&CheckConfig::new(EXECUTIONS, 5).space(space()).threads(threads))
+                        .fingerprint
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Headline executions/second for trend tracking.
+    let t0 = Instant::now();
+    let report = checker::run(&CheckConfig::new(EXECUTIONS, 9).space(space()).threads(0));
+    let wall = t0.elapsed();
+    println!(
+        "checker_throughput summary: {} executions in {:.3}s = {:.0} exec/s \
+         ({} decided blocks, fingerprint {:016x})",
+        report.executions,
+        wall.as_secs_f64(),
+        report.executions as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        report.total_decided_blocks,
+        report.fingerprint,
+    );
+}
+
+criterion_group!(benches, bench_checker_throughput);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Protocol-aware invariants (they need `tobsvd-core`'s view timing,
+//! so they live here rather than in `tobsvd-sim`).
+
+use tobsvd_core::ViewSchedule;
+use tobsvd_sim::{DecisionEvent, DecisionObserver, Invariant};
+use tobsvd_types::{BlockStore, Delta, Time};
+
+/// Bounded decision latency under good leaders: every block that enters
+/// the decided anchor must do so within `max_deltas`·Δ of its proposal
+/// time (the start of the view stamped into the block).
+///
+/// In a fault-free run every view has a good leader and its block
+/// decides exactly 6Δ after proposal (Figure 3: the grade-2 output of
+/// `GA_v` lands at `t_v + 6Δ`), so the good-case bound is tight at 6Δ.
+/// The checker installs this invariant only on fault-free scenarios —
+/// with Byzantine leaders or churn a block can legitimately be decided
+/// by a later view's GA, so no per-block bound holds in general.
+pub struct BoundedDecisionLatency {
+    schedule: ViewSchedule,
+    delta: Delta,
+    max_deltas: u64,
+    /// Anchor length already latency-checked.
+    covered: u64,
+}
+
+impl BoundedDecisionLatency {
+    /// A bound of `max_deltas`·Δ per decided block.
+    pub fn new(delta: Delta, max_deltas: u64) -> Self {
+        BoundedDecisionLatency {
+            schedule: ViewSchedule::new(delta),
+            delta,
+            max_deltas,
+            covered: 1,
+        }
+    }
+
+    /// The paper's good-case bound: exactly 6Δ from proposal to
+    /// decision, checked with no slack.
+    pub fn good_case(delta: Delta) -> Self {
+        Self::new(delta, 6)
+    }
+}
+
+impl Invariant for BoundedDecisionLatency {
+    fn name(&self) -> &'static str {
+        "bounded-decision-latency"
+    }
+
+    fn on_decision(&mut self, ev: &DecisionEvent<'_>) -> Result<(), String> {
+        let Some(anchor) = ev.observer.longest_decided() else {
+            return Ok(());
+        };
+        if anchor.len() <= self.covered {
+            return Ok(());
+        }
+        let from = self.covered;
+        // Mark the whole growth as checked up front: each block is
+        // latency-checked (and at most once reported) exactly once,
+        // even when an earlier block in the same growth violates.
+        self.covered = anchor.len();
+        let Some(ids) = ev.store.chain_range(anchor.tip(), from) else {
+            return Err("decided anchor does not resolve in the store".into());
+        };
+        let mut first_violation = None;
+        for id in ids {
+            let Some(block) = ev.store.get(id) else {
+                return Err(format!("anchored block {id} missing from the store"));
+            };
+            let proposed_at = self.schedule.view_start(block.view());
+            let latency = ev.record.at - proposed_at;
+            let bound = self.max_deltas * self.delta.ticks();
+            if latency > bound && first_violation.is_none() {
+                first_violation = Some(format!(
+                    "block of view {} decided {}Δ after proposal (bound {}Δ): proposed t={}, decided t={}",
+                    block.view(),
+                    latency as f64 / self.delta.ticks() as f64,
+                    self.max_deltas,
+                    proposed_at,
+                    ev.record.at
+                ));
+            }
+        }
+        first_violation.map_or(Ok(()), Err)
+    }
+}
+
+/// Chain growth: at least one block beyond genesis decides over the
+/// horizon.
+///
+/// Trivially true in every fault-free run (each view has a good leader
+/// and decides). Above the corruption bound it is the guarantee that
+/// *dies first*: with `f ≥ h` split-brain equivocators every vote count
+/// ties at best, no lock forms, and the chain halts at genesis (the
+/// `chain_halts_above_threshold` experiment). The checker therefore
+/// installs this invariant on fault-free scenarios (where a violation
+/// is an engine/protocol bug) and on over-bound casts (where a
+/// violation is the *expected* finding hostile exploration hunts for
+/// and the shrinker minimizes).
+#[derive(Debug, Default)]
+pub struct ChainGrowth;
+
+impl ChainGrowth {
+    /// Creates the invariant.
+    pub fn new() -> Self {
+        ChainGrowth
+    }
+}
+
+impl Invariant for ChainGrowth {
+    fn name(&self) -> &'static str {
+        "chain-growth"
+    }
+
+    fn on_decision(&mut self, _ev: &DecisionEvent<'_>) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn at_end(
+        &mut self,
+        observer: &DecisionObserver,
+        _store: &BlockStore,
+        now: Time,
+    ) -> Result<(), String> {
+        let decided = observer.longest_decided().map(|l| l.len()).unwrap_or(1);
+        if decided <= 1 {
+            return Err(format!("no block decided beyond genesis by t={now}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::CheckScenario;
+
+    #[test]
+    fn good_case_bound_is_tight_and_holds() {
+        // 6Δ passes with zero slack on a fault-free run …
+        let verdict = CheckScenario::fault_free(4, 4, 6, 3).run();
+        assert!(verdict.passed(), "violations: {:?}", verdict.violations);
+    }
+
+    #[test]
+    fn impossible_bound_is_reported() {
+        // … and an impossible 1Δ bound trips on the very first decision,
+        // proving the invariant actually measures something.
+        let report_builder = |max_deltas| {
+            let scenario = CheckScenario::fault_free(4, 4, 5, 3);
+            let delta = Delta::new(scenario.delta);
+            use tobsvd_core::TobSimulationBuilder;
+            let report = TobSimulationBuilder::new(scenario.n as usize)
+                .views(scenario.views)
+                .seed(scenario.seed)
+                .delta(delta)
+                .invariant(Box::new(BoundedDecisionLatency::new(delta, max_deltas)))
+                .run()
+                .expect("runs");
+            report.report.invariant_violations.clone()
+        };
+        assert!(report_builder(6).is_empty());
+        let tight = report_builder(1);
+        assert!(!tight.is_empty());
+        assert_eq!(tight[0].invariant, "bounded-decision-latency");
+    }
+}

@@ -1,0 +1,485 @@
+//! Replayable reproducer artifacts.
+//!
+//! A [`Reproducer`] is a shrunk failing schedule plus the invariants it
+//! violates, serialized as JSON so it can be checked into the repo,
+//! attached to a CI run, or mailed around — and replayed *byte for
+//! byte*: the JSON fixes the complete [`CheckScenario`], the scenario
+//! fixes the execution, and [`Reproducer::replay`] confirms the same
+//! invariants still fail.
+//!
+//! The offline `serde` stand-in has no real serializer, so the codec is
+//! hand-rolled: a fixed-field-order emitter and a minimal JSON parser
+//! (objects, arrays, strings, unsigned integers — the whole schema).
+//! Emission is canonical: `parse(emit(x)) == x` and re-emitting a
+//! parsed artifact reproduces the input bytes exactly, which the
+//! fixture test pins.
+
+use std::fmt::Write as _;
+
+use crate::scenario::{ByzStrategy, CheckScenario, Corruption, DelayKind, SleepWindow};
+
+/// Current artifact format version.
+pub const REPRO_VERSION: u64 = 1;
+
+/// A serialized-failure artifact: the minimal scenario and what it
+/// breaks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reproducer {
+    /// The (shrunk) failing schedule.
+    pub scenario: CheckScenario,
+    /// Names of the invariants the scenario violates.
+    pub invariants: Vec<String>,
+}
+
+impl Reproducer {
+    /// Re-runs the scenario and returns whether every recorded entry of
+    /// the failure signature still fails. An artifact recording *no*
+    /// invariants reproduces nothing and always returns `false`.
+    pub fn replay(&self) -> bool {
+        if self.invariants.is_empty() {
+            return false;
+        }
+        let violated = self.scenario.run().failure_signature();
+        self.invariants.iter().all(|n| violated.iter().any(|v| v == n))
+    }
+
+    /// Serializes the artifact as canonical, human-readable JSON.
+    pub fn to_json(&self) -> String {
+        let s = &self.scenario;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"version\": {REPRO_VERSION},");
+        let _ = write!(out, "  \"invariants\": [");
+        for (i, inv) in self.invariants.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(out, "\"{}\"", json::escape(inv));
+        }
+        let _ = writeln!(out, "],");
+        let _ = writeln!(out, "  \"scenario\": {{");
+        let _ = writeln!(out, "    \"n\": {},", s.n);
+        let _ = writeln!(out, "    \"delta\": {},", s.delta);
+        let _ = writeln!(out, "    \"views\": {},", s.views);
+        let _ = writeln!(out, "    \"seed\": {},", s.seed);
+        let _ = writeln!(out, "    \"delay\": \"{}\",", s.delay.tag());
+        let _ = writeln!(out, "    \"txs_per_view\": {},", s.txs_per_view);
+        let _ = write!(out, "    \"byz\": [");
+        for (i, (v, strat)) in s.byz.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(out, "{{\"validator\": {v}, \"strategy\": \"{}\"}}", strat.tag());
+        }
+        let _ = writeln!(out, "],");
+        let _ = write!(out, "    \"sleeps\": [");
+        for (i, w) in s.sleeps.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"validator\": {}, \"from\": {}, \"until\": {}}}",
+                w.validator, w.from, w.until
+            );
+        }
+        let _ = writeln!(out, "],");
+        let _ = write!(out, "    \"corruptions\": [");
+        for (i, c) in s.corruptions.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(out, "{{\"validator\": {}, \"at\": {}}}", c.validator, c.at);
+        }
+        let _ = writeln!(out, "]");
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses an artifact produced by [`Reproducer::to_json`] (or any
+    /// JSON with the same schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or schema problem.
+    pub fn from_json(input: &str) -> Result<Reproducer, String> {
+        let value = json::parse(input)?;
+        let root = value.as_obj("top level")?;
+        let version = root.req("version")?.as_u64("version")?;
+        if version != REPRO_VERSION {
+            return Err(format!("unsupported reproducer version {version}"));
+        }
+        let invariants = root
+            .req("invariants")?
+            .as_arr("invariants")?
+            .iter()
+            .map(|v| v.as_str("invariant name").map(str::to_owned))
+            .collect::<Result<Vec<_>, _>>()?;
+        let s = root.req("scenario")?.as_obj("scenario")?;
+
+        let delay_tag = s.req("delay")?.as_str("delay")?;
+        let delay = DelayKind::from_tag(delay_tag)
+            .ok_or_else(|| format!("unknown delay kind {delay_tag:?}"))?;
+
+        let mut byz = Vec::new();
+        for item in s.req("byz")?.as_arr("byz")? {
+            let o = item.as_obj("byz entry")?;
+            let tag = o.req("strategy")?.as_str("strategy")?;
+            let strategy = ByzStrategy::from_tag(tag)
+                .ok_or_else(|| format!("unknown byzantine strategy {tag:?}"))?;
+            byz.push((o.req("validator")?.as_u32("byz validator")?, strategy));
+        }
+        let mut sleeps = Vec::new();
+        for item in s.req("sleeps")?.as_arr("sleeps")? {
+            let o = item.as_obj("sleep window")?;
+            sleeps.push(SleepWindow {
+                validator: o.req("validator")?.as_u32("sleep validator")?,
+                from: o.req("from")?.as_u64("sleep from")?,
+                until: o.req("until")?.as_u64("sleep until")?,
+            });
+        }
+        let mut corruptions = Vec::new();
+        for item in s.req("corruptions")?.as_arr("corruptions")? {
+            let o = item.as_obj("corruption")?;
+            corruptions.push(Corruption {
+                validator: o.req("validator")?.as_u32("corruption validator")?,
+                at: o.req("at")?.as_u64("corruption at")?,
+            });
+        }
+
+        Ok(Reproducer {
+            scenario: CheckScenario {
+                n: s.req("n")?.as_u32("n")?,
+                delta: s.req("delta")?.as_u64("delta")?,
+                views: s.req("views")?.as_u64("views")?,
+                seed: s.req("seed")?.as_u64("seed")?,
+                delay,
+                txs_per_view: s.req("txs_per_view")?.as_u32("txs_per_view")?,
+                byz,
+                sleeps,
+                corruptions,
+            },
+            invariants,
+        })
+    }
+}
+
+mod json {
+    //! A minimal JSON subset parser: objects, arrays, strings (no
+    //! escapes beyond `\"` and `\\`), and unsigned integers — exactly
+    //! the reproducer schema.
+
+    /// Escapes `"` and `\` for embedding in a JSON string literal (the
+    /// only escapes the parser supports, keeping emit∘parse and
+    /// parse∘emit both identities).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// Unsigned integer.
+        Num(u64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object (insertion-ordered).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+
+        pub fn as_u32(&self, what: &str) -> Result<u32, String> {
+            u32::try_from(self.as_u64(what)?).map_err(|_| format!("{what}: exceeds u32"))
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+
+        pub fn as_obj(&self, what: &str) -> Result<Obj<'_>, String> {
+            match self {
+                Value::Obj(fields) => Ok(Obj(fields)),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+    }
+
+    /// Field-lookup view over an object's entries.
+    #[derive(Clone, Copy)]
+    pub struct Obj<'a>(&'a [(String, Value)]);
+
+    impl<'a> Obj<'a> {
+        pub fn req(&self, key: &str) -> Result<&'a Value, String> {
+            self.0
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parses one JSON value and requires end-of-input after it.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            let got = self.peek()?;
+            if got != b {
+                return Err(format!(
+                    "expected {:?} at byte {}, got {:?}",
+                    b as char, self.pos, got as char
+                ));
+            }
+            self.pos += 1;
+            Ok(())
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b'0'..=b'9' => self.number(),
+                other => Err(format!("unexpected {:?} at byte {}", other as char, self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                let key = self.string_after_ws()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, got {:?}",
+                            self.pos, other as char
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']' at byte {}, got {:?}",
+                            self.pos, other as char
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string_after_ws(&mut self) -> Result<String, String> {
+            self.skip_ws();
+            self.string()
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        match self.bytes.get(self.pos + 1) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            other => {
+                                return Err(format!("unsupported escape {other:?}"));
+                            }
+                        }
+                        self.pos += 2;
+                    }
+                    Some(&b) if b.is_ascii() => {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                    Some(&b) => {
+                        // Rejecting non-ASCII outright beats silently
+                        // mojibaking multi-byte UTF-8 into Latin-1.
+                        return Err(format!(
+                            "non-ASCII byte 0x{b:02x} in string at byte {}",
+                            self.pos
+                        ));
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+            text.parse::<u64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Reproducer {
+        Reproducer {
+            scenario: CheckScenario {
+                n: 5,
+                delta: 2,
+                views: 3,
+                seed: 17,
+                delay: DelayKind::WorstCase,
+                txs_per_view: 1,
+                byz: vec![(3, ByzStrategy::SplitBrain), (4, ByzStrategy::Silent)],
+                sleeps: vec![SleepWindow { validator: 1, from: 4, until: 9 }],
+                corruptions: vec![Corruption { validator: 2, at: 6 }],
+            },
+            invariants: vec!["prefix-agreement".into(), "no-conflicting-anchor".into()],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let repro = sample();
+        let json = repro.to_json();
+        let parsed = Reproducer::from_json(&json).expect("parses");
+        assert_eq!(parsed, repro);
+        assert_eq!(parsed.to_json(), json, "re-emission must reproduce the bytes");
+    }
+
+    #[test]
+    fn empty_lists_round_trip_but_never_replay() {
+        let repro = Reproducer {
+            scenario: CheckScenario::fault_free(4, 4, 5, 0),
+            invariants: vec![],
+        };
+        let json = repro.to_json();
+        let parsed = Reproducer::from_json(&json).expect("parses");
+        assert_eq!(parsed, repro);
+        assert_eq!(parsed.to_json(), json);
+        // An artifact recording no invariants reproduces nothing — it
+        // must not vacuously count as a successful replay.
+        assert!(!parsed.replay());
+    }
+
+    #[test]
+    fn quotes_and_backslashes_in_names_round_trip() {
+        let repro = Reproducer {
+            scenario: CheckScenario::fault_free(4, 4, 5, 0),
+            invariants: vec!["has \"quotes\"".into(), "back\\slash".into()],
+        };
+        let json = repro.to_json();
+        let parsed = Reproducer::from_json(&json).expect("escaped names parse");
+        assert_eq!(parsed, repro);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_schema_violations() {
+        assert!(Reproducer::from_json("").is_err());
+        assert!(Reproducer::from_json("{").is_err());
+        assert!(Reproducer::from_json("42").is_err());
+        assert!(Reproducer::from_json("{\"version\": 1}").is_err());
+        let wrong_version = sample().to_json().replace("\"version\": 1", "\"version\": 9");
+        assert!(Reproducer::from_json(&wrong_version)
+            .unwrap_err()
+            .contains("version"));
+        let bad_delay = sample().to_json().replace("\"worst\"", "\"psychic\"");
+        assert!(Reproducer::from_json(&bad_delay).unwrap_err().contains("delay"));
+        let trailing = format!("{} x", sample().to_json());
+        assert!(Reproducer::from_json(&trailing).unwrap_err().contains("trailing"));
+        // Non-ASCII in a string is rejected at parse time, not
+        // silently mojibaked (e.g. a Unicode dash pasted into a name).
+        let unicode = sample().to_json().replace("prefix-agreement", "prefix\u{2013}agreement");
+        assert!(Reproducer::from_json(&unicode).unwrap_err().contains("non-ASCII"));
+    }
+}

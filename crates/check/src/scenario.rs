@@ -1,0 +1,624 @@
+//! Fully-explicit, replayable execution schedules.
+//!
+//! A [`CheckScenario`] pins *everything* an execution depends on —
+//! validator count, Δ, horizon, RNG seed (which fixes every per-copy
+//! delivery delay inside Δ and all workload timing), the sleep/wake
+//! churn, the Byzantine cast and the mid-run corruption schedule — so
+//! the same scenario value always produces bit-identical runs. That is
+//! the contract the whole checker rests on: exploration samples
+//! scenarios, shrinking edits them, reproducers serialize them, and a
+//! `#[test]` can replay a serialized scenario byte-for-byte.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tobsvd_adversary::{LateVoter, SilentNode, SplitBrainNode, SplitDelay};
+use tobsvd_core::{TobConfig, TobReport, TobSimulationBuilder, TxWorkload, ViewSchedule};
+use tobsvd_sim::{
+    standard_invariants, BestCaseDelay, CorruptionSchedule, InvariantViolation,
+    ParticipationSchedule, UniformDelay, WorstCaseDelay,
+};
+use tobsvd_types::{Delta, Time, ValidatorId, View};
+
+use crate::invariants::{BoundedDecisionLatency, ChainGrowth};
+
+/// Byzantine node strategy for a from-genesis corrupted validator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzStrategy {
+    /// Omission: contributes nothing (always-awake crash).
+    Silent,
+    /// Honest logic, but every vote/proposal equivocated toward the
+    /// even/odd halves of the network.
+    SplitBrain,
+    /// Honest content released one phase late.
+    LateVoter,
+}
+
+impl ByzStrategy {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ByzStrategy::Silent => "silent",
+            ByzStrategy::SplitBrain => "split-brain",
+            ByzStrategy::LateVoter => "late-voter",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "silent" => Some(ByzStrategy::Silent),
+            "split-brain" => Some(ByzStrategy::SplitBrain),
+            "late-voter" => Some(ByzStrategy::LateVoter),
+            _ => None,
+        }
+    }
+
+    /// All strategies, in sampling order.
+    pub const ALL: [ByzStrategy; 3] =
+        [ByzStrategy::Silent, ByzStrategy::SplitBrain, ByzStrategy::LateVoter];
+}
+
+/// Network delay policy family (all within the synchrony clamp, so the
+/// adversary reorders deliveries inside Δ but never breaks the bound).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayKind {
+    /// Uniform random per-copy delay in `[1, Δ]` (seed-driven).
+    Uniform,
+    /// Every copy takes exactly Δ.
+    WorstCase,
+    /// Every copy arrives next tick.
+    BestCase,
+    /// Partition flavor: fast (1 tick) to even validators, Δ to odd.
+    EvenOddSplit,
+}
+
+impl DelayKind {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DelayKind::Uniform => "uniform",
+            DelayKind::WorstCase => "worst",
+            DelayKind::BestCase => "best",
+            DelayKind::EvenOddSplit => "even-odd-split",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "uniform" => Some(DelayKind::Uniform),
+            "worst" => Some(DelayKind::WorstCase),
+            "best" => Some(DelayKind::BestCase),
+            "even-odd-split" => Some(DelayKind::EvenOddSplit),
+            _ => None,
+        }
+    }
+
+    /// All kinds, in sampling order.
+    pub const ALL: [DelayKind; 4] = [
+        DelayKind::Uniform,
+        DelayKind::WorstCase,
+        DelayKind::BestCase,
+        DelayKind::EvenOddSplit,
+    ];
+}
+
+/// One churn event: `validator` is asleep during `[from, until)` ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SleepWindow {
+    /// The sleeping validator.
+    pub validator: u32,
+    /// First asleep tick.
+    pub from: u64,
+    /// First awake tick again (exclusive end).
+    pub until: u64,
+}
+
+/// One mid-run corruption: `validator` turns Byzantine (silent) at tick
+/// `at` (already the *effective* time — shrink-friendly, no hidden +Δ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Corruption {
+    /// The corrupted validator.
+    pub validator: u32,
+    /// Effective corruption tick.
+    pub at: u64,
+}
+
+/// A fully-specified, deterministic, replayable execution schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckScenario {
+    /// Number of validators.
+    pub n: u32,
+    /// Δ in ticks.
+    pub delta: u64,
+    /// Views simulated (horizon = view-start of `views` plus 2Δ).
+    pub views: u64,
+    /// RNG seed: fixes delivery orderings within Δ and workload times.
+    pub seed: u64,
+    /// Network delay policy.
+    pub delay: DelayKind,
+    /// Transactions submitted right before every view.
+    pub txs_per_view: u32,
+    /// Byzantine-from-genesis cast.
+    pub byz: Vec<(u32, ByzStrategy)>,
+    /// Sleep/wake churn events.
+    pub sleeps: Vec<SleepWindow>,
+    /// Mid-run corruptions (replacement strategy: silent).
+    pub corruptions: Vec<Corruption>,
+}
+
+/// The checker's summary of one executed scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutionVerdict {
+    /// Invariant violations (empty = the execution passed).
+    pub violations: Vec<InvariantViolation>,
+    /// The engine observer's own online safety flag (cross-validates
+    /// the `prefix-agreement` invariant).
+    pub observer_safe: bool,
+    /// Blocks decided beyond genesis.
+    pub decided_blocks: u64,
+    /// Ticks the event-driven engine actually executed.
+    pub executed_ticks: u64,
+}
+
+/// Marker used in failure signatures when the engine's own observer
+/// flagged unsafety. Normally redundant with `prefix-agreement` (the
+/// two cross-validate each other); seeing it *alone* in a signature
+/// means the invariant bundle and the observer disagree — an engine or
+/// invariant bug.
+pub const OBSERVER_SAFETY: &str = "observer-safety";
+
+impl ExecutionVerdict {
+    /// Whether every invariant held and the observer agrees.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.observer_safe
+    }
+
+    /// The distinct names of violated invariants, in first-violation
+    /// order.
+    pub fn violated_invariants(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for v in &self.violations {
+            if !names.contains(&v.invariant) {
+                names.push(v.invariant);
+            }
+        }
+        names
+    }
+
+    /// The complete failure signature: every violated invariant, plus
+    /// [`OBSERVER_SAFETY`] when the engine observer flagged the run.
+    /// Non-empty iff `!self.passed()` — this is the predicate the
+    /// checker reports on and the shrinker preserves.
+    pub fn failure_signature(&self) -> Vec<&'static str> {
+        let mut names = self.violated_invariants();
+        if !self.observer_safe {
+            names.push(OBSERVER_SAFETY);
+        }
+        names
+    }
+}
+
+impl CheckScenario {
+    /// The smallest interesting scenario: `n` fault-free validators,
+    /// uniform delays, one tx per view.
+    pub fn fault_free(n: u32, delta: u64, views: u64, seed: u64) -> Self {
+        CheckScenario {
+            n,
+            delta,
+            views,
+            seed,
+            delay: DelayKind::Uniform,
+            txs_per_view: 1,
+            byz: Vec::new(),
+            sleeps: Vec::new(),
+            corruptions: Vec::new(),
+        }
+    }
+
+    /// Whether the scenario is structurally valid (executable without
+    /// panicking): positive sizes and every referenced validator in
+    /// range, with at least one honest validator left.
+    pub fn is_valid(&self) -> bool {
+        let n = self.n;
+        n >= 1
+            && self.delta >= 1
+            && self.views >= 1
+            && self.byz.len() < n as usize
+            && self.byz.iter().all(|(v, _)| *v < n)
+            && self.sleeps.iter().all(|w| w.validator < n && w.from < w.until)
+            && self.corruptions.iter().all(|c| c.validator < n)
+    }
+
+    /// Total number of adversarial/churn ingredients — the size metric
+    /// shrinking minimizes (after views).
+    pub fn complexity(&self) -> usize {
+        self.byz.len() + self.sleeps.len() + self.corruptions.len()
+    }
+
+    /// Whether nothing adversarial is scheduled (enables the
+    /// good-leader latency-bound invariant).
+    pub fn is_fault_free(&self) -> bool {
+        self.byz.is_empty() && self.sleeps.is_empty() && self.corruptions.is_empty()
+    }
+
+    /// Whether the Byzantine cast exceeds the `⌊(n−1)/2⌋` corruption
+    /// bound — the known-bad regime where liveness is expected to die
+    /// (and the chain-growth invariant is installed to witness it).
+    pub fn overloaded(&self) -> bool {
+        self.byz.len() > (self.n as usize - 1) / 2
+    }
+
+    /// End-of-run tick, matching `TobSimulationBuilder`'s horizon rule.
+    pub fn horizon(&self) -> Time {
+        let delta = Delta::new(self.delta);
+        ViewSchedule::new(delta).view_start(View::new(self.views)) + delta * 2
+    }
+
+    /// The participation schedule realized by the sleep windows.
+    pub fn participation(&self) -> ParticipationSchedule {
+        let mut sched = ParticipationSchedule::always_awake(self.n as usize);
+        let end = self.horizon() + 1;
+        for v in 0..self.n {
+            let mut windows: Vec<(u64, u64)> = self
+                .sleeps
+                .iter()
+                .filter(|w| w.validator == v)
+                .map(|w| (w.from, w.until.min(end.ticks())))
+                .filter(|(f, u)| f < u)
+                .collect();
+            if windows.is_empty() {
+                continue;
+            }
+            windows.sort_unstable();
+            // Merge overlapping sleep windows, then complement into
+            // awake intervals over [0, end).
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(windows.len());
+            for (f, u) in windows {
+                match merged.last_mut() {
+                    Some((_, last)) if f <= *last => *last = (*last).max(u),
+                    _ => merged.push((f, u)),
+                }
+            }
+            let mut awake = Vec::with_capacity(merged.len() + 1);
+            let mut cursor = 0u64;
+            for (f, u) in merged {
+                if cursor < f {
+                    awake.push((Time::new(cursor), Time::new(f)));
+                }
+                cursor = cursor.max(u);
+            }
+            if cursor < end.ticks() {
+                awake.push((Time::new(cursor), end));
+            }
+            sched.set_intervals(ValidatorId::new(v), awake);
+        }
+        sched
+    }
+
+    /// Builds and runs the scenario with the standard invariant bundle
+    /// installed (plus the bounded-latency invariant when fault-free),
+    /// returning the full protocol-level report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid (see [`CheckScenario::is_valid`]);
+    /// the checker only produces valid scenarios and the shrinker skips
+    /// invalid candidates.
+    pub fn run_report(&self) -> TobReport {
+        assert!(self.is_valid(), "invalid scenario: {self:?}");
+        let n = self.n as usize;
+        let delta = Delta::new(self.delta);
+        let mut builder = TobSimulationBuilder::new(n)
+            .views(self.views)
+            .seed(self.seed)
+            .delta(delta)
+            .workload(if self.txs_per_view == 0 {
+                TxWorkload::None
+            } else {
+                TxWorkload::PerView { count: self.txs_per_view as usize, size: 32 }
+            })
+            .participation(self.participation());
+
+        builder = match self.delay {
+            DelayKind::Uniform => builder.delay(Box::new(UniformDelay)),
+            DelayKind::WorstCase => builder.delay(Box::new(WorstCaseDelay)),
+            DelayKind::BestCase => builder.delay(Box::new(BestCaseDelay)),
+            DelayKind::EvenOddSplit => builder.delay(Box::new(SplitDelay::new(
+                ValidatorId::all(n).filter(|v| v.index() % 2 == 0),
+            ))),
+        };
+
+        let half_a: Vec<ValidatorId> =
+            ValidatorId::all(n).filter(|v| v.index() % 2 == 0).collect();
+        let half_b: Vec<ValidatorId> =
+            ValidatorId::all(n).filter(|v| v.index() % 2 == 1).collect();
+        for (v, strategy) in &self.byz {
+            let v = ValidatorId::new(*v);
+            let cfg = TobConfig::new(n).with_delta(delta);
+            builder = match strategy {
+                ByzStrategy::Silent => builder.byzantine(v, Box::new(|_| Box::new(SilentNode))),
+                ByzStrategy::SplitBrain => {
+                    let (a, b) = (half_a.clone(), half_b.clone());
+                    builder.byzantine(
+                        v,
+                        Box::new(move |store| Box::new(SplitBrainNode::new(v, cfg, store, a, b))),
+                    )
+                }
+                ByzStrategy::LateVoter => builder.byzantine(
+                    v,
+                    Box::new(move |store| Box::new(LateVoter::new(v, cfg, store))),
+                ),
+            };
+        }
+
+        if !self.corruptions.is_empty() {
+            let mut corr = CorruptionSchedule::none();
+            for c in &self.corruptions {
+                corr.insert_effective(ValidatorId::new(c.validator), Time::new(c.at));
+            }
+            builder = builder
+                .corruption(corr)
+                .byzantine_replacements(Box::new(|_, _| Box::new(SilentNode)));
+        }
+
+        for inv in standard_invariants() {
+            builder = builder.invariant(inv);
+        }
+        if self.is_fault_free() {
+            builder = builder.invariant(Box::new(BoundedDecisionLatency::good_case(delta)));
+        }
+        if self.is_fault_free() || self.overloaded() {
+            builder = builder.invariant(Box::new(ChainGrowth::new()));
+        }
+
+        builder.run().expect("validated scenario")
+    }
+
+    /// Runs the scenario and condenses the result into a verdict.
+    pub fn run(&self) -> ExecutionVerdict {
+        let report = self.run_report();
+        ExecutionVerdict {
+            violations: report.report.invariant_violations.clone(),
+            observer_safe: report.report.safe,
+            decided_blocks: report.decided_blocks(),
+            executed_ticks: report.report.metrics.executed_ticks,
+        }
+    }
+}
+
+/// The bounds the exploration samples scenarios from.
+///
+/// The default space stays *inside* the sleepy model: the set of
+/// validators that is ever Byzantine or asleep is capped at the
+/// `⌊(n−1)/2⌋` corruption bound, so an honest majority is awake at all
+/// times and every sampled execution must satisfy every invariant — a
+/// reported violation is a protocol (or engine) bug. The
+/// [`ScenarioSpace::hostile`] preset deliberately samples *beyond* the
+/// bound to manufacture real violations for shrinking and reproducer
+/// tests.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpace {
+    /// Validator-count range (inclusive).
+    pub n: (u32, u32),
+    /// Δ choices.
+    pub deltas: Vec<u64>,
+    /// Views range (inclusive).
+    pub views: (u64, u64),
+    /// Max transactions per view.
+    pub max_txs_per_view: u32,
+    /// Max sleep windows per scenario.
+    pub max_sleep_windows: u32,
+    /// Max mid-run corruptions per scenario.
+    pub max_corruptions: u32,
+    /// Sample adversary/churn budgets beyond the model's corruption
+    /// bound (guarantees eventual genuine violations).
+    pub overload: bool,
+}
+
+impl Default for ScenarioSpace {
+    fn default() -> Self {
+        ScenarioSpace {
+            n: (4, 7),
+            deltas: vec![2, 4],
+            views: (4, 7),
+            max_txs_per_view: 2,
+            max_sleep_windows: 3,
+            max_corruptions: 1,
+            overload: false,
+        }
+    }
+}
+
+impl ScenarioSpace {
+    /// A space of model-breaking scenarios: more than `⌊(n−1)/2⌋`
+    /// split-brain equivocators, guaranteed to eventually produce real
+    /// safety violations — the shrinking demo's hunting ground.
+    pub fn hostile() -> Self {
+        ScenarioSpace { overload: true, ..ScenarioSpace::default() }
+    }
+
+    /// Samples one scenario. Pure function of the RNG state — the
+    /// checker derives one RNG per execution index, so sampling is
+    /// independent of thread count.
+    pub fn sample(&self, rng: &mut StdRng) -> CheckScenario {
+        let n = rng.gen_range(self.n.0..=self.n.1);
+        let delta = self.deltas[rng.gen_range(0..self.deltas.len())];
+        let views = rng.gen_range(self.views.0..=self.views.1);
+        let delay = DelayKind::ALL[rng.gen_range(0..DelayKind::ALL.len())];
+        let txs_per_view = rng.gen_range(0..=self.max_txs_per_view);
+
+        let bound = (n as usize - 1) / 2;
+        // The validators allowed to misbehave (be Byzantine, sleep, or
+        // get corrupted): within the model that set is capped at the
+        // corruption bound; overloaded spaces may take all but one —
+        // a single honest observer suffices to witness liveness death,
+        // and `n - 2` would clamp back to the bound at n = 3.
+        let budget = if self.overload { n as usize - 1 } else { bound };
+        let mut pool: Vec<u32> = (0..n).collect();
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+        pool.truncate(budget);
+
+        let byz_count = if self.overload && !pool.is_empty() {
+            // Hostile sampling goes straight past the bound: over-bound
+            // equivocator casts are where guarantees genuinely break.
+            rng.gen_range(((bound + 1).min(pool.len()))..=pool.len())
+        } else if pool.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..=pool.len())
+        };
+        let mut byz: Vec<(u32, ByzStrategy)> = Vec::with_capacity(byz_count);
+        for v in pool.iter().take(byz_count) {
+            let strategy = if self.overload {
+                // Equivocation is what actually breaks safety past the
+                // bound; omission merely stalls.
+                ByzStrategy::SplitBrain
+            } else {
+                ByzStrategy::ALL[rng.gen_range(0..ByzStrategy::ALL.len())]
+            };
+            byz.push((*v, strategy));
+        }
+        byz.sort_by_key(|(v, _)| *v);
+
+        // Remaining misbehavior budget churns or gets corrupted mid-run.
+        let rest: Vec<u32> = pool[byz_count..].to_vec();
+        let horizon = CheckScenario::fault_free(n, delta, views, 0).horizon().ticks();
+        let mut sleeps = Vec::new();
+        let mut corruptions = Vec::new();
+        if !rest.is_empty() {
+            let n_sleeps = rng.gen_range(0..=self.max_sleep_windows);
+            for _ in 0..n_sleeps {
+                let v = rest[rng.gen_range(0..rest.len())];
+                let from = rng.gen_range(0..horizon.max(1));
+                let len = rng.gen_range(1..=(4 * delta).max(2));
+                sleeps.push(SleepWindow { validator: v, from, until: from + len });
+            }
+            sleeps.sort_by_key(|w: &SleepWindow| (w.validator, w.from, w.until));
+            let n_corr = rng.gen_range(0..=self.max_corruptions);
+            for _ in 0..n_corr {
+                let v = rest[rng.gen_range(0..rest.len())];
+                if corruptions.iter().any(|c: &Corruption| c.validator == v)
+                    || sleeps.iter().any(|w| w.validator == v)
+                {
+                    continue; // keep each lever on its own validator
+                }
+                corruptions.push(Corruption { validator: v, at: rng.gen_range(0..horizon.max(1)) });
+            }
+            corruptions.sort_by_key(|c: &Corruption| (c.validator, c.at));
+        }
+
+        CheckScenario {
+            n,
+            delta,
+            views,
+            seed: rng.gen::<u64>(),
+            delay,
+            txs_per_view,
+            byz,
+            sleeps,
+            corruptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fault_free_scenario_passes_all_invariants() {
+        let verdict = CheckScenario::fault_free(5, 4, 6, 7).run();
+        assert!(verdict.passed(), "violations: {:?}", verdict.violations);
+        assert!(verdict.decided_blocks >= 5);
+    }
+
+    #[test]
+    fn scenario_runs_are_bit_identical() {
+        let scenario = CheckScenario {
+            n: 5,
+            delta: 4,
+            views: 6,
+            seed: 99,
+            delay: DelayKind::Uniform,
+            txs_per_view: 2,
+            byz: vec![(4, ByzStrategy::SplitBrain)],
+            sleeps: vec![SleepWindow { validator: 2, from: 10, until: 40 }],
+            corruptions: vec![Corruption { validator: 3, at: 32 }],
+        };
+        let a = scenario.run();
+        let b = scenario.run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn participation_complements_sleep_windows() {
+        let mut scenario = CheckScenario::fault_free(3, 4, 4, 1);
+        scenario.sleeps = vec![
+            SleepWindow { validator: 1, from: 5, until: 10 },
+            SleepWindow { validator: 1, from: 8, until: 15 },
+            SleepWindow { validator: 1, from: 30, until: 35 },
+        ];
+        let sched = scenario.participation();
+        let v = ValidatorId::new(1);
+        assert!(sched.is_awake(v, Time::new(4)));
+        assert!(!sched.is_awake(v, Time::new(5)));
+        assert!(!sched.is_awake(v, Time::new(12)));
+        assert!(sched.is_awake(v, Time::new(15)));
+        assert!(!sched.is_awake(v, Time::new(32)));
+        assert!(sched.is_awake(v, Time::new(40)));
+        assert!(sched.is_awake(ValidatorId::new(0), Time::new(7)));
+    }
+
+    #[test]
+    fn default_space_samples_valid_model_compliant_scenarios() {
+        let space = ScenarioSpace::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = space.sample(&mut rng);
+            assert!(s.is_valid(), "invalid sample: {s:?}");
+            let bound = (s.n as usize - 1) / 2;
+            let mut misbehaving: Vec<u32> = s.byz.iter().map(|(v, _)| *v).collect();
+            misbehaving.extend(s.sleeps.iter().map(|w| w.validator));
+            misbehaving.extend(s.corruptions.iter().map(|c| c.validator));
+            misbehaving.sort_unstable();
+            misbehaving.dedup();
+            assert!(
+                misbehaving.len() <= bound,
+                "misbehaving set {misbehaving:?} exceeds bound {bound} in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_samples_are_over_bound_even_at_n3() {
+        // n = 3 is the tightest case: bound 1, so the only over-bound
+        // cast is 2 Byzantine vs 1 honest. A budget of n−2 would clamp
+        // back to the bound and never overload.
+        let space = ScenarioSpace { n: (3, 4), ..ScenarioSpace::hostile() };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = space.sample(&mut rng);
+            assert!(s.is_valid(), "invalid sample: {s:?}");
+            assert!(s.overloaded(), "hostile sample at the bound: {s:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let space = ScenarioSpace::hostile();
+        let a: Vec<CheckScenario> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| space.sample(&mut rng)).collect()
+        };
+        let b: Vec<CheckScenario> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| space.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

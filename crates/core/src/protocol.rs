@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tobsvd_sim::{
     AdvanceMode, AdversaryController, ByzantineFactory, CorruptionSchedule, DecisionRecord,
-    DelayPolicy, Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
+    DelayPolicy, Invariant, Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
 };
 use tobsvd_types::{
     BlockStore, Delta, Time, Transaction, ValidatorId, View,
@@ -75,6 +75,7 @@ pub struct TobSimulationBuilder {
     recovery: bool,
     drop_while_asleep: bool,
     advance: AdvanceMode,
+    invariants: Vec<Box<dyn Invariant>>,
 }
 
 /// Errors from [`TobSimulationBuilder::run`].
@@ -119,7 +120,17 @@ impl TobSimulationBuilder {
             recovery: false,
             drop_while_asleep: false,
             advance: AdvanceMode::default(),
+            invariants: Vec::new(),
         }
+    }
+
+    /// Installs a run-time [`Invariant`] on the underlying engine,
+    /// checked after every decision event; its end-of-run check fires
+    /// before the report is assembled. Violations land in
+    /// `TobReport::report.invariant_violations`.
+    pub fn invariant(mut self, inv: Box<dyn Invariant>) -> Self {
+        self.invariants.push(inv);
+        self
     }
 
     /// Selects the engine's time-advancement strategy (event-driven by
@@ -297,10 +308,14 @@ impl TobSimulationBuilder {
         if let Some(f) = self.byz_factory {
             builder = builder.byzantine_factory(f);
         }
+        for inv in self.invariants {
+            builder = builder.invariant(inv);
+        }
 
         let mut sim = builder.build();
         let end = horizon + self.delta * 2;
         sim.run_until(end);
+        sim.check_end_invariants();
 
         // Collect per-validator stats.
         let mut validators = Vec::with_capacity(self.n);
@@ -430,29 +445,25 @@ impl TobReport {
     }
 
     /// Per-block decision latency in Δ: time from the proposal of each
-    /// decided block (its view's start) to the moment the anchor first
-    /// covered it.
+    /// decided block (its view's start) to the *first* decision by any
+    /// honest validator whose log covers it, taken over the full
+    /// decision history (not just final transcripts — early blocks are
+    /// credited with their actual first coverage, mid-run).
     pub fn block_decision_latencies_deltas(&self) -> Vec<f64> {
         let sched = ViewSchedule::new(self.delta);
         let mut latencies = Vec::new();
-        let mut covered = 1u64;
-        let mut history: Vec<&DecisionRecord> = self.report.latest_decisions.iter().collect();
-        history.sort_by_key(|r| r.at);
-        // Use the anchor growth embedded in confirmed txs where possible;
-        // fall back to the final decided log for blocks without txs.
+        let history: &[DecisionRecord] = &self.report.decisions;
         if let Some(longest) = self.report.longest_decided {
             if let Some(chain) = self.store.chain_range(longest.tip(), 1) {
-                for id in chain {
+                for (offset, id) in chain.into_iter().enumerate() {
                     let block = self.store.get(id).expect("decided block stored");
                     let proposed_at = sched.view_start(block.view());
+                    let height = 2 + offset as u64; // log length covering this block
                     // Earliest decision record covering this block.
-                    let decided_at = self
-                        .report
-                        .latest_decisions
+                    let decided_at = history
                         .iter()
                         .filter(|r| {
-                            r.log.len() > covered
-                                && self.store.is_ancestor(id, r.log.tip())
+                            r.log.len() >= height && self.store.is_ancestor(id, r.log.tip())
                         })
                         .map(|r| r.at)
                         .min();
@@ -460,7 +471,6 @@ impl TobReport {
                         latencies
                             .push((at - proposed_at) as f64 / self.delta.ticks() as f64);
                     }
-                    covered += 1;
                 }
             }
         }

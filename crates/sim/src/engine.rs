@@ -53,6 +53,7 @@ use tobsvd_types::{
 
 use crate::config::SimConfig;
 use crate::controller::{AdversaryCommand, AdversaryController, NullController, TickView};
+use crate::invariant::{DecisionEvent, Invariant, InvariantViolation};
 use crate::mempool::Mempool;
 use crate::metrics::{MessageKind, Metrics, MESSAGE_ENVELOPE_BYTES};
 use crate::network::{DelayPolicy, UniformDelay};
@@ -146,6 +147,7 @@ pub struct SimulationBuilder {
     drop_while_asleep: bool,
     max_delay_factor: u64,
     advance: AdvanceMode,
+    invariants: Vec<Box<dyn Invariant>>,
 }
 
 impl SimulationBuilder {
@@ -167,8 +169,18 @@ impl SimulationBuilder {
             drop_while_asleep: false,
             max_delay_factor: 1,
             advance: AdvanceMode::default(),
+            invariants: Vec::new(),
             cfg,
         }
+    }
+
+    /// Installs a run-time [`Invariant`], checked after every decision
+    /// event (and once more at [`Simulation::check_end_invariants`]).
+    /// Violations are recorded, not panicked on, so model checkers can
+    /// collect every failure of a schedule.
+    pub fn invariant(mut self, inv: Box<dyn Invariant>) -> Self {
+        self.invariants.push(inv);
+        self
     }
 
     /// Selects the time-advancement strategy (event-driven by default).
@@ -312,6 +324,9 @@ impl SimulationBuilder {
             max_delay_factor: self.max_delay_factor,
             advance: self.advance,
             pruned_len: 1,
+            invariants: self.invariants,
+            invariant_violations: Vec::new(),
+            end_violations: Vec::new(),
             cfg: self.cfg,
             store: self.store,
             mempool: self.mempool,
@@ -354,6 +369,14 @@ pub struct Simulation {
     /// Length of the decided-anchor prefix already pruned from the
     /// mempool (1 = genesis only, nothing pruned yet).
     pruned_len: u64,
+    /// Installed run-time invariants, checked after every decision.
+    invariants: Vec<Box<dyn Invariant>>,
+    /// Violations from per-decision checks (accumulated monotonically).
+    invariant_violations: Vec<InvariantViolation>,
+    /// Violations from the latest end-of-run evaluation (recomputed on
+    /// every [`Simulation::check_end_invariants`] call, so a mid-run
+    /// snapshot never pollutes the final report).
+    end_violations: Vec<InvariantViolation>,
 }
 
 impl Simulation {
@@ -428,6 +451,33 @@ impl Simulation {
     /// The (possibly controller-extended) corruption schedule.
     pub fn corruption(&self) -> &CorruptionSchedule {
         &self.corruption
+    }
+
+    /// Invariant violations as of now: every per-decision violation,
+    /// followed by the latest end-of-run evaluation's.
+    pub fn invariant_violations(&self) -> Vec<InvariantViolation> {
+        let mut all = self.invariant_violations.clone();
+        all.extend(self.end_violations.iter().cloned());
+        all
+    }
+
+    /// Runs every installed invariant's [`Invariant::at_end`] check
+    /// against the current state, *replacing* the previous end-of-run
+    /// evaluation. Safe to call at any time (every [`Simulation::report`]
+    /// does): an early snapshot's findings are recomputed — not kept —
+    /// once the run has actually advanced.
+    pub fn check_end_invariants(&mut self) {
+        self.end_violations.clear();
+        let now = self.time;
+        for inv in &mut self.invariants {
+            if let Err(detail) = inv.at_end(&self.observer, &self.store, now) {
+                self.end_violations.push(InvariantViolation {
+                    invariant: inv.name(),
+                    at: now,
+                    detail,
+                });
+            }
+        }
     }
 
     /// Runs the simulation up to and including tick `t_end`.
@@ -650,6 +700,21 @@ impl Simulation {
             if !byzantine {
                 let t = self.time;
                 self.observer.record(from, t, log, &self.mempool);
+                let rec = DecisionRecord { validator: from, at: t, log };
+                for inv in &mut self.invariants {
+                    let ev = DecisionEvent {
+                        record: &rec,
+                        observer: &self.observer,
+                        store: &self.store,
+                    };
+                    if let Err(detail) = inv.on_decision(&ev) {
+                        self.invariant_violations.push(InvariantViolation {
+                            invariant: inv.name(),
+                            at: t,
+                            detail,
+                        });
+                    }
+                }
             }
         }
         // Memory hygiene for long sweeps: whenever the decided anchor
@@ -733,8 +798,13 @@ impl Simulation {
         sched
     }
 
-    /// Produces a summary report of the run so far.
-    pub fn report(&self) -> SimReport {
+    /// Produces a summary report of the run so far, (re-)evaluating the
+    /// end-of-run invariant checks against the current state first —
+    /// direct engine users can't silently skip an `at_end`-only
+    /// invariant like a chain-growth bound, and a mid-run snapshot's
+    /// findings never leak into a later report.
+    pub fn report(&mut self) -> SimReport {
+        self.check_end_invariants();
         SimReport {
             final_time: self.time,
             metrics: self.metrics.clone(),
@@ -748,6 +818,9 @@ impl Simulation {
                 v
             },
             confirmed: self.observer.confirmed().to_vec(),
+            decisions: self.observer.history().to_vec(),
+            invariant_violations: self.invariant_violations(),
+            store: self.store.clone(),
         }
     }
 }
@@ -779,6 +852,13 @@ pub struct SimReport {
     pub latest_decisions: Vec<DecisionRecord>,
     /// Confirmed transactions with latencies.
     pub confirmed: Vec<ConfirmedTx>,
+    /// Full decision history (every honest decision, in arrival order) —
+    /// the evidence trail [`SimReport::assert_safety`] re-checks.
+    pub decisions: Vec<DecisionRecord>,
+    /// Violations of installed run-time invariants.
+    pub invariant_violations: Vec<InvariantViolation>,
+    /// The shared block store (for post-hoc log walks).
+    pub store: BlockStore,
 }
 
 impl SimReport {
@@ -787,17 +867,61 @@ impl SimReport {
         self.longest_decided.map(|l| l.len()).unwrap_or(1)
     }
 
-    /// Panics with a descriptive message if a safety violation occurred.
+    /// Re-derives cross-validator prefix agreement from the *full
+    /// decision history*, independently of the online observer: every
+    /// recorded decision must be compatible with the longest recorded
+    /// decision. (Logs are chains, so any two prefixes of a common
+    /// extension are pairwise compatible; checking every record against
+    /// one maximal record is therefore complete.) Returns the offending
+    /// pairs — empty iff agreement held at every intermediate decision
+    /// point, not just in the final transcripts.
+    pub fn prefix_agreement_violations(&self) -> Vec<(DecisionRecord, DecisionRecord)> {
+        let Some(longest) = self.decisions.iter().max_by_key(|r| r.log.len()) else {
+            return Vec::new();
+        };
+        self.decisions
+            .iter()
+            .filter(|r| !r.log.compatible(&longest.log, &self.store))
+            .map(|r| (*longest, *r))
+            .collect()
+    }
+
+    /// Panics with a descriptive message if a safety violation occurred,
+    /// either online (observer) or in the post-hoc prefix-agreement
+    /// re-check over every intermediate decision point.
     ///
     /// # Panics
     ///
-    /// Panics when the run had conflicting decisions.
+    /// Panics when the run had conflicting decisions — including a
+    /// transient fork window whose transcripts later reconverged.
     pub fn assert_safety(&self) {
         assert!(
             self.safe,
             "safety violated: {} conflicting decision pairs, first: {:?}",
             self.violations.len(),
             self.violations.first()
+        );
+        let cross = self.prefix_agreement_violations();
+        assert!(
+            cross.is_empty(),
+            "cross-validator prefix agreement violated at an intermediate decision point \
+             ({} pairs despite a clean observer — observer bug?), first: {:?}",
+            cross.len(),
+            cross.first()
+        );
+    }
+
+    /// Panics if any installed run-time invariant was violated.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing the first violation.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.invariant_violations.is_empty(),
+            "{} invariant violations, first: {}",
+            self.invariant_violations.len(),
+            self.invariant_violations[0]
         );
     }
 }
@@ -806,7 +930,7 @@ impl SimReport {
 mod tests {
     use super::*;
     use tobsvd_crypto::Keypair;
-    use tobsvd_types::{InstanceId, Payload};
+    use tobsvd_types::{InstanceId, Payload, View};
 
     /// Broadcasts one LOG at its first phase, counts received messages.
     struct PingNode {
@@ -1227,6 +1351,166 @@ mod tests {
         let same: bool = ValidatorId::all(5)
             .all(|v| ping_received(&a, v) == ping_received(&c, v));
         assert!(!same, "different seeds should give different delivery times");
+    }
+
+    /// Decides a fixed sequence of logs at successive phase boundaries
+    /// (one per phase), for forcing transient forks through the engine.
+    struct ScriptedDecider {
+        script: Vec<Log>,
+        next: usize,
+    }
+
+    impl Node for ScriptedDecider {
+        fn on_phase(&mut self, ctx: &mut Context) {
+            if let Some(log) = self.script.get(self.next) {
+                self.next += 1;
+                ctx.decide(*log);
+            }
+        }
+        fn on_message(&mut self, _m: &SignedMessage, _ctx: &mut Context) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn invariants_run_on_every_decision_and_record_violations() {
+        let cfg = SimConfig::new(2).with_seed(1);
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let a = g.extend_empty(&store, ValidatorId::new(0), View::new(1));
+        let b = g.extend_empty(&store, ValidatorId::new(1), View::new(1));
+        let c = a.extend_empty(&store, ValidatorId::new(0), View::new(2));
+        let mut sim = Simulation::builder(cfg)
+            .with_store(store)
+            .node(ValidatorId::new(0), Box::new(ScriptedDecider { script: vec![a, c], next: 0 }))
+            // v1 transiently forks to b, then reconverges onto c.
+            .node(ValidatorId::new(1), Box::new(ScriptedDecider { script: vec![b, c], next: 0 }))
+            .invariant(Box::new(crate::invariant::PrefixAgreement::new()))
+            .invariant(Box::new(crate::invariant::DecisionMonotonicity::new()))
+            .invariant(Box::new(crate::invariant::NoConflictingAnchor::new()))
+            .build();
+        sim.run_until(Time::new(20));
+        sim.check_end_invariants();
+        let violations = sim.invariant_violations();
+        // All three independent invariants catch the a/b fork window.
+        for name in ["prefix-agreement", "decision-monotonicity", "no-conflicting-anchor"] {
+            assert!(
+                violations.iter().any(|v| v.invariant == name),
+                "{name} missing from {violations:?}"
+            );
+        }
+        let report = sim.report();
+        assert!(!report.safe, "observer must agree with the invariants");
+        assert!(!report.invariant_violations.is_empty());
+    }
+
+    #[test]
+    fn mid_run_report_does_not_pollute_final_end_checks() {
+        /// Fails at_end until at least one decision was recorded.
+        struct NeedsDecision;
+        impl crate::invariant::Invariant for NeedsDecision {
+            fn name(&self) -> &'static str {
+                "needs-decision"
+            }
+            fn on_decision(
+                &mut self,
+                _ev: &crate::invariant::DecisionEvent<'_>,
+            ) -> Result<(), String> {
+                Ok(())
+            }
+            fn at_end(
+                &mut self,
+                observer: &DecisionObserver,
+                _store: &BlockStore,
+                now: Time,
+            ) -> Result<(), String> {
+                if observer.history().is_empty() {
+                    Err(format!("no decision by t={now}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let cfg = SimConfig::new(1).with_seed(3);
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let a = g.extend_empty(&store, ValidatorId::new(0), View::new(1));
+        let mut sim = Simulation::builder(cfg)
+            .with_store(store)
+            .node(ValidatorId::new(0), Box::new(ScriptedDecider { script: vec![a], next: 0 }))
+            .invariant(Box::new(NeedsDecision))
+            .build();
+        // A t=0 snapshot legitimately reports the end-check violation…
+        let early = sim.report();
+        assert_eq!(early.invariant_violations.len(), 1);
+        // …but it is recomputed, not latched: after the run decides,
+        // the final report is clean.
+        sim.run_until(Time::new(10));
+        let fin = sim.report();
+        assert!(fin.invariant_violations.is_empty(), "{:?}", fin.invariant_violations);
+    }
+
+    #[test]
+    fn clean_run_has_no_invariant_violations() {
+        let cfg = SimConfig::new(2).with_seed(2);
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let a = g.extend_empty(&store, ValidatorId::new(0), View::new(1));
+        let c = a.extend_empty(&store, ValidatorId::new(0), View::new(2));
+        let mut sim = Simulation::builder(cfg)
+            .with_store(store)
+            .node(ValidatorId::new(0), Box::new(ScriptedDecider { script: vec![a, c], next: 0 }))
+            .node(ValidatorId::new(1), Box::new(ScriptedDecider { script: vec![a, c], next: 0 }))
+            .invariant(Box::new(crate::invariant::PrefixAgreement::new()))
+            .invariant(Box::new(crate::invariant::NoConflictingAnchor::new()))
+            .build();
+        sim.run_until(Time::new(20));
+        sim.check_end_invariants();
+        assert!(sim.invariant_violations().is_empty());
+        let report = sim.report();
+        report.assert_safety();
+        report.assert_invariants();
+    }
+
+    #[test]
+    fn assert_safety_catches_transient_fork_even_in_clean_looking_report() {
+        // Regression for the strengthened assert_safety: a report whose
+        // *final* transcripts agree (and whose `safe` flag claims
+        // innocence, as a buggy observer would) must still be rejected,
+        // because the decision history shows an intermediate fork.
+        let store = BlockStore::new();
+        let g = Log::genesis(&store);
+        let a = g.extend_empty(&store, ValidatorId::new(0), View::new(1));
+        let b = g.extend_empty(&store, ValidatorId::new(1), View::new(1));
+        let c = a.extend_empty(&store, ValidatorId::new(0), View::new(2));
+        let fork_then_converge = vec![
+            DecisionRecord { validator: ValidatorId::new(0), at: Time::new(8), log: a },
+            DecisionRecord { validator: ValidatorId::new(1), at: Time::new(8), log: b },
+            DecisionRecord { validator: ValidatorId::new(0), at: Time::new(16), log: c },
+            DecisionRecord { validator: ValidatorId::new(1), at: Time::new(16), log: c },
+        ];
+        let report = SimReport {
+            final_time: Time::new(17),
+            metrics: Metrics::new(),
+            safe: true, // the lie the history check must expose
+            violations: Vec::new(),
+            longest_decided: Some(c),
+            latest_decisions: fork_then_converge[2..].to_vec(),
+            confirmed: Vec::new(),
+            decisions: fork_then_converge,
+            invariant_violations: Vec::new(),
+            store,
+        };
+        let pairs = report.prefix_agreement_violations();
+        assert_eq!(pairs.len(), 1, "exactly the b-vs-c conflict: {pairs:?}");
+        assert_eq!(pairs[0].1.log, b);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| report.assert_safety()));
+        assert!(caught.is_err(), "assert_safety must reject the transient fork");
     }
 
     #[test]

@@ -30,6 +30,13 @@
 //! helpers live in [`gossip`], workload generation in [`Mempool`], and
 //! measurement in [`Metrics`] and [`DecisionObserver`].
 //!
+//! Run-time *invariants* — first-class predicates checked after every
+//! decision event (safety as prefix agreement, per-validator decision
+//! monotonicity, no conflicting anchor) — are installed through
+//! [`SimulationBuilder::invariant`] and defined in the [`invariant`]
+//! module; the `tobsvd-check` model checker drives them over randomized
+//! schedules.
+//!
 //! The engine is event-driven by default: time jumps straight to the
 //! next scheduled event, phase boundary, or controller wakeup instead of
 //! stepping tick by tick (see [`AdvanceMode`] and the advancement rules
@@ -45,6 +52,7 @@ mod config;
 mod controller;
 mod engine;
 pub mod gossip;
+pub mod invariant;
 mod mempool;
 mod metrics;
 mod network;
@@ -55,6 +63,10 @@ mod schedule;
 pub use config::SimConfig;
 pub use controller::{AdversaryCommand, AdversaryController, NullController, TickView};
 pub use engine::{AdvanceMode, ByzantineFactory, SimReport, Simulation, SimulationBuilder};
+pub use invariant::{
+    standard_invariants, DecisionEvent, DecisionMonotonicity, Invariant, InvariantViolation,
+    NoConflictingAnchor, PrefixAgreement,
+};
 pub use mempool::{Mempool, TxRecord};
 pub use metrics::{MessageKind, Metrics};
 pub use network::{BestCaseDelay, DelayPolicy, UniformDelay, WorstCaseDelay};

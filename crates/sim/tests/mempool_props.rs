@@ -1,0 +1,186 @@
+//! Property tests for the mempool's pruning and inclusion-memo
+//! machinery under arbitrary churn:
+//!
+//! * transactions confirmed in a pruned decided prefix never reappear
+//!   in any later pending batch (not even after resubmission);
+//! * the inclusion memo never exceeds its FIFO cap, no matter how the
+//!   chain grows or branches;
+//! * the eviction-exempt post-prune base survives arbitrary memo churn
+//!   (sets stay relative to the base — pruned txs never resurface).
+
+use proptest::prelude::*;
+use tobsvd_sim::Mempool;
+use tobsvd_types::{BlockStore, Log, Time, Transaction, TxId, ValidatorId, View};
+
+/// Deterministically builds a chain of `blocks` blocks on top of `base`,
+/// each carrying a batch of freshly-submitted transactions (batch sizes
+/// 0..=2 driven by `shape`). Returns the tip log and the included txs.
+fn grow_chain(
+    store: &BlockStore,
+    pool: &Mempool,
+    base: Log,
+    blocks: usize,
+    shape: u64,
+    tag: u64,
+) -> (Log, Vec<Transaction>) {
+    let mut log = base;
+    let mut included = Vec::new();
+    let mut nonce = 0u64;
+    for i in 0..blocks {
+        let batch = ((shape >> (i % 32)) & 0b11) as usize % 3;
+        let txs: Vec<Transaction> = (0..batch)
+            .map(|j| {
+                let tx = Transaction::new(
+                    format!("t{tag}:{i}:{j}:{nonce}").into_bytes(),
+                );
+                nonce += 1;
+                pool.submit(tx.clone(), Time::new(i as u64));
+                tx
+            })
+            .collect();
+        included.extend(txs.iter().cloned());
+        log = log.extend(
+            store,
+            ValidatorId::new((i % 4) as u32),
+            View::new(log.len() + i as u64),
+            txs,
+        );
+    }
+    (log, included)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Confirmed (pruned) records never reappear: after pruning at a
+    /// decided prefix, no pending batch for any later tip contains a
+    /// confirmed tx — and resubmitting confirmed txs is suppressed.
+    #[test]
+    fn confirmed_records_never_reappear(
+        decided_blocks in 1usize..8,
+        extra_blocks in 0usize..6,
+        shape in any::<u64>(),
+        resubmit in any::<bool>(),
+    ) {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let genesis = Log::genesis(&store);
+        let (decided, confirmed) =
+            grow_chain(&store, &pool, genesis, decided_blocks, shape | 1, 1);
+        let before = pool.pending_len();
+        pool.prune_confirmed(&decided, &store);
+        prop_assert_eq!(pool.pending_len(), before - confirmed.len());
+
+        if resubmit {
+            // Resubmission of a pruned tx must be ignored: ids are
+            // remembered forever, and the pool does not regrow.
+            for tx in &confirmed {
+                pool.submit(tx.clone(), Time::new(9999));
+                prop_assert!(pool.submitted_at(tx.id()).is_some());
+            }
+            prop_assert_eq!(pool.pending_len(), before - confirmed.len());
+        }
+
+        // Grow further on top of the decided prefix: no pending batch,
+        // at the prune base or at the new tip, may contain a confirmed
+        // record.
+        let (tip, _fresh) =
+            grow_chain(&store, &pool, decided, extra_blocks, shape.rotate_left(7), 2);
+        let confirmed_ids: Vec<TxId> = confirmed.iter().map(Transaction::id).collect();
+        for log in [decided, tip] {
+            for tx in pool.pending_for(&log, &store) {
+                prop_assert!(
+                    !confirmed_ids.contains(&tx.id()),
+                    "confirmed tx resurfaced in a pending batch"
+                );
+                prop_assert!(
+                    !log.contains_tx(tx.id(), &store),
+                    "pending batch offered an already-included tx"
+                );
+            }
+        }
+    }
+
+    /// The inclusion memo is bounded by its cap under arbitrary growth
+    /// and branching.
+    #[test]
+    fn inclusion_memo_never_exceeds_cap(
+        main_blocks in 1usize..30,
+        branches in 0usize..6,
+        shape in any::<u64>(),
+    ) {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let genesis = Log::genesis(&store);
+        let (tip, _) = grow_chain(&store, &pool, genesis, main_blocks, shape, 3);
+        let _ = pool.included_set(tip.tip(), &store);
+        prop_assert!(pool.inclusion_memo_len() <= Mempool::INCLUSION_MEMO_CAP);
+
+        // Branch off random interior points; every query keeps the memo
+        // within the cap.
+        for b in 0..branches {
+            let cut = 1 + (shape.rotate_right(b as u32) % tip.len()).min(tip.len() - 1);
+            if let Some(prefix) = tip.prefix(cut, &store) {
+                let (side, _) = grow_chain(&store, &pool, prefix, 1 + b % 3, shape ^ b as u64, 4 + b as u64);
+                let _ = pool.included_set(side.tip(), &store);
+                prop_assert!(pool.inclusion_memo_len() <= Mempool::INCLUSION_MEMO_CAP);
+            }
+        }
+    }
+
+    /// The eviction-exempt base: after a prune, any amount of memo
+    /// churn (far beyond the cap) must not evict the base — walks from
+    /// fresh branches resolve relative to it, so pruned txs never
+    /// resurface in inclusion sets.
+    #[test]
+    fn eviction_exempt_base_survives_churn(
+        churn_blocks in 0usize..80,
+        shape in any::<u64>(),
+    ) {
+        let store = BlockStore::new();
+        let pool = Mempool::new();
+        let pruned_tx = Transaction::new(b"pruned".to_vec());
+        pool.submit(pruned_tx.clone(), Time::ZERO);
+        let base = Log::genesis(&store).extend(
+            &store,
+            ValidatorId::new(0),
+            View::new(1),
+            vec![pruned_tx.clone()],
+        );
+        pool.prune_confirmed(&base, &store);
+
+        // Churn: the cap is small enough to overflow many times over.
+        let churn = Mempool::INCLUSION_MEMO_CAP / 8 + churn_blocks;
+        let mut log = base;
+        for i in 0..churn {
+            log = log.extend_empty(&store, ValidatorId::new(1), View::new(2 + i as u64));
+            if shape >> (i % 64) & 1 == 1 || i + 1 == churn {
+                let _ = pool.included_set(log.tip(), &store);
+            }
+        }
+        prop_assert!(pool.inclusion_memo_len() <= Mempool::INCLUSION_MEMO_CAP);
+
+        // A fresh branch off the base must resolve relative to it.
+        let side_tx = Transaction::new(b"side".to_vec());
+        pool.submit(side_tx.clone(), Time::ZERO);
+        let side = base.extend(
+            &store,
+            ValidatorId::new(2),
+            View::new(10_000),
+            vec![side_tx.clone()],
+        );
+        let included = pool.included_set(side.tip(), &store);
+        prop_assert!(included.contains(&side_tx.id()));
+        prop_assert!(
+            !included.contains(&pruned_tx.id()),
+            "base evicted: walk fell through to genesis and rebuilt an absolute set"
+        );
+        // And the pruned tx is still not proposable anywhere.
+        for tip in [base, side, log] {
+            prop_assert!(pool
+                .pending_for(&tip, &store)
+                .iter()
+                .all(|t| t.id() != pruned_tx.id()));
+        }
+    }
+}

@@ -40,4 +40,4 @@ pub use matrix::{
     AdversarySpec, DelaySpec, ParticipationSpec, Scenario, ScenarioMatrix, WorkloadSpec,
 };
 pub use report::{ScenarioOutcome, SweepReport};
-pub use runner::{run_matrix, run_scenarios};
+pub use runner::{effective_threads, run_indexed, run_matrix, run_scenarios};

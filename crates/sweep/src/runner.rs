@@ -33,33 +33,65 @@ pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> SweepReport {
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> SweepReport {
     let threads = effective_threads(threads, scenarios.len());
     let t0 = Instant::now();
-    let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
-    if !scenarios.is_empty() {
+    let outcomes = run_indexed(scenarios.len(), threads, |i| {
+        let scenario = &scenarios[i];
+        let started = Instant::now();
+        let report = scenario.run_report();
+        ScenarioOutcome::from_report(scenario.clone(), &report, started.elapsed())
+    });
+    SweepReport::new(outcomes, t0.elapsed(), threads)
+}
+
+/// Deterministic parallel fan-out over an index range: computes `f(i)`
+/// for every `i in 0..count` on `threads` crossbeam scoped worker
+/// threads (`0` = one per available core) and returns the results in
+/// index order.
+///
+/// This is the sweep runner's work-stealing core, exposed for other
+/// embarrassingly-parallel explorers (the `tobsvd-check` model checker
+/// reuses it): workers pull the next index from an atomic counter and
+/// write into that index's pre-allocated slot, so as long as `f` is a
+/// pure function of `i` the output is bit-identical for any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `f` panics for some index; the panic is propagated when
+/// the scope joins its workers.
+pub fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads, count);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    if count > 0 {
         let next = AtomicUsize::new(0);
+        let f = &f;
         crossbeam::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(i) else { break };
-                    let started = Instant::now();
-                    let report = scenario.run_report();
-                    let outcome =
-                        ScenarioOutcome::from_report(scenario.clone(), &report, started.elapsed());
-                    *slots[i].lock() = Some(outcome);
+                    if i >= count {
+                        break;
+                    }
+                    *slots[i].lock() = Some(f(i));
                 });
             }
         })
-        .expect("sweep worker panicked");
+        .expect("indexed worker panicked");
     }
-    let outcomes: Vec<ScenarioOutcome> = slots
+    slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every scenario slot filled"))
-        .collect();
-    SweepReport::new(outcomes, t0.elapsed(), threads)
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
 }
 
-fn effective_threads(requested: usize, work: usize) -> usize {
+/// Resolves a requested worker count (`0` = one per available core)
+/// against the amount of work, exactly as [`run_indexed`] will: at
+/// least 1, at most one per work item. Exposed so embedders (the
+/// `tobsvd-check` explorer) can report the thread count actually used.
+pub fn effective_threads(requested: usize, work: usize) -> usize {
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = if requested == 0 { available } else { requested };
     threads.clamp(1, work.max(1))
@@ -121,6 +153,17 @@ mod tests {
         assert!(report.outcomes().is_empty());
         assert!(report.all_safe());
         assert_eq!(report.tick_totals(), (0, 0));
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_for_any_thread_count() {
+        let f = |i: usize| i * i + 1;
+        let serial: Vec<usize> = run_indexed(37, 1, f);
+        for threads in [0, 2, 5, 64] {
+            assert_eq!(run_indexed(37, threads, f), serial, "threads={threads}");
+        }
+        assert_eq!(serial[6], 37);
+        assert!(run_indexed(0, 4, f).is_empty());
     }
 
     #[test]

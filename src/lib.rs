@@ -22,6 +22,7 @@
 //! | [`runtime`] | `tobsvd-runtime` | real TCP multi-node deployment |
 //! | [`finality`] | `tobsvd-finality` | ebb-and-flow finality gadget (paper intro) |
 //! | [`sweep`] | `tobsvd-sweep` | declarative scenario matrices + parallel sweep runner |
+//! | [`check`] | `tobsvd-check` | randomized schedule-exploration model checker + shrinker |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use tobsvd_adversary as adversary;
 pub use tobsvd_analysis as analysis;
 pub use tobsvd_baselines as baselines;
+pub use tobsvd_check as check;
 pub use tobsvd_core as protocol;
 pub use tobsvd_crypto as crypto;
 pub use tobsvd_finality as finality;

@@ -45,6 +45,62 @@ fn every_pooled_tx_confirms_under_good_leaders() {
     );
 }
 
+/// Regression pin for the paper's per-slot phase bound *and* the
+/// event-driven engine: under full participation with no adversary,
+/// every honest validator decides every view, every decided block lands
+/// exactly 6Δ after its proposal (the grade-2 output time of its GA),
+/// and the engine executes only O(phases) ticks. A regression to
+/// tick-stepping would blow `Metrics::executed_ticks` up to the full
+/// horizon and fail loudly here.
+#[test]
+fn good_case_decisions_meet_phase_bound_without_tick_stepping() {
+    let views = 20u64;
+    let report = TobSimulationBuilder::new(6)
+        .views(views)
+        .seed(8)
+        .delay(Box::new(WorstCaseDelay))
+        .run()
+        .expect("runs");
+    report.assert_safety();
+
+    // Every honest validator individually decided every view (±1 for
+    // the trailing horizon).
+    for stats in report.validators.iter().flatten() {
+        assert!(
+            stats.decided_len >= views - 1,
+            "{:?} fell behind: decided {} of {} views",
+            stats.validator,
+            stats.decided_len,
+            views
+        );
+    }
+
+    // Per-slot O(Δ) bound: each decided block is anchored exactly 6Δ
+    // after its proposal time.
+    let latencies = report.block_decision_latencies_deltas();
+    assert!(!latencies.is_empty());
+    for lat in &latencies {
+        assert!(
+            (*lat - 6.0).abs() < 1e-9,
+            "good-case decision latency must be exactly 6Δ, got {lat}Δ"
+        );
+    }
+
+    // Engine-shape regression guard: with worst-case delays all traffic
+    // lands on phase boundaries (plus the senders' own next-tick
+    // copies), so the event-driven engine executes ~2 ticks per phase.
+    // Tick-stepping would execute every tick of the horizon.
+    let m = &report.report.metrics;
+    let phases = m.ticks / report.delta.ticks() + 1;
+    assert!(
+        m.executed_ticks <= 3 * phases,
+        "engine executed {} of {} ticks (~{} phases) — tick-stepping regression?",
+        m.executed_ticks,
+        m.ticks,
+        phases
+    );
+}
+
 #[test]
 fn liveness_under_rotating_churn() {
     let n = 10;

@@ -111,6 +111,45 @@ proptest! {
             }
         }
     }
+
+    /// Fuzz smoke: arbitrary byte-mutation storms (flips, truncations,
+    /// garbage suffixes) over encodings of every payload variant must
+    /// never panic the decoder — it returns `Ok` or `Err`, nothing
+    /// else. (`tag` in the spec ranges over all 5 variants.)
+    #[test]
+    fn decode_never_panics_on_mutated_bytes(
+        spec in msg_spec(),
+        flips in proptest::collection::vec((any::<u16>(), 1u8..=255), 1..8),
+        action in 0u8..4,
+        amount in any::<u16>(),
+    ) {
+        let store = BlockStore::new();
+        let msg = build_message(&spec, &store);
+        let mut bytes = wire::encode_message(&msg, &store).to_vec();
+        match action {
+            0 => {
+                for (pos, val) in &flips {
+                    let i = *pos as usize % bytes.len();
+                    bytes[i] ^= val;
+                }
+            }
+            1 => bytes.truncate(amount as usize % (bytes.len() + 1)),
+            2 => bytes.extend(flips.iter().map(|(_, v)| *v)),
+            _ => {
+                // Flip, then cut: mutated length fields meet a short
+                // buffer.
+                for (pos, val) in &flips {
+                    let i = *pos as usize % bytes.len();
+                    bytes[i] ^= val;
+                }
+                bytes.truncate(amount as usize % (bytes.len() + 1));
+            }
+        }
+        let rx = BlockStore::new();
+        // The assertion is the return itself: a panic fails the case
+        // (the harness catches unwinds and reports the input).
+        let _ = wire::decode_message(bytes.into(), &rx);
+    }
 }
 
 /// Exhaustive (non-random) coverage: every `Payload` variant
