@@ -81,20 +81,22 @@ impl AdversaryController for AdaptiveLeaderCorruptor {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
     use tobsvd_core::leader::vrf_for;
     use tobsvd_crypto::Keypair;
     use tobsvd_types::{BlockStore, Log, SignedMessage, Time};
 
-    fn proposal(sender: ValidatorId, view: View) -> SignedMessage {
+    fn proposal(sender: ValidatorId, view: View) -> Arc<SignedMessage> {
         let store = BlockStore::new();
         let kp = Keypair::from_seed(sender.key_seed());
         let (vrf, proof) = vrf_for(sender, view);
-        SignedMessage::sign(
+        Arc::new(SignedMessage::sign(
             &kp,
             sender,
             Payload::Proposal { view, log: Log::genesis(&store), vrf, proof },
-        )
+        ))
     }
 
     #[test]
@@ -140,7 +142,7 @@ mod tests {
             sender,
             Payload::Proposal { view: View::new(1), log: Log::genesis(&store), vrf, proof },
         );
-        let cmds = ctl.on_tick(&TickView { time: Time::new(32), sent: &[forged] });
+        let cmds = ctl.on_tick(&TickView { time: Time::new(32), sent: &[Arc::new(forged)] });
         assert!(cmds.is_empty());
     }
 }

@@ -1,0 +1,75 @@
+//! Wire traffic of the delta-sync message plane vs full-chain inlining.
+//!
+//! One 200-view, n = 16 fault-free run with a realistic workload
+//! (4 × 128 B transactions per view). Every delivered copy is charged
+//! its exact wire length under the delta-sync codec
+//! (`Metrics::bytes_delivered`) while the same run accumulates, for the
+//! same deliveries, what the pre-delta-sync full-chain codec would have
+//! shipped (`Metrics::inline_equiv_bytes`) — so one execution yields
+//! both sides of the comparison, with identical schedules, elections
+//! and gossip. Headline numbers land in `BENCH_sync_traffic.json`:
+//! wire bytes per decided block, the savings ratio, and wall time per
+//! decided block.
+//!
+//! Run: `cargo bench -p tobsvd-bench --bench sync_traffic`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tobsvd_core::{TobReport, TobSimulationBuilder, TxWorkload};
+
+const N: usize = 16;
+const VIEWS: u64 = 200;
+const TXS_PER_VIEW: usize = 4;
+const TX_BYTES: usize = 128;
+
+fn run_sweep(n: usize, views: u64) -> TobReport {
+    TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(5)
+        .workload(TxWorkload::PerView { count: TXS_PER_VIEW, size: TX_BYTES })
+        .run()
+        .expect("fault-free sweep runs")
+}
+
+fn bench_sync_traffic(c: &mut Criterion) {
+    // Criterion samples a smaller horizon (the full 200-view run is a
+    // one-shot measurement below; sampling it 10x would take minutes).
+    let mut group = c.benchmark_group("sync_traffic");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("delta_sync", "n8_v40"), |b| {
+        b.iter(|| run_sweep(8, 40).decided_blocks())
+    });
+    group.finish();
+
+    // The headline 200-view, n=16 measurement for
+    // BENCH_sync_traffic.json.
+    let t0 = Instant::now();
+    let report = run_sweep(N, VIEWS);
+    let wall = t0.elapsed();
+    let m = &report.report.metrics;
+    let blocks = report.decided_blocks();
+    assert!(blocks >= VIEWS - 2, "fault-free run must decide nearly every view");
+    let ratio = m.inline_equiv_bytes as f64 / m.bytes_delivered as f64;
+    assert!(ratio >= 5.0, "delta-sync must save ≥5x at this scale, got {ratio:.1}x");
+    println!(
+        "sync_traffic summary: n={N} views={VIEWS} decided_blocks={blocks} deliveries={} \
+         wire_bytes={} inline_equiv_bytes={} saving={ratio:.1}x \
+         bytes_per_block={:.0} inline_bytes_per_block={:.0} \
+         announce_bytes(log/proposal)={}/{} sync_bytes={} \
+         wall_ms={:.0} wall_ms_per_block={:.2}",
+        m.deliveries,
+        m.bytes_delivered,
+        m.inline_equiv_bytes,
+        m.bytes_delivered as f64 / blocks as f64,
+        m.inline_equiv_bytes as f64 / blocks as f64,
+        m.log_bytes,
+        m.proposal_bytes,
+        m.sync_bytes(),
+        wall.as_secs_f64() * 1e3,
+        wall.as_secs_f64() * 1e3 / blocks as f64,
+    );
+}
+
+criterion_group!(benches, bench_sync_traffic);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Fetch-subprotocol fault injection.
+//!
+//! Two complementary levers attack the delta-sync plane, both scoped to
+//! `BlockRequest`/`BlockResponse` copies touching a targeted validator
+//! inside a bounded tick window:
+//!
+//! * [`FetchFaultFilter`] — a [`DeliveryFilter`] that *drops* the
+//!   copies outright. This steps outside the synchrony model, so the
+//!   protocol's answer is not a proof obligation but machinery: fetch
+//!   retries re-broadcast until the window closes.
+//! * [`FetchFaultDelay`] — a [`DelayPolicy`] wrapper that stretches the
+//!   copies to the full Δ (the worst case synchrony allows), leaving
+//!   all other traffic to the wrapped base policy.
+//!
+//! Both are deterministic functions of `(msg, from, to, at)`, so
+//! fault-injected scenarios replay bit-identically.
+
+use rand::rngs::StdRng;
+use tobsvd_sim::{DelayPolicy, DeliveryFilter};
+use tobsvd_types::{Delta, SignedMessage, Time, ValidatorId};
+
+use crate::scenario::{FetchFault, FetchFaultKind};
+
+fn fault_applies(f: &FetchFault, from: ValidatorId, to: ValidatorId, at: Time) -> bool {
+    let v = ValidatorId::new(f.validator);
+    (from == v || to == v) && f.from <= at.ticks() && at.ticks() < f.until
+}
+
+/// Drops targeted fetch-subprotocol copies (see module doc).
+#[derive(Clone, Debug)]
+pub struct FetchFaultFilter {
+    faults: Vec<FetchFault>,
+}
+
+impl FetchFaultFilter {
+    /// Creates the filter from the scenario's `Drop`-kind faults.
+    pub fn new(faults: Vec<FetchFault>) -> Self {
+        debug_assert!(faults.iter().all(|f| f.kind == FetchFaultKind::Drop));
+        FetchFaultFilter { faults }
+    }
+}
+
+impl DeliveryFilter for FetchFaultFilter {
+    fn allow(
+        &mut self,
+        msg: &SignedMessage,
+        from: ValidatorId,
+        to: ValidatorId,
+        at: Time,
+    ) -> bool {
+        if !msg.payload().is_sync() {
+            return true;
+        }
+        !self.faults.iter().any(|f| fault_applies(f, from, to, at))
+    }
+}
+
+/// Worst-case-delays targeted fetch-subprotocol copies, delegating
+/// everything else to the wrapped base policy.
+pub struct FetchFaultDelay {
+    inner: Box<dyn DelayPolicy>,
+    faults: Vec<FetchFault>,
+}
+
+impl FetchFaultDelay {
+    /// Wraps `inner` with the scenario's `Delay`-kind faults.
+    pub fn new(inner: Box<dyn DelayPolicy>, faults: Vec<FetchFault>) -> Self {
+        debug_assert!(faults.iter().all(|f| f.kind == FetchFaultKind::Delay));
+        FetchFaultDelay { inner, faults }
+    }
+}
+
+impl DelayPolicy for FetchFaultDelay {
+    fn delay(
+        &mut self,
+        msg: &SignedMessage,
+        from: ValidatorId,
+        to: ValidatorId,
+        at: Time,
+        delta: Delta,
+        rng: &mut StdRng,
+    ) -> u64 {
+        if msg.payload().is_sync() && self.faults.iter().any(|f| fault_applies(f, from, to, at)) {
+            return delta.ticks();
+        }
+        self.inner.delay(msg, from, to, at, delta, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tobsvd_crypto::Keypair;
+    use tobsvd_sim::BestCaseDelay;
+    use tobsvd_types::{BlockStore, InstanceId, Log, Payload};
+
+    fn sync_msg(store: &BlockStore) -> SignedMessage {
+        let v = ValidatorId::new(0);
+        let kp = Keypair::from_seed(v.key_seed());
+        SignedMessage::sign(
+            &kp,
+            v,
+            Payload::BlockRequest { tip: store.genesis(), from_height: 1 },
+        )
+    }
+
+    fn announce_msg(store: &BlockStore) -> SignedMessage {
+        let v = ValidatorId::new(0);
+        let kp = Keypair::from_seed(v.key_seed());
+        SignedMessage::sign(
+            &kp,
+            v,
+            Payload::Log { instance: InstanceId(0), log: Log::genesis(store) },
+        )
+    }
+
+    fn fault(kind: FetchFaultKind) -> FetchFault {
+        FetchFault { validator: 1, from: 10, until: 20, kind }
+    }
+
+    #[test]
+    fn filter_drops_only_targeted_sync_copies_in_window() {
+        let store = BlockStore::new();
+        let mut f = FetchFaultFilter::new(vec![fault(FetchFaultKind::Drop)]);
+        let sync = sync_msg(&store);
+        let ann = announce_msg(&store);
+        let (v0, v1, v2) = (ValidatorId::new(0), ValidatorId::new(1), ValidatorId::new(2));
+        // Inside the window, touching v1 (either direction): dropped.
+        assert!(!f.allow(&sync, v0, v1, Time::new(10)));
+        assert!(!f.allow(&sync, v1, v2, Time::new(19)));
+        // Outside the window or not touching v1 or not sync: allowed.
+        assert!(f.allow(&sync, v0, v1, Time::new(20)));
+        assert!(f.allow(&sync, v0, v2, Time::new(12)));
+        assert!(f.allow(&ann, v0, v1, Time::new(12)), "announcements are untouched");
+    }
+
+    #[test]
+    fn delay_stretches_only_targeted_sync_copies() {
+        let store = BlockStore::new();
+        let mut p = FetchFaultDelay::new(
+            Box::new(BestCaseDelay),
+            vec![fault(FetchFaultKind::Delay)],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let delta = Delta::new(8);
+        let sync = sync_msg(&store);
+        let ann = announce_msg(&store);
+        let (v0, v1) = (ValidatorId::new(0), ValidatorId::new(1));
+        assert_eq!(p.delay(&sync, v0, v1, Time::new(12), delta, &mut rng), 8);
+        assert_eq!(p.delay(&sync, v0, v1, Time::new(25), delta, &mut rng), 1);
+        assert_eq!(p.delay(&ann, v0, v1, Time::new(12), delta, &mut rng), 1);
+    }
+}

@@ -1,9 +1,11 @@
 //! Protocol-aware invariants (they need `tobsvd-core`'s view timing,
 //! so they live here rather than in `tobsvd-sim`).
 
-use tobsvd_core::ViewSchedule;
-use tobsvd_sim::{DecisionEvent, DecisionObserver, Invariant};
+use tobsvd_core::{TobReport, ViewSchedule};
+use tobsvd_sim::{DecisionEvent, DecisionObserver, Invariant, InvariantViolation};
 use tobsvd_types::{BlockStore, Delta, Time};
+
+use crate::scenario::CheckScenario;
 
 /// Bounded decision latency under good leaders: every block that enters
 /// the decided anchor must do so within `max_deltas`·Δ of its proposal
@@ -129,10 +131,69 @@ impl Invariant for ChainGrowth {
     }
 }
 
+/// Fetch liveness: at run end, no honest validator may still have a
+/// message parked past the scenario's stall bound — an unresolved fetch
+/// older than that means the retry machinery failed to recover from
+/// whatever the schedule (drops, delays, sleeps, Byzantine silence)
+/// threw at it.
+///
+/// Unlike the engine-level invariants this is an end-of-run check over
+/// the per-validator [`tobsvd_core::SyncStats`] snapshots (the engine
+/// cannot see node internals), appended to the verdict's violation list
+/// by [`CheckScenario::run_report`] under the same reporting contract:
+/// inside the `⌊(n−1)/2⌋` bound it must always hold; seeing it fail is
+/// a sync-machinery bug (or, past the bound, the expected finding).
+#[derive(Clone, Copy, Debug)]
+pub struct NoStalledFetch {
+    /// Maximum tolerated age (in ticks) of a still-parked message.
+    pub bound_ticks: u64,
+}
+
+impl NoStalledFetch {
+    /// Stable violation name.
+    pub const NAME: &'static str = "no-stalled-fetch";
+
+    /// The stall bound for a concrete scenario: an 8Δ base (first
+    /// retry after 2Δ, a fetch round trip of 2Δ, and generous margin
+    /// for re-parking on deeper gaps) plus the scenario's longest
+    /// fetch-fault window and longest sleep window — while either
+    /// lasts, a fetch may legitimately hang.
+    pub fn for_scenario(scenario: &CheckScenario) -> Self {
+        let fault_w =
+            scenario.fetch_faults.iter().map(|f| f.until - f.from).max().unwrap_or(0);
+        let sleep_w = scenario.sleeps.iter().map(|w| w.until - w.from).max().unwrap_or(0);
+        NoStalledFetch { bound_ticks: 8 * scenario.delta + fault_w + sleep_w }
+    }
+
+    /// Evaluates the check against a finished run's report.
+    pub fn check(&self, report: &TobReport) -> Vec<InvariantViolation> {
+        let end = report.report.final_time;
+        let mut violations = Vec::new();
+        for stats in report.validators.iter().flatten() {
+            let Some(since) = stats.sync.oldest_pending_since else {
+                continue;
+            };
+            let age = end - since;
+            if age > self.bound_ticks {
+                violations.push(InvariantViolation {
+                    invariant: Self::NAME,
+                    at: end,
+                    detail: format!(
+                        "{} ended with {} parked message(s); oldest parked at t={} \
+                         ({} ticks ago, bound {})",
+                        stats.validator, stats.sync.pending, since, age, self.bound_ticks
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::CheckScenario;
+    use crate::scenario::{CheckScenario, FetchFault, FetchFaultKind, SleepWindow, SyncMode};
 
     #[test]
     fn good_case_bound_is_tight_and_holds() {
@@ -162,5 +223,38 @@ mod tests {
         let tight = report_builder(1);
         assert!(!tight.is_empty());
         assert_eq!(tight[0].invariant, "bounded-decision-latency");
+    }
+
+    /// A napper that sleeps past the recovery archive's window (so
+    /// announcements alone cannot heal its gap — only fetches can) and
+    /// whose fetch traffic is dropped until the end of the run: parked
+    /// messages can never resolve. The scenario-derived bound tolerates
+    /// the (whole-run) declared fault window, but a zero bound must
+    /// flag the stall — proving the check actually measures pending age.
+    #[test]
+    fn stalled_fetch_is_detected_by_a_tight_bound() {
+        let delta = 4u64;
+        let scenario = CheckScenario {
+            // Views span 4Δ; the archive retains ~3 views, so a 5-view
+            // nap leaves a gap only the fetch subprotocol could close.
+            sleeps: vec![SleepWindow { validator: 0, from: 3 * delta, until: 24 * delta }],
+            sync: SyncMode::DropRecover,
+            fetch_faults: vec![FetchFault {
+                validator: 0,
+                from: 24 * delta,
+                until: 1_000_000,
+                kind: FetchFaultKind::Drop,
+            }],
+            ..CheckScenario::fault_free(6, delta, 12, 3)
+        };
+        let report = scenario.run_report();
+        let napper = report.validators[0].expect("napper is honest");
+        assert!(napper.sync.pending > 0, "the permanent drop must strand parked messages");
+        let tight = NoStalledFetch { bound_ticks: 0 }.check(&report);
+        assert!(!tight.is_empty(), "a zero bound must flag the stall");
+        assert_eq!(tight[0].invariant, NoStalledFetch::NAME);
+        // The scenario bound absorbs the declared fault window, so the
+        // run_report-appended check stayed quiet for this schedule.
+        assert!(NoStalledFetch::for_scenario(&scenario).check(&report).is_empty());
     }
 }

@@ -16,7 +16,11 @@
 //! * [`ScenarioSpace`] samples scenarios *inside* the sleepy model
 //!   (misbehaving set capped at `⌊(n−1)/2⌋`), where every invariant
 //!   must hold; [`ScenarioSpace::hostile`] samples beyond the bound to
-//!   manufacture genuine violations.
+//!   manufacture genuine violations. Churny samples may flip to the
+//!   practical drop+recover semantics and gain *fetch corruptions*
+//!   (drop/delay windows over the delta-sync `BlockRequest` /
+//!   `BlockResponse` traffic), with the end-of-run [`NoStalledFetch`]
+//!   check guarding the catch-up machinery's liveness.
 //! * [`checker::run`] explores on `tobsvd-sweep`'s scoped-thread
 //!   work-stealing runner — one derived RNG per execution, so reports
 //!   (and their fingerprints) are bit-identical for any thread count.
@@ -62,16 +66,18 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+mod faults;
 mod invariants;
 mod repro;
 mod scenario;
 mod shrink;
 
 pub use checker::{derive_seed, scenario_at, CheckConfig, CheckReport, Failure};
-pub use invariants::{BoundedDecisionLatency, ChainGrowth};
+pub use faults::{FetchFaultDelay, FetchFaultFilter};
+pub use invariants::{BoundedDecisionLatency, ChainGrowth, NoStalledFetch};
 pub use repro::{Reproducer, REPRO_VERSION};
 pub use scenario::{
-    ByzStrategy, CheckScenario, Corruption, DelayKind, ExecutionVerdict, ScenarioSpace,
-    SleepWindow, OBSERVER_SAFETY,
+    ByzStrategy, CheckScenario, Corruption, DelayKind, ExecutionVerdict, FetchFault,
+    FetchFaultKind, ScenarioSpace, SleepWindow, SyncMode, OBSERVER_SAFETY,
 };
 pub use shrink::{shrink, ShrinkResult};

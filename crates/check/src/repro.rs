@@ -16,7 +16,10 @@
 
 use std::fmt::Write as _;
 
-use crate::scenario::{ByzStrategy, CheckScenario, Corruption, DelayKind, SleepWindow};
+use crate::scenario::{
+    ByzStrategy, CheckScenario, Corruption, DelayKind, FetchFault, FetchFaultKind, SleepWindow,
+    SyncMode,
+};
 
 /// Current artifact format version.
 pub const REPRO_VERSION: u64 = 1;
@@ -63,6 +66,7 @@ impl Reproducer {
         let _ = writeln!(out, "    \"views\": {},", s.views);
         let _ = writeln!(out, "    \"seed\": {},", s.seed);
         let _ = writeln!(out, "    \"delay\": \"{}\",", s.delay.tag());
+        let _ = writeln!(out, "    \"sync\": \"{}\",", s.sync.tag());
         let _ = writeln!(out, "    \"txs_per_view\": {},", s.txs_per_view);
         let _ = write!(out, "    \"byz\": [");
         for (i, (v, strat)) in s.byz.iter().enumerate() {
@@ -90,6 +94,21 @@ impl Reproducer {
                 let _ = write!(out, ", ");
             }
             let _ = write!(out, "{{\"validator\": {}, \"at\": {}}}", c.validator, c.at);
+        }
+        let _ = writeln!(out, "],");
+        let _ = write!(out, "    \"fetch_faults\": [");
+        for (i, f) in s.fetch_faults.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"validator\": {}, \"from\": {}, \"until\": {}, \"kind\": \"{}\"}}",
+                f.validator,
+                f.from,
+                f.until,
+                f.kind.tag()
+            );
         }
         let _ = writeln!(out, "]");
         let _ = writeln!(out, "  }}");
@@ -147,6 +166,30 @@ impl Reproducer {
                 at: o.req("at")?.as_u64("corruption at")?,
             });
         }
+        // Delta-sync fields are optional (artifacts predating the sync
+        // plane default to the buffered model with no faults).
+        let sync = match s.opt("sync") {
+            None => SyncMode::Buffered,
+            Some(v) => {
+                let tag = v.as_str("sync")?;
+                SyncMode::from_tag(tag).ok_or_else(|| format!("unknown sync mode {tag:?}"))?
+            }
+        };
+        let mut fetch_faults = Vec::new();
+        if let Some(arr) = s.opt("fetch_faults") {
+            for item in arr.as_arr("fetch_faults")? {
+                let o = item.as_obj("fetch fault")?;
+                let tag = o.req("kind")?.as_str("fetch fault kind")?;
+                let kind = FetchFaultKind::from_tag(tag)
+                    .ok_or_else(|| format!("unknown fetch fault kind {tag:?}"))?;
+                fetch_faults.push(FetchFault {
+                    validator: o.req("validator")?.as_u32("fetch fault validator")?,
+                    from: o.req("from")?.as_u64("fetch fault from")?,
+                    until: o.req("until")?.as_u64("fetch fault until")?,
+                    kind,
+                });
+            }
+        }
 
         Ok(Reproducer {
             scenario: CheckScenario {
@@ -159,6 +202,8 @@ impl Reproducer {
                 byz,
                 sleeps,
                 corruptions,
+                sync,
+                fetch_faults,
             },
             invariants,
         })
@@ -238,11 +283,11 @@ mod json {
 
     impl<'a> Obj<'a> {
         pub fn req(&self, key: &str) -> Result<&'a Value, String> {
-            self.0
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field {key:?}"))
+            self.opt(key).ok_or_else(|| format!("missing field {key:?}"))
+        }
+
+        pub fn opt(&self, key: &str) -> Option<&'a Value> {
+            self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
         }
     }
 
@@ -422,6 +467,13 @@ mod tests {
                 byz: vec![(3, ByzStrategy::SplitBrain), (4, ByzStrategy::Silent)],
                 sleeps: vec![SleepWindow { validator: 1, from: 4, until: 9 }],
                 corruptions: vec![Corruption { validator: 2, at: 6 }],
+                sync: SyncMode::DropRecover,
+                fetch_faults: vec![FetchFault {
+                    validator: 1,
+                    from: 9,
+                    until: 14,
+                    kind: FetchFaultKind::Drop,
+                }],
             },
             invariants: vec!["prefix-agreement".into(), "no-conflicting-anchor".into()],
         }
@@ -461,6 +513,25 @@ mod tests {
         let parsed = Reproducer::from_json(&json).expect("escaped names parse");
         assert_eq!(parsed, repro);
         assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn pre_delta_sync_artifacts_still_parse() {
+        // An artifact emitted before the sync fields existed: the
+        // optional fields default to the buffered model with no faults,
+        // and re-emission upgrades it to the canonical new form.
+        let json = sample().to_json();
+        let legacy = json
+            .replace("    \"sync\": \"drop-recover\",\n", "")
+            .replace(
+                ",\n    \"fetch_faults\": [{\"validator\": 1, \"from\": 9, \"until\": 14, \"kind\": \"drop\"}]",
+                "",
+            );
+        assert_ne!(legacy, json, "test must actually strip the new fields");
+        let parsed = Reproducer::from_json(&legacy).expect("legacy artifact parses");
+        assert_eq!(parsed.scenario.sync, SyncMode::Buffered);
+        assert!(parsed.scenario.fetch_faults.is_empty());
+        assert!(parsed.to_json().contains("\"sync\": \"buffered\""));
     }
 
     #[test]

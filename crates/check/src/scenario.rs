@@ -19,7 +19,8 @@ use tobsvd_sim::{
 };
 use tobsvd_types::{Delta, Time, ValidatorId, View};
 
-use crate::invariants::{BoundedDecisionLatency, ChainGrowth};
+use crate::faults::{FetchFaultDelay, FetchFaultFilter};
+use crate::invariants::{BoundedDecisionLatency, ChainGrowth, NoStalledFetch};
 
 /// Byzantine node strategy for a from-genesis corrupted validator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,6 +125,84 @@ pub struct Corruption {
     pub at: u64,
 }
 
+/// Sleep semantics + catch-up machinery of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// The model's idealized buffering: messages to asleep validators
+    /// are delivered in full at wake. No fetch traffic ever arises.
+    Buffered,
+    /// The practical §2 setting: messages to asleep validators are
+    /// dropped; wakers catch up via `RECOVERY` announcements and the
+    /// delta-sync `BlockRequest`/`BlockResponse` fetch subprotocol —
+    /// the machinery the fetch corruptions attack.
+    DropRecover,
+}
+
+impl SyncMode {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SyncMode::Buffered => "buffered",
+            SyncMode::DropRecover => "drop-recover",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "buffered" => Some(SyncMode::Buffered),
+            "drop-recover" => Some(SyncMode::DropRecover),
+            _ => None,
+        }
+    }
+}
+
+/// What a fetch fault does to the targeted validator's sync traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchFaultKind {
+    /// Suppress the copies outright (outside the synchrony model — the
+    /// retry machinery must recover once the window closes).
+    Drop,
+    /// Stretch the copies to the full Δ (worst case the synchrony
+    /// model allows).
+    Delay,
+}
+
+impl FetchFaultKind {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FetchFaultKind::Drop => "drop",
+            FetchFaultKind::Delay => "delay",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "drop" => Some(FetchFaultKind::Drop),
+            "delay" => Some(FetchFaultKind::Delay),
+            _ => None,
+        }
+    }
+}
+
+/// One fetch corruption: during `[from, until)` ticks, every
+/// `BlockRequest`/`BlockResponse` copy sent by *or addressed to*
+/// `validator` is dropped or worst-case-delayed. Announcements are
+/// untouched — the attack targets exactly the catch-up subprotocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchFault {
+    /// The validator whose sync traffic is attacked.
+    pub validator: u32,
+    /// First faulty tick.
+    pub from: u64,
+    /// First clean tick again (exclusive end).
+    pub until: u64,
+    /// Drop or delay.
+    pub kind: FetchFaultKind,
+}
+
 /// A fully-specified, deterministic, replayable execution schedule.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CheckScenario {
@@ -145,6 +224,10 @@ pub struct CheckScenario {
     pub sleeps: Vec<SleepWindow>,
     /// Mid-run corruptions (replacement strategy: silent).
     pub corruptions: Vec<Corruption>,
+    /// Sleep semantics (buffered model vs practical drop + recovery).
+    pub sync: SyncMode,
+    /// Fetch-subprotocol corruptions (drop/delay windows).
+    pub fetch_faults: Vec<FetchFault>,
 }
 
 /// The checker's summary of one executed scenario.
@@ -213,6 +296,8 @@ impl CheckScenario {
             byz: Vec::new(),
             sleeps: Vec::new(),
             corruptions: Vec::new(),
+            sync: SyncMode::Buffered,
+            fetch_faults: Vec::new(),
         }
     }
 
@@ -228,12 +313,13 @@ impl CheckScenario {
             && self.byz.iter().all(|(v, _)| *v < n)
             && self.sleeps.iter().all(|w| w.validator < n && w.from < w.until)
             && self.corruptions.iter().all(|c| c.validator < n)
+            && self.fetch_faults.iter().all(|f| f.validator < n && f.from < f.until)
     }
 
     /// Total number of adversarial/churn ingredients — the size metric
     /// shrinking minimizes (after views).
     pub fn complexity(&self) -> usize {
-        self.byz.len() + self.sleeps.len() + self.corruptions.len()
+        self.byz.len() + self.sleeps.len() + self.corruptions.len() + self.fetch_faults.len()
     }
 
     /// Whether nothing adversarial is scheduled (enables the
@@ -309,10 +395,13 @@ impl CheckScenario {
         assert!(self.is_valid(), "invalid scenario: {self:?}");
         let n = self.n as usize;
         let delta = Delta::new(self.delta);
+        let drop_mode = self.sync == SyncMode::DropRecover;
         let mut builder = TobSimulationBuilder::new(n)
             .views(self.views)
             .seed(self.seed)
             .delta(delta)
+            .drop_while_asleep(drop_mode)
+            .recovery(drop_mode)
             .workload(if self.txs_per_view == 0 {
                 TxWorkload::None
             } else {
@@ -320,14 +409,34 @@ impl CheckScenario {
             })
             .participation(self.participation());
 
-        builder = match self.delay {
-            DelayKind::Uniform => builder.delay(Box::new(UniformDelay)),
-            DelayKind::WorstCase => builder.delay(Box::new(WorstCaseDelay)),
-            DelayKind::BestCase => builder.delay(Box::new(BestCaseDelay)),
-            DelayKind::EvenOddSplit => builder.delay(Box::new(SplitDelay::new(
+        let base_delay: Box<dyn tobsvd_sim::DelayPolicy> = match self.delay {
+            DelayKind::Uniform => Box::new(UniformDelay),
+            DelayKind::WorstCase => Box::new(WorstCaseDelay),
+            DelayKind::BestCase => Box::new(BestCaseDelay),
+            DelayKind::EvenOddSplit => Box::new(SplitDelay::new(
                 ValidatorId::all(n).filter(|v| v.index() % 2 == 0),
-            ))),
+            )),
         };
+        let delay_faults: Vec<FetchFault> = self
+            .fetch_faults
+            .iter()
+            .filter(|f| f.kind == FetchFaultKind::Delay)
+            .copied()
+            .collect();
+        builder = if delay_faults.is_empty() {
+            builder.delay(base_delay)
+        } else {
+            builder.delay(Box::new(FetchFaultDelay::new(base_delay, delay_faults)))
+        };
+        let drop_faults: Vec<FetchFault> = self
+            .fetch_faults
+            .iter()
+            .filter(|f| f.kind == FetchFaultKind::Drop)
+            .copied()
+            .collect();
+        if !drop_faults.is_empty() {
+            builder = builder.delivery_filter(Box::new(FetchFaultFilter::new(drop_faults)));
+        }
 
         let half_a: Vec<ValidatorId> =
             ValidatorId::all(n).filter(|v| v.index() % 2 == 0).collect();
@@ -372,7 +481,16 @@ impl CheckScenario {
             builder = builder.invariant(Box::new(ChainGrowth::new()));
         }
 
-        builder.run().expect("validated scenario")
+        let mut report = builder.run().expect("validated scenario");
+        // End-of-run fetch-liveness check: no honest validator may end
+        // the run with a message parked past the scenario's stall bound.
+        // Appended to the engine's violations so the verdict, shrinker
+        // and reproducers treat it like any other invariant.
+        report
+            .report
+            .invariant_violations
+            .extend(NoStalledFetch::for_scenario(self).check(&report));
+        report
     }
 
     /// Runs the scenario and condenses the result into a verdict.
@@ -414,6 +532,13 @@ pub struct ScenarioSpace {
     /// Sample adversary/churn budgets beyond the model's corruption
     /// bound (guarantees eventual genuine violations).
     pub overload: bool,
+    /// Attack the delta-sync plane: scenarios with churn may flip to
+    /// the practical drop+recover semantics and gain fetch-corruption
+    /// windows (drop/delay of `BlockRequest`/`BlockResponse` traffic).
+    pub fetch_attack: bool,
+    /// Max fetch-corruption windows per scenario (only sampled for
+    /// drop+recover scenarios).
+    pub max_fetch_faults: u32,
 }
 
 impl Default for ScenarioSpace {
@@ -426,6 +551,8 @@ impl Default for ScenarioSpace {
             max_sleep_windows: 3,
             max_corruptions: 1,
             overload: false,
+            fetch_attack: true,
+            max_fetch_faults: 2,
         }
     }
 }
@@ -434,8 +561,10 @@ impl ScenarioSpace {
     /// A space of model-breaking scenarios: more than `⌊(n−1)/2⌋`
     /// split-brain equivocators, guaranteed to eventually produce real
     /// safety violations — the shrinking demo's hunting ground.
+    /// (`fetch_attack` stays off: the hunt targets vote equivocation,
+    /// and the pinned shrink fixture predates the sync plane.)
     pub fn hostile() -> Self {
-        ScenarioSpace { overload: true, ..ScenarioSpace::default() }
+        ScenarioSpace { overload: true, fetch_attack: false, ..ScenarioSpace::default() }
     }
 
     /// Samples one scenario. Pure function of the RNG state — the
@@ -511,6 +640,32 @@ impl ScenarioSpace {
             corruptions.sort_by_key(|c: &Corruption| (c.validator, c.at));
         }
 
+        // Half of the churny scenarios run the practical drop+recover
+        // semantics, where the fetch subprotocol actually carries
+        // traffic — and may then get fetch-corruption windows aimed at
+        // the misbehaving pool (an untouched honest majority remains,
+        // so every invariant must still hold).
+        let mut sync = SyncMode::Buffered;
+        let mut fetch_faults: Vec<FetchFault> = Vec::new();
+        if self.fetch_attack && !sleeps.is_empty() && rng.gen_range(0..2) == 0 {
+            sync = SyncMode::DropRecover;
+            if !rest.is_empty() {
+                let n_faults = rng.gen_range(0..=self.max_fetch_faults);
+                for _ in 0..n_faults {
+                    let v = rest[rng.gen_range(0..rest.len())];
+                    let kind = if rng.gen_range(0..2) == 0 {
+                        FetchFaultKind::Drop
+                    } else {
+                        FetchFaultKind::Delay
+                    };
+                    let from = rng.gen_range(0..horizon.max(1));
+                    let len = rng.gen_range(1..=(4 * delta).max(2));
+                    fetch_faults.push(FetchFault { validator: v, from, until: from + len, kind });
+                }
+                fetch_faults.sort_by_key(|f: &FetchFault| (f.validator, f.from, f.until));
+            }
+        }
+
         CheckScenario {
             n,
             delta,
@@ -521,6 +676,8 @@ impl ScenarioSpace {
             byz,
             sleeps,
             corruptions,
+            sync,
+            fetch_faults,
         }
     }
 }
@@ -549,10 +706,73 @@ mod tests {
             byz: vec![(4, ByzStrategy::SplitBrain)],
             sleeps: vec![SleepWindow { validator: 2, from: 10, until: 40 }],
             corruptions: vec![Corruption { validator: 3, at: 32 }],
+            sync: SyncMode::DropRecover,
+            fetch_faults: vec![FetchFault {
+                validator: 2,
+                from: 40,
+                until: 56,
+                kind: FetchFaultKind::Drop,
+            }],
         };
         let a = scenario.run();
         let b = scenario.run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_recover_scenario_with_fetch_faults_passes_in_bound() {
+        // A napper under drop semantics whose fetch traffic is attacked
+        // in a bounded window: retries must recover, every invariant
+        // (incl. no-stalled-fetch) must hold, and the run must actually
+        // exercise the fetch subprotocol.
+        let delta = 4u64;
+        let scenario = CheckScenario {
+            n: 6,
+            delta,
+            views: 10,
+            seed: 7,
+            delay: DelayKind::BestCase,
+            txs_per_view: 1,
+            byz: Vec::new(),
+            // Nap across a whole view so the forwarding tail of an
+            // entire view's traffic is dropped.
+            sleeps: vec![SleepWindow { validator: 0, from: 3 * delta, until: 8 * delta }],
+            corruptions: Vec::new(),
+            sync: SyncMode::DropRecover,
+            fetch_faults: vec![
+                FetchFault {
+                    validator: 0,
+                    from: 8 * delta,
+                    until: 11 * delta,
+                    kind: FetchFaultKind::Drop,
+                },
+                FetchFault {
+                    validator: 0,
+                    from: 11 * delta,
+                    until: 13 * delta,
+                    kind: FetchFaultKind::Delay,
+                },
+            ],
+        };
+        let report = scenario.run_report();
+        let verdict = ExecutionVerdict {
+            violations: report.report.invariant_violations.clone(),
+            observer_safe: report.report.safe,
+            decided_blocks: report.decided_blocks(),
+            executed_ticks: report.report.metrics.executed_ticks,
+        };
+        assert!(verdict.passed(), "violations: {:?}", verdict.violations);
+        assert!(
+            report.report.metrics.filtered > 0,
+            "the drop window must actually suppress fetch copies"
+        );
+        let napper = report.validators[0].expect("napper is honest");
+        assert!(
+            napper.sync.blocks_fetched > 0 || napper.sync.requests_sent > 0,
+            "the napper must exercise the fetch machinery: {:?}",
+            napper.sync
+        );
+        assert_eq!(napper.sync.pending, 0, "all parked messages must resolve by run end");
     }
 
     #[test]
@@ -578,6 +798,7 @@ mod tests {
     fn default_space_samples_valid_model_compliant_scenarios() {
         let space = ScenarioSpace::default();
         let mut rng = StdRng::seed_from_u64(1);
+        let (mut drop_recover, mut with_faults) = (0, 0);
         for _ in 0..200 {
             let s = space.sample(&mut rng);
             assert!(s.is_valid(), "invalid sample: {s:?}");
@@ -585,13 +806,24 @@ mod tests {
             let mut misbehaving: Vec<u32> = s.byz.iter().map(|(v, _)| *v).collect();
             misbehaving.extend(s.sleeps.iter().map(|w| w.validator));
             misbehaving.extend(s.corruptions.iter().map(|c| c.validator));
+            misbehaving.extend(s.fetch_faults.iter().map(|f| f.validator));
             misbehaving.sort_unstable();
             misbehaving.dedup();
             assert!(
                 misbehaving.len() <= bound,
                 "misbehaving set {misbehaving:?} exceeds bound {bound} in {s:?}"
             );
+            if s.sync == SyncMode::DropRecover {
+                drop_recover += 1;
+            }
+            if !s.fetch_faults.is_empty() {
+                with_faults += 1;
+                assert_eq!(s.sync, SyncMode::DropRecover, "faults only make sense with fetches");
+            }
         }
+        // The space genuinely attacks the sync plane (not vacuous).
+        assert!(drop_recover >= 20, "only {drop_recover} drop-recover samples");
+        assert!(with_faults >= 10, "only {with_faults} fetch-fault samples");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! for a smaller scenario that still violates one of the *same*
 //! invariants: it shortens the horizon, drops Byzantine cast members,
 //! delta-debugs the churn event list (dropping halves before
-//! singletons), removes mid-run corruptions, strips the workload,
-//! shrinks Δ, compacts validator ids and shrinks `n`, and canonicalizes
-//! the delay policy and seed.
+//! singletons), removes mid-run corruptions and fetch-corruption
+//! windows (falling back to the buffered sync mode when the fetch
+//! dimension is not load-bearing), strips the workload, shrinks Δ,
+//! compacts validator ids and shrinks `n`, and canonicalizes the delay
+//! policy and seed.
 //! Candidates are re-executed to confirm the failure survives; the
 //! result is a locally-minimal reproducer — removing any single
 //! remaining ingredient makes the violation disappear.
@@ -15,7 +17,7 @@
 //! seed-driven, so the same failing scenario always shrinks to the same
 //! minimal reproducer.
 
-use crate::scenario::{CheckScenario, DelayKind};
+use crate::scenario::{CheckScenario, DelayKind, SyncMode};
 
 /// The outcome of a shrink search.
 #[derive(Clone, Debug)]
@@ -165,6 +167,26 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
             },
         );
 
+        // 4b. Drop fetch-corruption windows, then simplify the sync
+        //     mode back to the buffered model (which removes the whole
+        //     fetch dimension when it is not load-bearing).
+        progressed |= ddmin_list(
+            &mut search,
+            &mut current,
+            |c| c.fetch_faults.len(),
+            |c, a, b| {
+                c.fetch_faults.drain(a..b);
+            },
+        );
+        if current.sync != SyncMode::Buffered
+            && search.attempt(&mut current, |c| {
+                c.sync = SyncMode::Buffered;
+                c.fetch_faults.clear();
+            })
+        {
+            progressed = true;
+        }
+
         // 5. Strip the workload.
         if current.txs_per_view > 0 && search.attempt(&mut current, |c| c.txs_per_view = 0) {
             progressed = true;
@@ -189,6 +211,7 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
             .map(|(v, _)| *v)
             .chain(current.sleeps.iter().map(|w| w.validator))
             .chain(current.corruptions.iter().map(|c| c.validator))
+            .chain(current.fetch_faults.iter().map(|f| f.validator))
             .collect();
         referenced.sort_unstable();
         referenced.dedup();
@@ -204,6 +227,9 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
                 }
                 for corr in &mut c.corruptions {
                     corr.validator = rank(corr.validator);
+                }
+                for f in &mut c.fetch_faults {
+                    f.validator = rank(f.validator);
                 }
             }) {
                 progressed = true;

@@ -24,7 +24,10 @@
 //! [`tobsvd_sim::Node`]); [`TobSimulationBuilder`] assembles whole-network
 //! simulations; [`ViewSchedule`] carries the Figure 3 timing algebra;
 //! [`leader`] has the VRF election helpers used by the Lemma 2
-//! experiments.
+//! experiments; [`sync`] implements the content-addressed delta-sync
+//! plane (block knowledge tracking, the bounded pending set, and the
+//! `BlockRequest`/`BlockResponse` fetch subprotocol that also carries
+//! the §2 recovery path's block content).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +36,12 @@ mod config;
 pub mod leader;
 mod protocol;
 mod schedule;
+pub mod sync;
 mod validator;
 
 pub use config::TobConfig;
 pub use leader::ProposalTracker;
-pub use protocol::{TobReport, TobSimulationBuilder, TxWorkload};
+pub use protocol::{SyncStats, TobReport, TobSimulationBuilder, TxWorkload};
 pub use schedule::ViewSchedule;
+pub use sync::{Resolution, SyncState};
 pub use validator::Validator;

@@ -4,7 +4,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tobsvd_sim::{
     AdvanceMode, AdversaryController, ByzantineFactory, CorruptionSchedule, DecisionRecord,
-    DelayPolicy, Invariant, Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
+    DelayPolicy, DeliveryFilter, Invariant, Node, ParticipationSchedule, SimConfig, SimReport,
+    Simulation,
 };
 use tobsvd_types::{
     BlockStore, Delta, Time, Transaction, ValidatorId, View,
@@ -70,6 +71,7 @@ pub struct TobSimulationBuilder {
     corruption: CorruptionSchedule,
     byzantine: Vec<(ValidatorId, ByzantineNodeFactory)>,
     delay: Option<Box<dyn DelayPolicy>>,
+    filter: Option<Box<dyn DeliveryFilter>>,
     controller: Option<Box<dyn AdversaryController>>,
     byz_factory: Option<ByzantineFactory>,
     recovery: bool,
@@ -115,6 +117,7 @@ impl TobSimulationBuilder {
             corruption: CorruptionSchedule::none(),
             byzantine: Vec::new(),
             delay: None,
+            filter: None,
             controller: None,
             byz_factory: None,
             recovery: false,
@@ -206,6 +209,13 @@ impl TobSimulationBuilder {
     /// Network delay policy (defaults to uniform random in [1, Δ]).
     pub fn delay(mut self, d: Box<dyn DelayPolicy>) -> Self {
         self.delay = Some(d);
+        self
+    }
+
+    /// Per-copy delivery filter (lossy-network adversary; none by
+    /// default) — the model checker's fetch-dropping corruptions.
+    pub fn delivery_filter(mut self, f: Box<dyn DeliveryFilter>) -> Self {
+        self.filter = Some(f);
         self
     }
 
@@ -302,6 +312,9 @@ impl TobSimulationBuilder {
         if let Some(d) = self.delay {
             builder = builder.delay(d);
         }
+        if let Some(f) = self.filter {
+            builder = builder.delivery_filter(f);
+        }
         if let Some(c) = self.controller {
             builder = builder.controller(c);
         }
@@ -329,12 +342,22 @@ impl TobSimulationBuilder {
                 .as_any()
                 .downcast_ref::<Validator>()
                 .expect("honest slots hold Validators");
+            let sync = val.sync();
             validators.push(Some(ValidatorStats {
                 validator: v,
                 decided_len: val.decided().len(),
                 votes_cast: val.votes_cast(),
                 proposals_made: val.proposals_made(),
                 decisions_made: val.decisions_made(),
+                sync: SyncStats {
+                    pending: sync.pending_len(),
+                    oldest_pending_since: sync.oldest_pending_since(),
+                    blocks_fetched: sync.blocks_fetched(),
+                    requests_sent: sync.requests_sent(),
+                    responses_served: sync.responses_served(),
+                    parked_total: sync.parked_total(),
+                    evicted: sync.evicted(),
+                },
             }));
         }
 
@@ -373,6 +396,28 @@ pub struct ValidatorStats {
     pub proposals_made: u64,
     /// Decide-phase outputs reported.
     pub decisions_made: u64,
+    /// Delta-sync statistics.
+    pub sync: SyncStats,
+}
+
+/// Per-validator delta-sync statistics, snapshotted at run end (the
+/// evidence base for the checker's `no-stalled-fetch` invariant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncStats {
+    /// Messages still parked at run end.
+    pub pending: usize,
+    /// Arrival time of the oldest still-parked message.
+    pub oldest_pending_since: Option<Time>,
+    /// Blocks learned through fetch responses.
+    pub blocks_fetched: u64,
+    /// Fetch requests sent (including retries).
+    pub requests_sent: u64,
+    /// Fetch responses served to peers.
+    pub responses_served: u64,
+    /// Messages ever parked.
+    pub parked_total: u64,
+    /// Parked messages evicted by the FIFO cap.
+    pub evicted: u64,
 }
 
 /// Result of a [`TobSimulationBuilder::run`].

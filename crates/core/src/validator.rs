@@ -7,12 +7,13 @@ use tobsvd_ga::Ga3;
 use tobsvd_sim::gossip::GossipState;
 use tobsvd_sim::{Context, Node};
 use tobsvd_types::{
-    BlockStore, InstanceId, Log, Payload, SignedMessage, View,
+    wire, BlockId, BlockStore, InstanceId, Log, Payload, SignedMessage, ValidatorId, View,
 };
 
 use crate::config::TobConfig;
 use crate::leader::{verify_vrf, vrf_for, ProposalTracker};
 use crate::schedule::{ViewSchedule, ViewPhase};
+use crate::sync::{Resolution, SyncState};
 
 /// An honest TOB-SVD validator.
 ///
@@ -40,6 +41,8 @@ pub struct Validator {
     /// Bounded archive of recent messages, served to recovering peers
     /// (§2 recovery protocol). Keyed by the view the message belongs to.
     archive: BTreeMap<View, Vec<SignedMessage>>,
+    /// Delta-sync state: block knowledge, bounded pending set, fetches.
+    sync: SyncState,
     /// Whether the node has started (first wake consumed).
     started: bool,
     /// Instrumentation: original `LOG` broadcasts (votes) made.
@@ -65,6 +68,7 @@ impl Validator {
             gossip: GossipState::new(),
             decided: Log::genesis(store),
             archive: BTreeMap::new(),
+            sync: SyncState::new(store),
             started: false,
             votes_cast: 0,
             proposals_made: 0,
@@ -102,6 +106,12 @@ impl Validator {
     /// Number of recovery requests this validator answered.
     pub fn recoveries_served(&self) -> u64 {
         self.recoveries_served
+    }
+
+    /// Delta-sync state (pending set, fetch stats) — read-only view for
+    /// reports and invariant checks.
+    pub fn sync(&self) -> &SyncState {
+        &self.sync
     }
 
     /// The GA instance for view `v`, if currently live.
@@ -142,6 +152,8 @@ impl Validator {
             .pending_for_at(&candidate, &ctx.store, ctx.time);
         txs.truncate(self.cfg.max_txs_per_block);
         let proposal_log = candidate.extend(&ctx.store, self.me, v, txs);
+        // We built this block: its content is known to us by definition.
+        self.sync.mark_own(proposal_log.tip());
         let (vrf, proof) = vrf_for(self.me, v);
         let msg = SignedMessage::sign(
             &self.keypair,
@@ -238,6 +250,121 @@ impl Validator {
     fn sender_key(sender: tobsvd_types::ValidatorId) -> tobsvd_crypto::PublicKey {
         Keypair::from_seed(sender.key_seed()).public()
     }
+
+    /// Issues a `BlockRequest` for the chain ending at `missing`:
+    /// targeted at `target` for the first attempt, broadcast on retries
+    /// (`target = None`) so any honest awake peer can answer.
+    fn request_blocks(&mut self, missing: BlockId, target: Option<ValidatorId>, ctx: &mut Context) {
+        let from_height = self.sync.fetch_start(missing, &ctx.store);
+        let msg = SignedMessage::sign(
+            &self.keypair,
+            self.me,
+            Payload::BlockRequest { tip: missing, from_height },
+        );
+        match target {
+            Some(t) => ctx.multicast(vec![t], msg),
+            None => ctx.broadcast(msg),
+        }
+    }
+
+    /// Serves a fetch: responds with the requested chain range if we
+    /// know (can vouch for) the tip. Responses are capped at
+    /// [`wire::MAX_FETCH_BLOCKS`]; a longer gap is served lowest-first
+    /// and the requester re-requests the rest once its knowledge grows.
+    fn serve_fetch(
+        &mut self,
+        requester: ValidatorId,
+        tip: BlockId,
+        from_height: u64,
+        ctx: &mut Context,
+    ) {
+        if requester == self.me || !self.sync.knows(tip) {
+            return;
+        }
+        let Some(tip_height) = ctx.store.height(tip) else {
+            return;
+        };
+        if from_height == 0 || from_height > tip_height {
+            return;
+        }
+        let full = tip_height - from_height + 1;
+        // A gap wider than one response is served *top-first*: the
+        // requester asked for `tip` specifically, and serving the
+        // bottom would let a from_height hint that never advances
+        // (e.g. the session layer's full-resync retries) re-fetch the
+        // same lowest range forever. The requester fetches the
+        // still-unanchored range below via the anchor-fetch fallback
+        // in `on_blocks`, so arbitrarily deep gaps close in
+        // O(gap / MAX_FETCH_BLOCKS) round trips.
+        let (from_height, count) = if full > wire::MAX_FETCH_BLOCKS {
+            (tip_height - wire::MAX_FETCH_BLOCKS + 1, wire::MAX_FETCH_BLOCKS)
+        } else {
+            (from_height, full)
+        };
+        let msg = SignedMessage::sign(
+            &self.keypair,
+            self.me,
+            Payload::BlockResponse { tip, from_height, count },
+        );
+        ctx.multicast(vec![requester], msg);
+        self.sync.note_served();
+    }
+
+    /// Absorbs a fetch response; parked messages it resolved replay via
+    /// [`Validator::drain_pending`]. A response that cannot anchor yet
+    /// (a capped, top-first range whose bottom we are still missing)
+    /// triggers a fetch of the anchor chain below it instead.
+    fn on_blocks(&mut self, sender: ValidatorId, tip: BlockId, from_height: u64, ctx: &mut Context) {
+        if self.sync.accept_response(tip, from_height, &ctx.store) == 0 {
+            if from_height > 1 {
+                if let Some(anchor) = ctx.store.ancestor_at(tip, from_height - 1) {
+                    if !self.sync.knows(anchor) && self.sync.should_fetch(anchor) {
+                        self.request_blocks(anchor, Some(sender), ctx);
+                        self.sync.note_requested(anchor, ctx.time);
+                    }
+                }
+            }
+            return;
+        }
+        self.drain_pending(ctx);
+    }
+
+    /// Resolution gate in front of the protocol state machine: a message
+    /// referencing unknown blocks is parked and fetched instead of
+    /// processed. Every processed message may grow the knowledge set
+    /// (its inline window), so the pending set is drained afterwards —
+    /// a parked message's gap can close through ordinary announcements,
+    /// not just fetch responses.
+    fn on_protocol_message(&mut self, msg: &SignedMessage, ctx: &mut Context) {
+        self.handle_or_park(msg, ctx);
+        self.drain_pending(ctx);
+    }
+
+    fn handle_or_park(&mut self, msg: &SignedMessage, ctx: &mut Context) {
+        let Some(log) = msg.payload().log() else {
+            return;
+        };
+        match self.sync.resolve(&log, &ctx.store) {
+            Resolution::Resolved => self.process(msg, ctx),
+            Resolution::Missing(missing) => {
+                if self.sync.park(missing, *msg, ctx.time) {
+                    self.request_blocks(missing, Some(msg.sender()), ctx);
+                    self.sync.note_requested(missing, ctx.time);
+                }
+            }
+        }
+    }
+
+    /// Replays parked messages whose gaps have closed, to a fixpoint
+    /// (a replay may absorb a window that unblocks the next one; it may
+    /// also re-park on a deeper gap, issuing the next fetch).
+    fn drain_pending(&mut self, ctx: &mut Context) {
+        while self.sync.has_resolvable() {
+            for msg in self.sync.take_resolved() {
+                self.handle_or_park(&msg, ctx);
+            }
+        }
+    }
 }
 
 impl Node for Validator {
@@ -265,7 +392,14 @@ impl Node for Validator {
 
     fn on_phase(&mut self, ctx: &mut Context) {
         let (v, phase) = self.sched.phase_at(ctx.time);
-        // Drive the ongoing GA instances first: the TOB phase at this
+        // Retry unanswered fetches first (as broadcasts, so any honest
+        // awake peer can answer a request whose original target dropped
+        // it, slept, or turned Byzantine).
+        let retry_after = SyncState::RETRY_AFTER_DELTAS * ctx.delta.ticks();
+        for missing in self.sync.stale_requests(ctx.time, retry_after) {
+            self.request_blocks(missing, None, ctx);
+        }
+        // Drive the ongoing GA instances: the TOB phase at this
         // boundary consumes outputs computed at this very time (Figure 3
         // arrows land on the phase they feed).
         let (time, delta) = (ctx.time, ctx.delta);
@@ -287,6 +421,23 @@ impl Node for Validator {
         if !msg.verify(&Self::sender_key(msg.sender())) {
             return;
         }
+        // Fetch traffic bypasses gossip entirely: it is point-to-point
+        // transport (never re-broadcast), serving is idempotent, and a
+        // retry is a byte-identical re-sign of the original request —
+        // the seen-set would silently discard every retry at a peer
+        // that could not serve the first copy (and would grow with
+        // transport chatter).
+        match msg.payload() {
+            Payload::BlockRequest { tip, from_height } => {
+                self.serve_fetch(msg.sender(), *tip, *from_height, ctx);
+                return;
+            }
+            Payload::BlockResponse { tip, from_height, .. } => {
+                self.on_blocks(msg.sender(), *tip, *from_height, ctx);
+                return;
+            }
+            _ => {}
+        }
         let reception = self.gossip.on_receive(msg);
         if reception.forward {
             ctx.forward(*msg);
@@ -294,6 +445,26 @@ impl Node for Validator {
         if !reception.fresh {
             return;
         }
+        self.on_protocol_message(msg, ctx);
+    }
+
+    fn label(&self) -> &'static str {
+        "tob-svd"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl Validator {
+    /// The protocol state machine proper, entered only with fully
+    /// resolved messages (every referenced block known).
+    fn process(&mut self, msg: &SignedMessage, ctx: &mut Context) {
         let current = View::of_time(ctx.time, ctx.delta);
         match msg.payload() {
             Payload::Log { instance, log } => {
@@ -327,19 +498,9 @@ impl Node for Validator {
             // Finality votes belong to the gadget layered on top
             // (tobsvd-finality); the base protocol ignores them.
             Payload::FinalityVote { .. } => {}
+            // Handled one layer up, before the resolution gate.
+            Payload::BlockRequest { .. } | Payload::BlockResponse { .. } => {}
         }
-    }
-
-    fn label(&self) -> &'static str {
-        "tob-svd"
-    }
-
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }
 
@@ -449,7 +610,8 @@ mod tests {
         val.on_phase(&mut ctx);
         match ctx.outbox() {
             [tobsvd_sim::Outgoing::Broadcast(m)] => {
-                assert!(m.payload().log().is_genesis(&store), "forged proposal ignored");
+                let log = m.payload().log().expect("LOG carries a log");
+                assert!(log.is_genesis(&store), "forged proposal ignored");
             }
             other => panic!("expected one broadcast, got {other:?}"),
         }
@@ -465,6 +627,103 @@ mod tests {
         val.on_phase(&mut ctx);
         assert!(ctx.decisions().is_empty());
         assert_eq!(val.decisions_made(), 0);
+    }
+
+    #[test]
+    fn oversized_fetch_is_served_top_first() {
+        // A request spanning more than MAX_FETCH_BLOCKS must be served
+        // from the *top* of the range: the requester asked for `tip`,
+        // and bottom-first serving would let a never-advancing
+        // from_height hint re-fetch the same lowest range forever.
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(2);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let blocks = tobsvd_types::wire::MAX_FETCH_BLOCKS + 10;
+        let mut log = Log::genesis(&store);
+        for i in 0..blocks {
+            log = log.extend_empty(&store, ValidatorId::new(0), View::new(i + 1));
+            // Grow knowledge one block at a time (the inline window).
+            let mut ctx = ctx_at(0, &store);
+            let kp = Keypair::from_seed(ValidatorId::new(1).key_seed());
+            // Distinct instances: gossip allows only two distinct votes
+            // per (sender, instance), and the resolution gate runs for
+            // every fresh message regardless of the GA's view window.
+            let msg = SignedMessage::sign(
+                &kp,
+                ValidatorId::new(1),
+                Payload::Vote { instance: InstanceId(i), log },
+            );
+            val.on_message(&msg, &mut ctx);
+        }
+        let kp = Keypair::from_seed(ValidatorId::new(1).key_seed());
+        let req = SignedMessage::sign(
+            &kp,
+            ValidatorId::new(1),
+            Payload::BlockRequest { tip: log.tip(), from_height: 1 },
+        );
+        let mut ctx = ctx_at(8, &store);
+        val.on_message(&req, &mut ctx);
+        match ctx.outbox() {
+            [tobsvd_sim::Outgoing::Multicast(targets, m)] => {
+                assert_eq!(targets, &vec![ValidatorId::new(1)]);
+                match m.payload() {
+                    Payload::BlockResponse { tip, from_height, count } => {
+                        assert_eq!(*tip, log.tip());
+                        assert_eq!(*count, tobsvd_types::wire::MAX_FETCH_BLOCKS);
+                        assert_eq!(
+                            *from_height,
+                            blocks - tobsvd_types::wire::MAX_FETCH_BLOCKS + 1,
+                            "capped response must cover the top of the range"
+                        );
+                    }
+                    p => panic!("expected BlockResponse, got {p:?}"),
+                }
+            }
+            other => panic!("expected one targeted response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_requests_are_served_even_after_duplicate_sightings() {
+        // Regression: retries are byte-identical re-signs of the
+        // original request; gossip dedup must not swallow them. A peer
+        // that could not serve the first copy (tip unknown) must serve
+        // the identical retry once it learns the chain.
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(3);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let log = Log::genesis(&store).extend_empty(&store, ValidatorId::new(1), View::new(1));
+        let kp = Keypair::from_seed(ValidatorId::new(2).key_seed());
+        let req = SignedMessage::sign(
+            &kp,
+            ValidatorId::new(2),
+            Payload::BlockRequest { tip: log.tip(), from_height: 1 },
+        );
+        // First sighting: tip unknown, nothing served.
+        let mut ctx = ctx_at(1, &store);
+        val.on_message(&req, &mut ctx);
+        assert!(ctx.outbox().is_empty(), "cannot serve an unknown tip");
+        // The peer learns the chain (a vote's inline window carries it).
+        let kp1 = Keypair::from_seed(ValidatorId::new(1).key_seed());
+        let vote = SignedMessage::sign(
+            &kp1,
+            ValidatorId::new(1),
+            Payload::Vote { instance: InstanceId(0), log },
+        );
+        let mut ctx = ctx_at(2, &store);
+        val.on_message(&vote, &mut ctx);
+        // The byte-identical retry must now be served.
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&req, &mut ctx);
+        assert!(
+            ctx.outbox().iter().any(|o| matches!(
+                o,
+                tobsvd_sim::Outgoing::Multicast(_, m)
+                    if matches!(m.payload(), Payload::BlockResponse { .. })
+            )),
+            "retry swallowed: {:?}",
+            ctx.outbox()
+        );
     }
 
     #[test]

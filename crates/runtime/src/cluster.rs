@@ -85,6 +85,12 @@ pub struct NodeOutcome {
     pub votes_cast: u64,
     /// Frames it received / sent.
     pub frames: (u64, u64),
+    /// Announcement bytes (received, sent).
+    pub announce_bytes: (u64, u64),
+    /// Fetch-subprotocol bytes (received, sent).
+    pub sync_bytes: (u64, u64),
+    /// Blocks learned through fetch responses.
+    pub blocks_fetched: u64,
 }
 
 /// Report of a cluster run.
@@ -103,6 +109,9 @@ impl ClusterReport {
                 decided_len: o.decided.len(),
                 votes_cast: o.votes_cast,
                 frames: (o.frames_received, o.frames_sent),
+                announce_bytes: (o.wire.announce_bytes_in, o.wire.announce_bytes_out),
+                sync_bytes: (o.wire.sync_bytes_in, o.wire.sync_bytes_out),
+                blocks_fetched: o.blocks_fetched,
             })
             .collect()
     }

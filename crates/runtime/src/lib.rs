@@ -3,9 +3,10 @@
 //! The same sans-io [`tobsvd_core::Validator`] that runs under the
 //! discrete-event simulator runs here against a real network: one OS
 //! thread per node, a full TCP mesh with length-prefixed frames encoded
-//! by [`tobsvd_types::wire`] (full logs on the wire, as the paper's
-//! O(L·n³) accounting assumes), and a shared-epoch tick clock standing
-//! in for the model's synchronized clocks.
+//! by [`tobsvd_types::wire`] (content-addressed delta sync: hash
+//! announcements plus `BlockRequest`/`BlockResponse` fetches, so wire
+//! bytes per message are O(1) in chain length), and a shared-epoch tick
+//! clock standing in for the model's synchronized clocks.
 //!
 //! This crate is the "would a downstream user actually deploy this?"
 //! proof: no simulator types cross the boundary — only wire bytes.
@@ -29,4 +30,4 @@ mod node;
 pub use clock::TickClock;
 pub use cluster::{ClusterConfig, ClusterError, ClusterReport, LocalCluster, NodeOutcome};
 pub use codec::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-pub use node::{NodeConfig, NodeHandle};
+pub use node::{NodeConfig, NodeHandle, WireStats};

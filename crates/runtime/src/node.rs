@@ -8,23 +8,47 @@
 //!   [`Validator::on_message`], fires `on_phase` on Δ-boundaries, and
 //!   writes the collected outgoing messages to the peer mesh.
 //!
-//! Each node owns a private [`BlockStore`]; logs cross the network as
-//! full block chains (wire codec), so stores converge by content
-//! address.
+//! Each node owns a private [`BlockStore`], and the message plane is
+//! **content-addressed delta sync**: log-carrying frames are hash
+//! announcements (tip hash + parent-hash list + a one-block inline
+//! window — see `tobsvd_types::wire`), so per-message wire bytes are
+//! O(1) in chain length. Stores converge through two cooperating fetch
+//! layers backed by the same `BlockRequest`/`BlockResponse` payloads:
+//!
+//! * **session layer** (this module): a frame that fails to decode with
+//!   [`wire::WireError::MissingBlocks`] is parked (bounded FIFO) and a
+//!   `BlockRequest` for the missing id goes back to the frame's sender;
+//!   once a response lands the blocks in the local store, parked frames
+//!   are re-decoded and fed to the validator. Unanswered session
+//!   fetches are re-broadcast at phase boundaries.
+//! * **protocol layer** (`tobsvd_core::sync`): the validator's own
+//!   knowledge tracking, pending set and fetch emission — identical to
+//!   the simulator's, because the validator is sans-io.
+//!
+//! Fetch responses are served from the local store by the validator
+//! (`serve_fetch`); the codec expands the referenced range into block
+//! bodies on encode and inserts them on decode.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::{Buf, Bytes};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use tobsvd_core::{TobConfig, Validator};
+use tobsvd_crypto::Keypair;
 use tobsvd_sim::{Context, Mempool, Node as SimNode, Outgoing};
-use tobsvd_types::{wire, BlockStore, Delta, Log, SignedMessage, Time, Transaction, ValidatorId};
+use tobsvd_types::{
+    wire, BlockId, BlockStore, Delta, Log, Payload, SignedMessage, Time, Transaction, ValidatorId,
+};
 
 use crate::clock::TickClock;
 use crate::codec::{read_frame, write_frame};
+
+/// Maximum frames parked at the session layer awaiting fetched blocks.
+const PARKED_FRAMES_CAP: usize = 256;
 
 /// Configuration of one node.
 #[derive(Clone, Debug)]
@@ -39,6 +63,25 @@ pub struct NodeConfig {
     pub run_ticks: u64,
     /// Transactions to seed into this node's pool at start.
     pub seed_txs: Vec<Transaction>,
+}
+
+/// Per-kind wire-byte accounting of one node's run (both directions),
+/// mirroring the simulator's per-kind metrics on the real network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireStats {
+    /// Announcement (LOG/PROPOSAL/VOTE/RECOVERY/FINALITY) bytes received.
+    pub announce_bytes_in: u64,
+    /// Announcement bytes sent.
+    pub announce_bytes_out: u64,
+    /// Fetch-subprotocol (`BlockRequest`/`BlockResponse`) bytes received.
+    pub sync_bytes_in: u64,
+    /// Fetch-subprotocol bytes sent.
+    pub sync_bytes_out: u64,
+    /// Frames parked at the session layer pending block fetches.
+    pub frames_parked: u64,
+    /// Session-layer fetch requests issued (excludes the validator's own
+    /// protocol-layer fetches).
+    pub session_fetches: u64,
 }
 
 /// What a node reports after its run.
@@ -56,6 +99,11 @@ pub struct NodeOutcomeInner {
     pub frames_received: u64,
     /// Frames sent.
     pub frames_sent: u64,
+    /// Per-kind wire-byte accounting.
+    pub wire: WireStats,
+    /// Blocks this node learned through fetch responses
+    /// (protocol-layer).
+    pub blocks_fetched: u64,
 }
 
 /// Handle to a running node (join to get its outcome).
@@ -89,6 +137,27 @@ impl JoinExt for std::thread::JoinHandle<NodeOutcomeInner> {
     }
 }
 
+/// A raw frame awaiting block content, with its fetch coordinates.
+struct ParkedFrame {
+    missing: BlockId,
+    from_height: u64,
+    raw: Bytes,
+}
+
+/// What a reader thread hands to the node loop.
+enum Inbound {
+    /// A fully decoded message (`bytes` = frame payload length).
+    Msg(SignedMessage, u64),
+    /// A well-formed frame referencing blocks the store lacks: park it,
+    /// fetch `missing` starting at `from_height` from `from`.
+    NeedBlocks {
+        raw: Bytes,
+        missing: BlockId,
+        from_height: u64,
+        from: Option<ValidatorId>,
+    },
+}
+
 /// Spawns a node: `listener` accepts inbound mesh connections; `peers`
 /// maps every other validator to its listen address; `clock` is the
 /// shared epoch clock.
@@ -105,6 +174,16 @@ pub fn spawn_node(
     NodeHandle { join }
 }
 
+/// Claimed sender id of a wire frame (decodable even when the chain
+/// does not resolve yet: it sits at a fixed offset).
+fn frame_sender(frame: &Bytes) -> Option<ValidatorId> {
+    if frame.len() < 5 {
+        return None;
+    }
+    let mut buf = frame.slice(1..5);
+    Some(ValidatorId::new(buf.get_u32()))
+}
+
 fn run_node(
     cfg: NodeConfig,
     listener: TcpListener,
@@ -118,9 +197,10 @@ fn run_node(
     }
     let tob_cfg = TobConfig::new(cfg.n).with_delta(cfg.delta);
     let mut validator = Validator::new(cfg.me, tob_cfg, &store);
+    let keypair = Keypair::from_seed(cfg.me.key_seed());
 
     // Inbox fed by reader threads (and by our own loopback).
-    let (tx_in, rx_in): (Sender<SignedMessage>, Receiver<SignedMessage>) = unbounded();
+    let (tx_in, rx_in): (Sender<Inbound>, Receiver<Inbound>) = unbounded();
 
     // Acceptor thread: owns the listener for the whole run.
     let acceptor_store = store.clone();
@@ -165,6 +245,11 @@ fn run_node(
 
     let mut frames_sent = 0u64;
     let mut frames_received = 0u64;
+    let mut wire_stats = WireStats::default();
+    // Session-layer pending: parked raw frames keyed (in order) by the
+    // block id whose arrival unblocks them, plus the latest
+    // fetch-start hint (refreshed on every failed re-decode).
+    let mut parked: VecDeque<ParkedFrame> = VecDeque::new();
 
     // The node loop.
     for tick in 0..=cfg.run_ticks {
@@ -172,18 +257,110 @@ fn run_node(
         let now = Time::new(tick);
 
         // Drain inbox.
-        while let Ok(msg) = rx_in.try_recv() {
-            frames_received += 1;
-            let mut ctx = Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
-            validator.on_message(&msg, &mut ctx);
-            frames_sent += flush(&mut ctx, &store, &outbound, &tx_in, cfg.me);
+        while let Ok(inbound) = rx_in.try_recv() {
+            match inbound {
+                Inbound::Msg(msg, bytes) => {
+                    frames_received += 1;
+                    if msg.payload().is_sync() {
+                        wire_stats.sync_bytes_in += bytes;
+                    } else {
+                        wire_stats.announce_bytes_in += bytes;
+                    }
+                    let was_response = matches!(msg.payload(), Payload::BlockResponse { .. });
+                    let mut ctx =
+                        Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
+                    validator.on_message(&msg, &mut ctx);
+                    frames_sent +=
+                        flush(&mut ctx, &store, &outbound, &tx_in, cfg.me, &mut wire_stats);
+                    if was_response {
+                        // New blocks may have landed: replay parked frames.
+                        retry_parked(
+                            &mut parked,
+                            &mut validator,
+                            &store,
+                            &mempool,
+                            now,
+                            cfg.me,
+                            cfg.delta,
+                            &outbound,
+                            &tx_in,
+                            &mut frames_sent,
+                            &mut wire_stats,
+                        );
+                    }
+                }
+                Inbound::NeedBlocks { raw, missing, from_height, from } => {
+                    frames_received += 1;
+                    if frame_is_sync(&raw) {
+                        wire_stats.sync_bytes_in += raw.len() as u64;
+                    } else {
+                        wire_stats.announce_bytes_in += raw.len() as u64;
+                    }
+                    wire_stats.frames_parked += 1;
+                    if parked.len() >= PARKED_FRAMES_CAP {
+                        parked.pop_front();
+                    }
+                    parked.push_back(ParkedFrame { missing, from_height, raw });
+                    // Ask the frame's sender for the gap (any peer can
+                    // answer the phase-boundary re-broadcasts below).
+                    let req = SignedMessage::sign(
+                        &keypair,
+                        cfg.me,
+                        Payload::BlockRequest { tip: missing, from_height },
+                    );
+                    wire_stats.session_fetches += 1;
+                    frames_sent += send_direct(
+                        &req,
+                        from,
+                        &store,
+                        &outbound,
+                        &mut wire_stats,
+                    );
+                }
+            }
         }
 
         // Phase boundary.
         if now.is_phase_boundary(cfg.delta) {
+            // A parked frame's missing block may have landed through an
+            // announcement's inline window (not only a BlockResponse):
+            // re-decode before re-requesting, so the node never fetches
+            // blocks it already holds.
+            if !parked.is_empty() {
+                retry_parked(
+                    &mut parked,
+                    &mut validator,
+                    &store,
+                    &mempool,
+                    now,
+                    cfg.me,
+                    cfg.delta,
+                    &outbound,
+                    &tx_in,
+                    &mut frames_sent,
+                    &mut wire_stats,
+                );
+            }
+            // Re-broadcast session-layer fetches for still-parked
+            // frames, from each frame's latest decode-derived start
+            // hint (any peer can answer).
+            let mut asked: Vec<BlockId> = Vec::new();
+            for frame in &parked {
+                if asked.contains(&frame.missing) {
+                    continue;
+                }
+                asked.push(frame.missing);
+                let req = SignedMessage::sign(
+                    &keypair,
+                    cfg.me,
+                    Payload::BlockRequest { tip: frame.missing, from_height: frame.from_height },
+                );
+                wire_stats.session_fetches += 1;
+                frames_sent += send_direct(&req, None, &store, &outbound, &mut wire_stats);
+            }
             let mut ctx = Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
             validator.on_phase(&mut ctx);
-            frames_sent += flush(&mut ctx, &store, &outbound, &tx_in, cfg.me);
+            frames_sent += flush(&mut ctx, &store, &outbound, &tx_in, cfg.me, &mut wire_stats);
         }
     }
 
@@ -196,11 +373,53 @@ fn run_node(
     NodeOutcomeInner {
         me: cfg.me,
         decided: validator.decided(),
+        blocks_fetched: validator.sync().blocks_fetched(),
         store,
         votes_cast: validator.votes_cast(),
         frames_received,
         frames_sent,
+        wire: wire_stats,
     }
+}
+
+/// Feeds one re-decoded parked frame batch back through the validator.
+/// Frames that still miss blocks keep (or refresh) their fetch
+/// coordinates from the new decode error.
+#[allow(clippy::too_many_arguments)]
+fn retry_parked(
+    parked: &mut VecDeque<ParkedFrame>,
+    validator: &mut Validator,
+    store: &BlockStore,
+    mempool: &Mempool,
+    now: Time,
+    me: ValidatorId,
+    delta: Delta,
+    outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
+    loopback: &Sender<Inbound>,
+    frames_sent: &mut u64,
+    wire_stats: &mut WireStats,
+) {
+    let mut keep: VecDeque<ParkedFrame> = VecDeque::with_capacity(parked.len());
+    while let Some(frame) = parked.pop_front() {
+        match wire::decode_message(frame.raw.clone(), store) {
+            Ok(msg) => {
+                let mut ctx = Context::new(now, me, delta, store.clone(), mempool.clone());
+                validator.on_message(&msg, &mut ctx);
+                *frames_sent += flush(&mut ctx, store, outbound, loopback, me, wire_stats);
+            }
+            Err(wire::WireError::MissingBlocks { missing, from_height }) => {
+                keep.push_back(ParkedFrame { missing, from_height, raw: frame.raw });
+            }
+            Err(_) => { /* malformed beyond repair: drop it */ }
+        }
+    }
+    *parked = keep;
+}
+
+/// Whether a raw frame carries a fetch-subprotocol payload (tag byte at
+/// the fixed offset after version + sender).
+fn frame_is_sync(frame: &Bytes) -> bool {
+    matches!(frame.get(5), Some(5 | 6))
 }
 
 fn dial_with_retry(addr: SocketAddr, until: std::time::Instant) -> Option<TcpStream> {
@@ -221,19 +440,33 @@ fn dial_with_retry(addr: SocketAddr, until: std::time::Instant) -> Option<TcpStr
 fn reader_loop(
     mut stream: TcpStream,
     store: BlockStore,
-    tx: Sender<SignedMessage>,
+    tx: Sender<Inbound>,
     deadline: std::time::Instant,
 ) {
     loop {
         match read_frame(&mut stream) {
-            Ok(bytes) => match wire::decode_message(bytes, &store) {
-                Ok(msg) => {
-                    if tx.send(msg).is_err() {
-                        return;
+            Ok(bytes) => {
+                let n = bytes.len() as u64;
+                match wire::decode_message(bytes.clone(), &store) {
+                    Ok(msg) => {
+                        if tx.send(Inbound::Msg(msg, n)).is_err() {
+                            return;
+                        }
                     }
+                    Err(wire::WireError::MissingBlocks { missing, from_height }) => {
+                        let inbound = Inbound::NeedBlocks {
+                            from: frame_sender(&bytes),
+                            raw: bytes,
+                            missing,
+                            from_height,
+                        };
+                        if tx.send(inbound).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => { /* malformed frame: drop it */ }
                 }
-                Err(_) => { /* malformed frame: drop it */ }
-            },
+            }
             Err(crate::codec::FrameError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -247,14 +480,41 @@ fn reader_loop(
     }
 }
 
+/// Writes one message to a single peer (or all peers when `to` is
+/// `None`); returns frames written.
+fn send_direct(
+    msg: &SignedMessage,
+    to: Option<ValidatorId>,
+    store: &BlockStore,
+    outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
+    wire_stats: &mut WireStats,
+) -> u64 {
+    let bytes = wire::encode_message(msg, store);
+    let mut sent = 0u64;
+    let targets: Vec<ValidatorId> = match to {
+        Some(t) => vec![t],
+        None => outbound.keys().copied().collect(),
+    };
+    for target in targets {
+        if let Some(stream) = outbound.get(&target) {
+            if write_frame(&mut *stream.lock(), &bytes).is_ok() {
+                wire_stats.sync_bytes_out += bytes.len() as u64;
+                sent += 1;
+            }
+        }
+    }
+    sent
+}
+
 /// Sends a context's collected actions over the mesh; returns frames
 /// written. Self-copies go through the loopback channel.
 fn flush(
     ctx: &mut Context,
     store: &BlockStore,
     outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
-    loopback: &Sender<SignedMessage>,
+    loopback: &Sender<Inbound>,
     me: ValidatorId,
+    wire_stats: &mut WireStats,
 ) -> u64 {
     let mut sent = 0u64;
     for action in ctx.take_outbox() {
@@ -265,13 +525,21 @@ fn flush(
             Outgoing::ForwardTo(t, m) | Outgoing::Multicast(t, m) => (t, m),
         };
         let bytes = wire::encode_message(&msg, store);
+        let is_sync = msg.payload().is_sync();
         for target in targets {
             if target == me {
-                let _ = loopback.send(msg);
+                // Self-copies never cross the network: charge 0 bytes
+                // so the per-kind in/out stats reconcile across nodes.
+                let _ = loopback.send(Inbound::Msg(msg, 0));
                 continue;
             }
             if let Some(stream) = outbound.get(&target) {
                 if write_frame(&mut *stream.lock(), &bytes).is_ok() {
+                    if is_sync {
+                        wire_stats.sync_bytes_out += bytes.len() as u64;
+                    } else {
+                        wire_stats.announce_bytes_out += bytes.len() as u64;
+                    }
                     sent += 1;
                 }
             }

@@ -11,6 +11,8 @@
 //! sleep changes apply from the next tick and never affect Byzantine
 //! validators (which are always awake).
 
+use std::sync::Arc;
+
 use tobsvd_types::{SignedMessage, Time, ValidatorId};
 
 /// What the adversary saw happen during one tick.
@@ -19,8 +21,10 @@ pub struct TickView<'a> {
     /// The tick that just completed.
     pub time: Time,
     /// Messages sent (originals and forwards) during this tick, in send
-    /// order. The network adversary observes all traffic.
-    pub sent: &'a [SignedMessage],
+    /// order. The network adversary observes all traffic. Entries are
+    /// the engine's shared per-broadcast handles — the same allocation
+    /// every delivery event of that broadcast points at.
+    pub sent: &'a [Arc<SignedMessage>],
 }
 
 /// Commands an adversary controller may issue.

@@ -44,19 +44,20 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tobsvd_types::{
-    BlockStore, Log, Payload, SignedMessage, Time, ValidatorId,
+    wire, BlockStore, Log, Payload, SignedMessage, Time, ValidatorId,
 };
 
 use crate::config::SimConfig;
 use crate::controller::{AdversaryCommand, AdversaryController, NullController, TickView};
 use crate::invariant::{DecisionEvent, Invariant, InvariantViolation};
 use crate::mempool::Mempool;
-use crate::metrics::{MessageKind, Metrics, MESSAGE_ENVELOPE_BYTES};
-use crate::network::{DelayPolicy, UniformDelay};
+use crate::metrics::{MessageKind, Metrics};
+use crate::network::{DelayPolicy, DeliveryFilter, UniformDelay};
 use crate::node::{Context, IdleNode, Node, Outgoing};
 use crate::observer::{ConfirmedTx, DecisionObserver, DecisionRecord, SafetyViolation};
 use crate::schedule::{CorruptionSchedule, ParticipationSchedule};
@@ -89,12 +90,28 @@ enum EventKind {
     Deliver = 3,
 }
 
+/// One broadcast's shared delivery payload: the `Arc`'d message plus
+/// its byte accounting, computed once at send time (both lengths are
+/// invariant per message — blocks are immutable once stored) instead of
+/// re-derived for each of the n per-recipient deliveries.
+#[derive(Clone)]
+struct Delivery {
+    msg: Arc<SignedMessage>,
+    /// Exact wire encoding length under the delta-sync codec.
+    wire_len: u64,
+    /// Legacy full-chain accounting for the same message.
+    inline_len: u64,
+}
+
 struct Event {
     time: Time,
     kind: EventKind,
     seq: u64,
     target: ValidatorId,
-    msg: Option<SignedMessage>,
+    /// Delivery events share one `Arc`'d message per broadcast: the
+    /// engine allocates once in `apply_context` and every per-recipient
+    /// event holds a handle, not a deep copy.
+    msg: Option<Delivery>,
 }
 
 impl Event {
@@ -127,7 +144,7 @@ struct Slot {
     /// Whether the builder installed this slot's Byzantine node directly
     /// (in which case corruption events never swap it for the factory's).
     explicit_byzantine: bool,
-    buffer: Vec<SignedMessage>,
+    buffer: Vec<Arc<SignedMessage>>,
     /// (time, awake?) transition log for post-hoc compliance checking.
     transitions: Vec<(Time, bool)>,
 }
@@ -142,6 +159,7 @@ pub struct SimulationBuilder {
     participation: ParticipationSchedule,
     corruption: CorruptionSchedule,
     delay: Box<dyn DelayPolicy>,
+    filter: Option<Box<dyn DeliveryFilter>>,
     controller: Box<dyn AdversaryController>,
     byz_factory: ByzantineFactory,
     drop_while_asleep: bool,
@@ -160,6 +178,7 @@ impl SimulationBuilder {
             participation: ParticipationSchedule::always_awake(n),
             corruption: CorruptionSchedule::none(),
             delay: Box::new(UniformDelay),
+            filter: None,
             controller: Box::new(NullController),
             byz_factory: Box::new(|_, _| Box::new(IdleNode)),
             store: BlockStore::new(),
@@ -266,6 +285,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs a per-copy [`DeliveryFilter`] (lossy-network adversary;
+    /// none by default). Suppressed copies count in `Metrics::filtered`
+    /// and consume no RNG draw.
+    pub fn delivery_filter(mut self, f: Box<dyn DeliveryFilter>) -> Self {
+        self.filter = Some(f);
+        self
+    }
+
     /// Sets the live adversary controller.
     pub fn controller(mut self, c: Box<dyn AdversaryController>) -> Self {
         self.controller = c;
@@ -333,6 +360,7 @@ impl SimulationBuilder {
             participation: self.participation,
             corruption,
             delay: self.delay,
+            filter: self.filter,
             controller: self.controller,
             byz_factory: self.byz_factory,
         };
@@ -353,12 +381,13 @@ pub struct Simulation {
     participation: ParticipationSchedule,
     corruption: CorruptionSchedule,
     delay: Box<dyn DelayPolicy>,
+    filter: Option<Box<dyn DeliveryFilter>>,
     controller: Box<dyn AdversaryController>,
     byz_factory: ByzantineFactory,
     metrics: Metrics,
     observer: DecisionObserver,
     rng: StdRng,
-    sent_this_tick: Vec<SignedMessage>,
+    sent_this_tick: Vec<Arc<SignedMessage>>,
     /// When set, messages delivered to asleep validators are dropped
     /// instead of buffered (the §2 practical setting).
     drop_while_asleep: bool,
@@ -403,7 +432,13 @@ impl Simulation {
         }
     }
 
-    fn push_event(&mut self, time: Time, kind: EventKind, target: ValidatorId, msg: Option<SignedMessage>) {
+    fn push_event(
+        &mut self,
+        time: Time,
+        kind: EventKind,
+        target: ValidatorId,
+        msg: Option<Delivery>,
+    ) {
         self.seq += 1;
         self.events.push(Reverse(Event { time, kind, seq: self.seq, target, msg }));
     }
@@ -577,7 +612,7 @@ impl Simulation {
                 let t = self.time;
                 self.slots[idx].transitions.push((t, true));
                 // Deliver everything buffered while asleep, then on_wake.
-                let buffered: Vec<SignedMessage> = std::mem::take(&mut self.slots[idx].buffer);
+                let buffered: Vec<Arc<SignedMessage>> = std::mem::take(&mut self.slots[idx].buffer);
                 for msg in buffered {
                     self.call_node(idx, |node, ctx| node.on_message(&msg, ctx));
                 }
@@ -609,7 +644,8 @@ impl Simulation {
                     self.slots[idx].awake = true;
                     let t = self.time;
                     self.slots[idx].transitions.push((t, true));
-                    let buffered: Vec<SignedMessage> = std::mem::take(&mut self.slots[idx].buffer);
+                    let buffered: Vec<Arc<SignedMessage>> =
+                        std::mem::take(&mut self.slots[idx].buffer);
                     for msg in buffered {
                         self.call_node(idx, |node, ctx| node.on_message(&msg, ctx));
                     }
@@ -617,10 +653,17 @@ impl Simulation {
                 }
             }
             EventKind::Deliver => {
-                let msg = ev.msg.expect("deliver event carries a message");
-                self.metrics.deliveries += 1;
-                self.metrics.bytes_delivered +=
-                    MESSAGE_ENVELOPE_BYTES + msg.payload().log().nominal_size(&self.store);
+                let delivery = ev.msg.expect("deliver event carries a message");
+                // Byte accounting: the copy's actual wire encoding under
+                // the delta-sync codec, plus what the old full-chain
+                // codec would have shipped (for the savings ratio) —
+                // both computed once per broadcast at send time.
+                let msg = delivery.msg;
+                self.metrics.record_delivery(
+                    kind_of(msg.payload()),
+                    delivery.wire_len,
+                    delivery.inline_len,
+                );
                 if self.slots[idx].awake {
                     self.call_node(idx, |node, ctx| node.on_message(&msg, ctx));
                 } else if self.drop_while_asleep {
@@ -659,36 +702,39 @@ impl Simulation {
         let from = ValidatorId::new(idx as u32);
         let byzantine = self.slots[idx].byzantine;
         for out in ctx.outbox {
+            // One allocation (and one byte-length computation) per
+            // broadcast: every delivery event and the controller's tick
+            // view share the handle.
             match out {
                 Outgoing::Broadcast(msg) => {
                     self.metrics.record_broadcast(kind_of(msg.payload()));
-                    self.sent_this_tick.push(msg);
-                    self.deliver_to_all(from, msg);
+                    let delivery = self.share(msg);
+                    self.deliver_to_all(from, &delivery);
                 }
                 Outgoing::Forward(msg) => {
                     self.metrics.forwards += 1;
-                    self.sent_this_tick.push(msg);
-                    self.deliver_to_all(from, msg);
+                    let delivery = self.share(msg);
+                    self.deliver_to_all(from, &delivery);
                 }
                 Outgoing::ForwardTo(targets, msg) => {
                     self.metrics.forwards += 1;
-                    self.sent_this_tick.push(msg);
+                    let delivery = self.share(msg);
                     let mut seen = vec![false; self.cfg.n];
                     for to in targets {
                         if !seen[to.index()] {
                             seen[to.index()] = true;
-                            self.deliver_one(from, to, msg);
+                            self.deliver_one(from, to, &delivery);
                         }
                     }
                 }
                 Outgoing::Multicast(targets, msg) => {
                     self.metrics.record_broadcast(kind_of(msg.payload()));
-                    self.sent_this_tick.push(msg);
+                    let delivery = self.share(msg);
                     let mut seen = vec![false; self.cfg.n];
                     for to in targets {
                         if !seen[to.index()] {
                             seen[to.index()] = true;
-                            self.deliver_one(from, to, msg);
+                            self.deliver_one(from, to, &delivery);
                         }
                     }
                 }
@@ -732,24 +778,42 @@ impl Simulation {
         }
     }
 
-    fn deliver_to_all(&mut self, from: ValidatorId, msg: SignedMessage) {
+    /// Wraps an outgoing message into its shared per-broadcast handle,
+    /// computing both byte accountings exactly once.
+    fn share(&mut self, msg: SignedMessage) -> Delivery {
+        let wire_len = wire::encoded_len(&msg, &self.store);
+        let inline_len = wire::inline_equivalent_len(&msg, &self.store);
+        let msg = Arc::new(msg);
+        self.sent_this_tick.push(Arc::clone(&msg));
+        Delivery { msg, wire_len, inline_len }
+    }
+
+    fn deliver_to_all(&mut self, from: ValidatorId, delivery: &Delivery) {
         for to in ValidatorId::all(self.cfg.n) {
-            self.deliver_one(from, to, msg);
+            self.deliver_one(from, to, delivery);
         }
     }
 
-    fn deliver_one(&mut self, from: ValidatorId, to: ValidatorId, msg: SignedMessage) {
+    fn deliver_one(&mut self, from: ValidatorId, to: ValidatorId, delivery: &Delivery) {
         let delta = self.cfg.delta;
+        let msg = &delivery.msg;
         let delay = if from == to {
-            // A validator always has its own message on the next tick.
+            // A validator always has its own message on the next tick
+            // (and a lossy-network filter cannot touch the local copy).
             1
         } else {
+            if let Some(filter) = &mut self.filter {
+                if !filter.allow(msg, from, to, self.time) {
+                    self.metrics.filtered += 1;
+                    return;
+                }
+            }
             self.delay
-                .delay(&msg, from, to, self.time, delta, &mut self.rng)
+                .delay(msg, from, to, self.time, delta, &mut self.rng)
                 .clamp(1, delta.ticks() * self.max_delay_factor)
         };
         let at = self.time + delay;
-        self.push_event(at, EventKind::Deliver, to, Some(msg));
+        self.push_event(at, EventKind::Deliver, to, Some(delivery.clone()));
     }
 
     fn apply_command(&mut self, cmd: AdversaryCommand) {
@@ -832,6 +896,8 @@ fn kind_of(payload: &Payload) -> MessageKind {
         Payload::Vote { .. } => MessageKind::Vote,
         Payload::Recovery { .. } => MessageKind::Recovery,
         Payload::FinalityVote { .. } => MessageKind::FinalityVote,
+        Payload::BlockRequest { .. } => MessageKind::BlockRequest,
+        Payload::BlockResponse { .. } => MessageKind::BlockResponse,
     }
 }
 

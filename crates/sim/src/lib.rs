@@ -28,7 +28,13 @@
 //! Protocol logic plugs in through the sans-io [`Node`] trait; the
 //! engine ([`Simulation`]) owns the event loop, gossip bookkeeping
 //! helpers live in [`gossip`], workload generation in [`Mempool`], and
-//! measurement in [`Metrics`] and [`DecisionObserver`].
+//! measurement in [`Metrics`] and [`DecisionObserver`]. The network
+//! stores one `Arc`'d message per broadcast — delivery events carry the
+//! shared handle, not deep copies — and charges every delivered copy
+//! its exact delta-sync wire length, per message kind, alongside the
+//! legacy full-chain accounting (`Metrics::inline_equiv_bytes`). An
+//! optional [`DeliveryFilter`] models lossy-network adversaries for the
+//! fetch-corruption experiments.
 //!
 //! Run-time *invariants* — first-class predicates checked after every
 //! decision event (safety as prefix agreement, per-validator decision
@@ -69,7 +75,7 @@ pub use invariant::{
 };
 pub use mempool::{Mempool, TxRecord};
 pub use metrics::{MessageKind, Metrics};
-pub use network::{BestCaseDelay, DelayPolicy, UniformDelay, WorstCaseDelay};
+pub use network::{BestCaseDelay, DelayPolicy, DeliveryFilter, UniformDelay, WorstCaseDelay};
 pub use node::{Context, IdleNode, Node, Outgoing};
 pub use observer::{ConfirmedTx, DecisionObserver, DecisionRecord, SafetyViolation};
 pub use schedule::{CorruptionSchedule, ParticipationSchedule};

@@ -6,9 +6,18 @@
 //!   when every honest validator … sends a **new** message" (paper
 //!   footnote 3). We count original `LOG` broadcasts (GA inputs) and
 //!   `VOTE` broadcasts; proposals and forwards are not voting phases.
-//! * *communication complexity* — per-delivery message counts and
-//!   nominal byte counts (full-log sizes), whose growth vs `n` the
-//!   complexity experiment fits against O(n²)/O(n³).
+//! * *communication complexity* — per-delivery message counts and byte
+//!   counts, whose growth vs `n` the complexity experiment fits against
+//!   O(n²)/O(n³).
+//!
+//! Since the delta-sync refactor, byte accounting is two-sided and
+//! per-message-kind: [`Metrics::bytes_delivered`] is the *actual* wire
+//! encoding length of every delivered copy (hash announcements + fetch
+//! traffic, via `wire::encoded_len`), broken down per payload kind in
+//! the `*_bytes` counters; [`Metrics::inline_equiv_bytes`] accumulates,
+//! for the same deliveries, what the pre-delta-sync full-chain codec
+//! would have shipped (`wire::inline_equivalent_len`). The ratio of the
+//! two is the delta-sync saving, measurable in a single run.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +34,10 @@ pub enum MessageKind {
     Recovery,
     /// Finality-gadget vote (ebb-and-flow extension).
     FinalityVote,
+    /// Delta-sync block fetch request.
+    BlockRequest,
+    /// Delta-sync block fetch response.
+    BlockResponse,
 }
 
 /// Aggregated counters for one simulation run.
@@ -40,18 +53,45 @@ pub struct Metrics {
     pub recovery_broadcasts: u64,
     /// Original broadcasts of finality votes.
     pub finality_broadcasts: u64,
+    /// Block fetch requests sent (delta-sync subprotocol).
+    pub block_request_broadcasts: u64,
+    /// Block fetch responses sent (delta-sync subprotocol).
+    pub block_response_broadcasts: u64,
     /// Forwarded (re-broadcast or recovery-resent) messages.
     pub forwards: u64,
     /// Per-recipient message deliveries.
     pub deliveries: u64,
-    /// Nominal bytes delivered (full-log sizes + fixed envelope).
+    /// Actual wire bytes delivered (sum of every delivered copy's
+    /// encoded length under the delta-sync codec).
     pub bytes_delivered: u64,
+    /// Wire bytes the pre-delta-sync full-chain codec would have
+    /// delivered for the same non-fetch messages (nominal envelope +
+    /// full-log sizes). `inline_equiv_bytes / bytes_delivered` is the
+    /// delta-sync saving.
+    pub inline_equiv_bytes: u64,
+    /// Delivered bytes of `LOG` payloads.
+    pub log_bytes: u64,
+    /// Delivered bytes of `PROPOSAL` payloads.
+    pub proposal_bytes: u64,
+    /// Delivered bytes of `VOTE` payloads.
+    pub vote_bytes: u64,
+    /// Delivered bytes of `RECOVERY` payloads.
+    pub recovery_bytes: u64,
+    /// Delivered bytes of finality votes.
+    pub finality_bytes: u64,
+    /// Delivered bytes of block fetch requests.
+    pub block_request_bytes: u64,
+    /// Delivered bytes of block fetch responses.
+    pub block_response_bytes: u64,
     /// Messages buffered for asleep validators.
     pub buffered: u64,
     /// Messages dropped because the recipient was asleep (only in
     /// drop-while-asleep mode — the practical setting the §2 recovery
     /// protocol exists for).
     pub dropped: u64,
+    /// Message copies suppressed by an installed
+    /// [`crate::DeliveryFilter`] (fetch-corruption experiments).
+    pub filtered: u64,
     /// Decisions reported by nodes.
     pub decisions: u64,
     /// Ticks simulated (the horizon covered, regardless of advance mode).
@@ -64,9 +104,6 @@ pub struct Metrics {
     /// so the per-run relationship no longer holds.
     pub executed_ticks: u64,
 }
-
-/// Fixed per-message envelope overhead assumed by byte accounting.
-pub const MESSAGE_ENVELOPE_BYTES: u64 = 64;
 
 impl Metrics {
     /// Creates zeroed metrics.
@@ -82,6 +119,25 @@ impl Metrics {
             MessageKind::Vote => self.vote_broadcasts += 1,
             MessageKind::Recovery => self.recovery_broadcasts += 1,
             MessageKind::FinalityVote => self.finality_broadcasts += 1,
+            MessageKind::BlockRequest => self.block_request_broadcasts += 1,
+            MessageKind::BlockResponse => self.block_response_broadcasts += 1,
+        }
+    }
+
+    /// Records one delivered copy: `wire_bytes` under the delta-sync
+    /// codec, `inline_bytes` under the counterfactual full-chain codec.
+    pub fn record_delivery(&mut self, kind: MessageKind, wire_bytes: u64, inline_bytes: u64) {
+        self.deliveries += 1;
+        self.bytes_delivered += wire_bytes;
+        self.inline_equiv_bytes += inline_bytes;
+        match kind {
+            MessageKind::Log => self.log_bytes += wire_bytes,
+            MessageKind::Proposal => self.proposal_bytes += wire_bytes,
+            MessageKind::Vote => self.vote_bytes += wire_bytes,
+            MessageKind::Recovery => self.recovery_bytes += wire_bytes,
+            MessageKind::FinalityVote => self.finality_bytes += wire_bytes,
+            MessageKind::BlockRequest => self.block_request_bytes += wire_bytes,
+            MessageKind::BlockResponse => self.block_response_bytes += wire_bytes,
         }
     }
 
@@ -90,12 +146,33 @@ impl Metrics {
         self.log_broadcasts + self.vote_broadcasts
     }
 
-    /// Total original broadcasts of any kind.
+    /// Total original broadcasts of any protocol kind (fetch traffic is
+    /// transport, not protocol, and is excluded — see
+    /// [`Metrics::sync_broadcasts`]).
     pub fn total_broadcasts(&self) -> u64 {
         self.log_broadcasts
             + self.proposal_broadcasts
             + self.vote_broadcasts
             + self.recovery_broadcasts
+    }
+
+    /// Total fetch-subprotocol sends (requests + responses).
+    pub fn sync_broadcasts(&self) -> u64 {
+        self.block_request_broadcasts + self.block_response_broadcasts
+    }
+
+    /// Delivered bytes of the fetch subprotocol (requests + responses).
+    pub fn sync_bytes(&self) -> u64 {
+        self.block_request_bytes + self.block_response_bytes
+    }
+
+    /// Wire bytes delivered per decided block, or `None` before any
+    /// decision — the headline delta-sync efficiency metric.
+    pub fn bytes_per_decided_block(&self) -> Option<f64> {
+        if self.decisions == 0 {
+            return None;
+        }
+        Some(self.bytes_delivered as f64 / self.decisions as f64)
     }
 
     /// Merges another metrics bundle into this one. Counters sum
@@ -107,11 +184,22 @@ impl Metrics {
         self.vote_broadcasts += other.vote_broadcasts;
         self.recovery_broadcasts += other.recovery_broadcasts;
         self.finality_broadcasts += other.finality_broadcasts;
+        self.block_request_broadcasts += other.block_request_broadcasts;
+        self.block_response_broadcasts += other.block_response_broadcasts;
         self.forwards += other.forwards;
         self.deliveries += other.deliveries;
         self.bytes_delivered += other.bytes_delivered;
+        self.inline_equiv_bytes += other.inline_equiv_bytes;
+        self.log_bytes += other.log_bytes;
+        self.proposal_bytes += other.proposal_bytes;
+        self.vote_bytes += other.vote_bytes;
+        self.recovery_bytes += other.recovery_bytes;
+        self.finality_bytes += other.finality_bytes;
+        self.block_request_bytes += other.block_request_bytes;
+        self.block_response_bytes += other.block_response_bytes;
         self.buffered += other.buffered;
         self.dropped += other.dropped;
+        self.filtered += other.filtered;
         self.decisions += other.decisions;
         self.ticks = self.ticks.max(other.ticks);
         self.executed_ticks += other.executed_ticks;
@@ -129,9 +217,25 @@ mod tests {
         m.record_broadcast(MessageKind::Log);
         m.record_broadcast(MessageKind::Proposal);
         m.record_broadcast(MessageKind::Vote);
+        m.record_broadcast(MessageKind::BlockRequest);
+        m.record_broadcast(MessageKind::BlockResponse);
         assert_eq!(m.log_broadcasts, 2);
         assert_eq!(m.voting_messages(), 3);
-        assert_eq!(m.total_broadcasts(), 4);
+        assert_eq!(m.total_broadcasts(), 4, "fetch traffic is not a protocol broadcast");
+        assert_eq!(m.sync_broadcasts(), 2);
+    }
+
+    #[test]
+    fn delivery_accounting_is_per_kind_and_two_sided() {
+        let mut m = Metrics::new();
+        m.record_delivery(MessageKind::Log, 100, 1000);
+        m.record_delivery(MessageKind::BlockResponse, 700, 0);
+        assert_eq!(m.deliveries, 2);
+        assert_eq!(m.bytes_delivered, 800);
+        assert_eq!(m.inline_equiv_bytes, 1000);
+        assert_eq!(m.log_bytes, 100);
+        assert_eq!(m.block_response_bytes, 700);
+        assert_eq!(m.sync_bytes(), 700);
     }
 
     #[test]
@@ -139,11 +243,16 @@ mod tests {
         let mut a = Metrics::new();
         a.deliveries = 5;
         a.ticks = 10;
+        a.block_request_bytes = 3;
         let mut b = Metrics::new();
         b.deliveries = 7;
         b.ticks = 4;
+        b.block_request_bytes = 4;
+        b.filtered = 2;
         a.merge(&b);
         assert_eq!(a.deliveries, 12);
         assert_eq!(a.ticks, 10);
+        assert_eq!(a.block_request_bytes, 7);
+        assert_eq!(a.filtered, 2);
     }
 }

@@ -30,6 +30,29 @@ pub trait DelayPolicy: Send {
     ) -> u64;
 }
 
+/// Per-copy delivery veto, consulted before the delay draw.
+///
+/// A `DeliveryFilter` models a lossy network adversary: returning
+/// `false` suppresses that copy entirely (counted in
+/// `Metrics::filtered`), which is *stronger* than anything a
+/// [`DelayPolicy`] may do — delays are clamped into the synchrony
+/// window, drops step outside the model. The model checker uses filters
+/// to attack the delta-sync fetch subprotocol (dropping
+/// `BlockRequest`/`BlockResponse` copies in bounded windows) and to
+/// verify that fetch retries recover. Self-copies (`from == to`) are
+/// never filtered. The default configuration installs no filter.
+pub trait DeliveryFilter: Send {
+    /// Whether the copy of `msg` from `from` to `to` sent at `at` may
+    /// be delivered.
+    fn allow(
+        &mut self,
+        msg: &SignedMessage,
+        from: ValidatorId,
+        to: ValidatorId,
+        at: Time,
+    ) -> bool;
+}
+
 /// Uniform random delay in `[1, Δ]` — the "benign network" default.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct UniformDelay;

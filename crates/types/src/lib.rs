@@ -14,9 +14,15 @@
 //! * [`Payload`], [`SignedMessage`], [`InstanceId`] — the `LOG` message
 //!   of §3.3 plus the auxiliary `PROPOSAL` (leader election) and `VOTE`
 //!   (Momose–Ren background GA, §4) payloads.
-//! * [`wire`] — a hand-rolled, length-prefixed binary codec used by the
-//!   real TCP runtime; LOG messages carry full logs on the wire, exactly
-//!   the O(L·n³) accounting of Table 1.
+//! * [`wire`] — a hand-rolled binary codec used by the real TCP runtime
+//!   and the simulator's byte accounting. Since the delta-sync refactor,
+//!   log-carrying messages cross the wire as *hash announcements* (tip
+//!   hash + parent-hash list + a one-block inline window); missing
+//!   content is fetched with [`Payload::BlockRequest`] /
+//!   [`Payload::BlockResponse`], so per-message wire bytes are O(1) in
+//!   chain length instead of the O(L) full-chain shipping of Table 1's
+//!   accounting (retained as [`wire::inline_equivalent_len`] for
+//!   comparison).
 //!
 //! # Example
 //!
@@ -34,6 +40,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Fixed per-message envelope overhead assumed by the *nominal*
+/// (pre-delta-sync) byte accounting — see
+/// [`wire::inline_equivalent_len`].
+pub const ENVELOPE_NOMINAL_BYTES: u64 = 64;
 
 mod block;
 mod ids;

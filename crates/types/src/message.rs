@@ -11,6 +11,12 @@
 //! * [`Payload::Vote`] — the `VOTE` message of the background Momose–Ren
 //!   GA (§4); unused by TOB-SVD itself.
 //!
+//! Two further payloads implement the content-addressed delta-sync
+//! subprotocol (the message-recovery machinery of the asynchrony-resilient
+//! sleepy-TOB literature): [`Payload::BlockRequest`] asks a peer for a
+//! chain range by tip hash, [`Payload::BlockResponse`] serves it. They are
+//! point-to-point, carry no log handle, and are never equivocation-tracked.
+//!
 //! A [`SignedMessage`] binds a payload to its sender; two different `Log`
 //! (or `Proposal`) payloads from one sender for one instance constitute
 //! *equivocation evidence* (§3.3).
@@ -19,6 +25,7 @@ use std::fmt;
 
 use tobsvd_crypto::{Digest, Hasher, Keypair, PublicKey, Signature, VrfOutput, VrfProof};
 
+use crate::block::BlockId;
 use crate::ids::ValidatorId;
 use crate::log::Log;
 use crate::view::View;
@@ -96,18 +103,49 @@ pub enum Payload {
         /// The log voted for finalization.
         log: Log,
     },
+    /// Content-addressed fetch request of the delta-sync subprotocol:
+    /// "send me the blocks of the chain ending at `tip`, from height
+    /// `from_height` upward". Emitted when a received announcement
+    /// references a chain the receiver is missing blocks of.
+    BlockRequest {
+        /// Tip of the chain being requested.
+        tip: BlockId,
+        /// First height (inclusive) the requester needs.
+        from_height: u64,
+    },
+    /// Fetch response: a compact in-memory reference to the chain range
+    /// `[from_height, height(tip)]`; the wire codec expands it by
+    /// inlining the referenced block bodies from the responder's store,
+    /// and the decoder inserts them into the receiver's store.
+    BlockResponse {
+        /// Tip of the served chain range.
+        tip: BlockId,
+        /// First height (inclusive) served.
+        from_height: u64,
+        /// Number of blocks served (`height(tip) − from_height + 1`).
+        count: u64,
+    },
 }
 
 impl Payload {
-    /// The log carried by this payload.
-    pub fn log(&self) -> Log {
+    /// The log carried by this payload — `None` for the fetch-subprotocol
+    /// variants, which reference chains by hash rather than carrying a
+    /// resolved log handle.
+    pub fn log(&self) -> Option<Log> {
         match self {
             Payload::Log { log, .. }
             | Payload::Proposal { log, .. }
             | Payload::Vote { log, .. }
             | Payload::Recovery { log, .. }
-            | Payload::FinalityVote { log, .. } => *log,
+            | Payload::FinalityVote { log, .. } => Some(*log),
+            Payload::BlockRequest { .. } | Payload::BlockResponse { .. } => None,
         }
+    }
+
+    /// Whether this payload belongs to the delta-sync fetch subprotocol
+    /// (point-to-point; never gossiped or equivocation-tracked).
+    pub fn is_sync(&self) -> bool {
+        matches!(self, Payload::BlockRequest { .. } | Payload::BlockResponse { .. })
     }
 
     /// A stable digest of the payload, used as the signing target.
@@ -146,6 +184,17 @@ impl Payload {
                 h.update_digest(&log.tip().0);
                 h.update_u64(log.len());
             }
+            Payload::BlockRequest { tip, from_height } => {
+                h.update_u64(5);
+                h.update_digest(&tip.0);
+                h.update_u64(*from_height);
+            }
+            Payload::BlockResponse { tip, from_height, count } => {
+                h.update_u64(6);
+                h.update_digest(&tip.0);
+                h.update_u64(*from_height);
+                h.update_u64(*count);
+            }
         }
         h.finalize()
     }
@@ -161,6 +210,9 @@ impl Payload {
             Payload::Vote { instance, .. } => Some((2, instance.0)),
             Payload::Recovery { from_view, .. } => Some((3, from_view.number())),
             Payload::FinalityVote { epoch, .. } => Some((4, *epoch)),
+            // Fetch traffic is request/response, not a protocol claim:
+            // re-requesting or re-serving a range is never equivocation.
+            Payload::BlockRequest { .. } | Payload::BlockResponse { .. } => None,
         }
     }
 }
@@ -264,6 +316,12 @@ impl fmt::Display for SignedMessage {
             }
             Payload::FinalityVote { epoch, log } => {
                 write!(f, "⟨FINALIZE,{log}⟩ from {} for epoch {epoch}", self.sender)
+            }
+            Payload::BlockRequest { tip, from_height } => {
+                write!(f, "⟨FETCH,{tip}≥{from_height}⟩ from {}", self.sender)
+            }
+            Payload::BlockResponse { tip, from_height, count } => {
+                write!(f, "⟨BLOCKS,{tip}≥{from_height}×{count}⟩ from {}", self.sender)
             }
         }
     }

@@ -2,8 +2,9 @@
 //!
 //! Every simulation shares one `BlockStore` (validators learn block
 //! *contents* through messages; the store is the content-addressed
-//! backing). The real TCP runtime gives each node its own store and ships
-//! full logs on the wire.
+//! backing, and per-validator *knowledge* is tracked by the delta-sync
+//! layer in `tobsvd-core`). The real TCP runtime gives each node its own
+//! store; stores converge through hash announcements and block fetches.
 //!
 //! All log relations of §3.2 (prefix ⪯, compatibility, conflict) reduce
 //! to ancestry queries answered here, plus the iterated LCA used by the

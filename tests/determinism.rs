@@ -294,3 +294,53 @@ fn event_driven_matches_tick_loop_with_drop_while_asleep_recovery() {
         assert_reports_identical(&ev, &tl, &format!("recovery seed {seed}"));
     }
 }
+
+/// A deep sleeper (past the recovery archive window) forces the
+/// delta-sync fetch subprotocol to carry the catch-up: this run has
+/// real `BlockRequest`/`BlockResponse` traffic, and both advance modes
+/// must agree on every byte of it.
+fn fetch_heavy_run(seed: u64, mode: AdvanceMode) -> TobReport {
+    let n = 6usize;
+    let views = 14u64;
+    let delta = Delta::default();
+    let view_ticks = 4 * delta.ticks();
+    let mut sched = tob_svd::sim::ParticipationSchedule::always_awake(n);
+    sched.set_intervals(
+        ValidatorId::new(0),
+        vec![
+            (Time::ZERO, Time::new(3 * delta.ticks())),
+            (Time::new(6 * view_ticks), Time::new((views + 2) * view_ticks)),
+        ],
+    );
+    TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(seed)
+        .advance(mode)
+        .drop_while_asleep(true)
+        .recovery(true)
+        .participation(sched)
+        .workload(TxWorkload::PerView { count: 1, size: 24 })
+        .run()
+        .expect("valid configuration")
+}
+
+#[test]
+fn event_driven_matches_tick_loop_with_delta_sync_fetch_traffic() {
+    for seed in [2u64, 13] {
+        let ev = fetch_heavy_run(seed, AdvanceMode::EventDriven);
+        let tl = fetch_heavy_run(seed, AdvanceMode::TickLoop);
+        assert!(
+            ev.report.metrics.block_request_broadcasts > 0
+                && ev.report.metrics.block_response_broadcasts > 0,
+            "seed {seed}: the run must actually exercise the fetch subprotocol"
+        );
+        assert_reports_identical(&ev, &tl, &format!("delta-sync fetch seed {seed}"));
+        // The fetch plane itself is pinned byte-for-byte too.
+        let (evm, tlm) = (&ev.report.metrics, &tl.report.metrics);
+        assert_eq!(evm.block_request_broadcasts, tlm.block_request_broadcasts);
+        assert_eq!(evm.block_response_broadcasts, tlm.block_response_broadcasts);
+        assert_eq!(evm.block_request_bytes, tlm.block_request_bytes);
+        assert_eq!(evm.block_response_bytes, tlm.block_response_bytes);
+        assert_eq!(evm.inline_equiv_bytes, tlm.inline_equiv_bytes);
+    }
+}

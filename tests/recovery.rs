@@ -148,6 +148,64 @@ fn recovery_matches_the_model_buffering_on_recoverable_capabilities() {
     );
 }
 
+/// Delta-sync catch-up: a validator that sleeps through *more views
+/// than the recovery archive retains* (~3) wakes into a world where the
+/// re-sent announcements reference blocks nobody will ever announce
+/// again — the chain content below the archive window can only arrive
+/// through the `BlockRequest`/`BlockResponse` fetch subprotocol. This
+/// is the §2 recovery path running entirely on the fetch machinery
+/// instead of full-log re-sends.
+#[test]
+fn deep_sleeper_catches_up_purely_via_fetches() {
+    let n = 6;
+    let delta = Delta::default();
+    let views = 16u64;
+    let view_ticks = 4 * delta.ticks();
+    let mut sched = ParticipationSchedule::always_awake(n);
+    // Awake for view 0, asleep until view 6 starts, awake to the end.
+    sched.set_intervals(
+        napper(),
+        vec![
+            (Time::ZERO, Time::new(3 * delta.ticks())),
+            (Time::new(6 * view_ticks), Time::new((views + 2) * view_ticks)),
+        ],
+    );
+    let report = TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(9)
+        .participation(sched)
+        .workload(TxWorkload::PerView { count: 1, size: 32 })
+        .delay(Box::new(fast_delay()))
+        .drop_while_asleep(true)
+        .recovery(true)
+        .run()
+        .expect("runs");
+    report.assert_safety();
+
+    let sleeper = report.validators[0].expect("napper is honest");
+    // The gap below the archive window was closed by fetches alone.
+    assert!(
+        sleeper.sync.blocks_fetched >= 3,
+        "the deep sleeper must fetch the pruned-archive gap: {:?}",
+        sleeper.sync
+    );
+    assert!(sleeper.sync.requests_sent >= 1);
+    assert_eq!(sleeper.sync.pending, 0, "every parked message must resolve: {:?}", sleeper.sync);
+    // Someone served those fetches, and the wire metrics saw both sides.
+    assert!(report.validators.iter().flatten().any(|s| s.sync.responses_served > 0));
+    assert!(report.report.metrics.block_request_broadcasts >= 1);
+    assert!(report.report.metrics.block_response_broadcasts >= 1);
+    assert!(report.report.metrics.block_response_bytes > 0);
+    // And the sleeper is a full participant again: its decided log ends
+    // within a view of the network's.
+    let max = report.max_decided_len();
+    assert!(
+        sleeper.decided_len + 2 >= max,
+        "sleeper decided {} of {max} blocks — catch-up failed",
+        sleeper.decided_len
+    );
+}
+
 #[test]
 fn recovery_has_no_effect_when_nobody_sleeps() {
     // Enabled-but-unused recovery must not disturb the protocol or the
