@@ -1,0 +1,113 @@
+//! Wall time and crypto-operation counts of the verification fast path.
+//!
+//! Re-runs the PR 4 `sync_traffic` workload (200 views, n = 16, seed 5,
+//! 4 × 128 B transactions per view) and records, next to wall ms per
+//! decided block, the new `Metrics` crypto counters: signature
+//! verifications performed vs skipped via the per-validator verified-id
+//! sets, and VRF verifications performed vs skipped via the per-view
+//! memos. The pre-fast-path engine verified every delivered copy
+//! (1 748 327 verifications for this workload — one per delivery — each
+//! preceded by a fresh `Keypair::from_seed` derivation); the fast path
+//! verifies each unique message id once per validator and skips the
+//! rest, which the in-bench assertions pin machine-independently:
+//!
+//! * the two counters tile the deliveries exactly (every delivered copy
+//!   is either verified or skipped — nothing escapes accounting);
+//! * verifications are ≤ one per unique message id per validator
+//!   (`sig_verifies` ≤ Σ per-validator unique ids, with equality in a
+//!   fault-free run: no forgeries);
+//! * duplicates dominate: at n = 16 the gossip fan-out makes ≥ 80 % of
+//!   deliveries repeat sightings, all of which must skip crypto.
+//!
+//! Headline wall numbers land in `BENCH_verify_hotpath.json`.
+//!
+//! Run: `cargo bench -p tobsvd-bench --bench verify_hotpath`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tobsvd_core::{TobReport, TobSimulationBuilder, TxWorkload};
+
+const N: usize = 16;
+const VIEWS: u64 = 200;
+const TXS_PER_VIEW: usize = 4;
+const TX_BYTES: usize = 128;
+
+fn run_sweep(n: usize, views: u64) -> TobReport {
+    TobSimulationBuilder::new(n)
+        .views(views)
+        .seed(5)
+        .workload(TxWorkload::PerView { count: TXS_PER_VIEW, size: TX_BYTES })
+        .run()
+        .expect("fault-free sweep runs")
+}
+
+fn bench_verify_hotpath(c: &mut Criterion) {
+    // Criterion samples a smaller horizon; the headline 200-view run is
+    // a one-shot measurement below.
+    let mut group = c.benchmark_group("verify_hotpath");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("fastpath", "n8_v40"), |b| {
+        b.iter(|| run_sweep(8, 40).decided_blocks())
+    });
+    group.finish();
+
+    let t0 = Instant::now();
+    let report = run_sweep(N, VIEWS);
+    let wall = t0.elapsed();
+    let m = &report.report.metrics;
+    let blocks = report.decided_blocks();
+    assert!(blocks >= VIEWS - 2, "fault-free run must decide nearly every view");
+
+    // Accounting is complete: every delivered copy either verified or
+    // skipped (always-awake run: no buffered-at-wake double counting).
+    assert_eq!(
+        m.sig_verifies + m.sig_verify_skips,
+        m.deliveries,
+        "crypto counters must tile the deliveries"
+    );
+    // ≤ 1 verification per unique message id per validator, exactly.
+    let unique_total: u64 = report
+        .validators
+        .iter()
+        .flatten()
+        .map(|s| s.crypto.verified_ids as u64)
+        .sum();
+    assert_eq!(
+        m.sig_verifies, unique_total,
+        "fault-free run: one verification per unique id per validator"
+    );
+    // The dedup saving is the point: duplicates dominate at this n.
+    let skip_fraction = m.sig_verify_skips as f64 / m.deliveries as f64;
+    assert!(
+        skip_fraction >= 0.8,
+        "≥80% of deliveries must skip crypto at n={N}, got {:.1}%",
+        skip_fraction * 100.0
+    );
+    // VRF memoization: at most one verification per (sender, view) pair
+    // per validator.
+    let vrf_budget = (N as u64) * (N as u64) * (VIEWS + 2);
+    assert!(
+        m.vrf_verifies <= vrf_budget,
+        "VRF verifies {} exceed the (sender, view) budget {vrf_budget}",
+        m.vrf_verifies
+    );
+
+    println!(
+        "verify_hotpath summary: n={N} views={VIEWS} decided_blocks={blocks} deliveries={} \
+         sig_verifies={} sig_verify_skips={} skip_fraction={:.3} \
+         vrf_verifies={} vrf_verify_skips={} \
+         wall_ms={:.0} wall_ms_per_block={:.2}",
+        m.deliveries,
+        m.sig_verifies,
+        m.sig_verify_skips,
+        skip_fraction,
+        m.vrf_verifies,
+        m.vrf_verify_skips,
+        wall.as_secs_f64() * 1e3,
+        wall.as_secs_f64() * 1e3 / blocks as f64,
+    );
+}
+
+criterion_group!(benches, bench_verify_hotpath);
+criterion_main!(benches);

@@ -13,18 +13,20 @@
 //! concrete schedule so experiments can verify both the probability and
 //! the consequences (Lemmas 3–4).
 
-use tobsvd_crypto::{Keypair, Vrf, VrfOutput, VrfProof};
+use tobsvd_crypto::{KeyCache, Vrf, VrfOutput, VrfProof};
 use tobsvd_types::{BlockStore, Log, ValidatorId, View};
 
 /// Evaluates validator `v`'s VRF for `view` using the conventional
-/// deterministic key derivation.
+/// deterministic key derivation (cached per process — evaluation costs
+/// one keyed hash, not a key derivation plus a hash).
 pub fn vrf_for(v: ValidatorId, view: View) -> (VrfOutput, VrfProof) {
-    Vrf::new(Keypair::from_seed(v.key_seed())).eval(view.number())
+    Vrf::new(KeyCache::keypair(v.key_seed())).eval(view.number())
 }
 
-/// Verifies a claimed VRF pair for `(sender, view)`.
+/// Verifies a claimed VRF pair for `(sender, view)` against the cached
+/// public key.
 pub fn verify_vrf(sender: ValidatorId, view: View, out: &VrfOutput, proof: &VrfProof) -> bool {
-    let public = Keypair::from_seed(sender.key_seed()).public();
+    let public = KeyCache::public(sender.key_seed());
     Vrf::verify(&public, view.number(), out, proof)
 }
 
@@ -61,12 +63,37 @@ pub fn good_leader(view: View, awake: &[ValidatorId], byz: &[ValidatorId]) -> Op
 pub struct ProposalTracker {
     /// `Some((log, vrf))` = unique proposal; `None` = equivocated.
     proposals: std::collections::BTreeMap<ValidatorId, Option<(Log, VrfOutput)>>,
+    /// VRF `(output, proof)` pairs that passed verification for this
+    /// view, per sender. Both halves are unique per `(sender, view)`
+    /// (the proof is the deterministic signature over the view), so a
+    /// later proposal claiming the identical pair needs no
+    /// re-verification — this is what makes an equivocation burst cost
+    /// one VRF check, not one per distinct proposal. Matching on the
+    /// *pair* (not the output alone) keeps honest validators uniform: a
+    /// proposal with a correct output but garbage proof fails
+    /// verification at a cold validator, so it must also miss the memo
+    /// at a warm one.
+    verified_vrfs: std::collections::BTreeMap<ValidatorId, (VrfOutput, VrfProof)>,
 }
 
 impl ProposalTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Whether the claimed `(output, proof)` pair has already been
+    /// verified for `sender` in this view (memo hit ⇒ the claim is
+    /// authentic and verification can be skipped; any mismatching claim
+    /// must still be verified, and uniqueness makes it fail).
+    pub fn vrf_verified(&self, sender: ValidatorId, out: &VrfOutput, proof: &VrfProof) -> bool {
+        self.verified_vrfs.get(&sender).is_some_and(|(o, p)| o == out && p == proof)
+    }
+
+    /// Memoizes a `(output, proof)` pair that passed [`verify_vrf`] for
+    /// `sender` in this view.
+    pub fn note_vrf_verified(&mut self, sender: ValidatorId, out: VrfOutput, proof: VrfProof) {
+        self.verified_vrfs.entry(sender).or_insert((out, proof));
     }
 
     /// Records a (VRF-verified) proposal from `sender`. A second,
@@ -193,6 +220,25 @@ mod tests {
         let (winner, log) = tr.best_extending(&lock, &store).expect("one extends");
         let expect = if vrf1 > vrf2 { (v(1), ext1) } else { (v(2), ext2) };
         assert_eq!((winner, log), expect);
+    }
+
+    #[test]
+    fn vrf_memo_covers_only_noted_pairs() {
+        let mut tr = ProposalTracker::new();
+        let (vrf, proof) = vrf_for(v(1), View::new(1));
+        assert!(!tr.vrf_verified(v(1), &vrf, &proof), "empty tracker memoizes nothing");
+        tr.note_vrf_verified(v(1), vrf, proof);
+        assert!(tr.vrf_verified(v(1), &vrf, &proof));
+        // A different claimed value — even another validator's genuine
+        // one — is not covered and must go through verification.
+        let (other, other_proof) = vrf_for(v(2), View::new(1));
+        assert!(!tr.vrf_verified(v(1), &other, &other_proof));
+        assert!(!tr.vrf_verified(v(2), &other, &other_proof));
+        // The memo matches the full (output, proof) pair: a correct
+        // output with a tampered proof must miss, so warm and cold
+        // validators treat the same frame identically.
+        let garbage = VrfProof(tobsvd_crypto::Digest::from_bytes([0xab; 32]));
+        assert!(!tr.vrf_verified(v(1), &vrf, &garbage));
     }
 
     #[test]

@@ -349,6 +349,14 @@ impl TobSimulationBuilder {
                 votes_cast: val.votes_cast(),
                 proposals_made: val.proposals_made(),
                 decisions_made: val.decisions_made(),
+                crypto: CryptoStats {
+                    sig_verifies: val.sig_verifies(),
+                    sig_verify_skips: val.sig_verify_skips(),
+                    vrf_verifies: val.vrf_verifies(),
+                    vrf_verify_skips: val.vrf_verify_skips(),
+                    verified_ids: val.verified_ids(),
+                    unique_messages_seen: val.unique_messages_seen(),
+                },
                 sync: SyncStats {
                     pending: sync.pending_len(),
                     oldest_pending_since: sync.oldest_pending_since(),
@@ -396,8 +404,28 @@ pub struct ValidatorStats {
     pub proposals_made: u64,
     /// Decide-phase outputs reported.
     pub decisions_made: u64,
+    /// Verification fast-path statistics.
+    pub crypto: CryptoStats,
     /// Delta-sync statistics.
     pub sync: SyncStats,
+}
+
+/// Per-validator verification fast-path statistics — the evidence for
+/// the "one signature check per unique message per validator" budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CryptoStats {
+    /// Signature verifications performed.
+    pub sig_verifies: u64,
+    /// Deliveries that skipped verification (duplicate ids).
+    pub sig_verify_skips: u64,
+    /// VRF verifications performed.
+    pub vrf_verifies: u64,
+    /// Proposal receptions that hit the VRF memo.
+    pub vrf_verify_skips: u64,
+    /// Distinct message ids that passed verification.
+    pub verified_ids: usize,
+    /// Distinct message ids the gossip layer has seen.
+    pub unique_messages_seen: usize,
 }
 
 /// Per-validator delta-sync statistics, snapshotted at run end (the

@@ -2,9 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use tobsvd_crypto::Keypair;
+use tobsvd_crypto::{Digest, KeyCache, Keypair};
 use tobsvd_ga::Ga3;
-use tobsvd_sim::gossip::GossipState;
+use tobsvd_sim::gossip::{GossipState, VerifiedSet};
 use tobsvd_sim::{Context, Node};
 use tobsvd_types::{
     wire, BlockId, BlockStore, InstanceId, Log, Payload, SignedMessage, ValidatorId, View,
@@ -43,6 +43,13 @@ pub struct Validator {
     archive: BTreeMap<View, Vec<SignedMessage>>,
     /// Delta-sync state: block knowledge, bounded pending set, fetches.
     sync: SyncState,
+    /// Verification fast path: the dedup-before-verify gate (see
+    /// [`VerifiedSet`]). Fetch-plane ids are deliberately *not*
+    /// retained (point-to-point transport an adversary can mint without
+    /// bound, same reasoning as the gossip bypass), so the set grows in
+    /// lockstep with gossip's seen set — no new Byzantine-floodable
+    /// surface.
+    verified: VerifiedSet,
     /// Whether the node has started (first wake consumed).
     started: bool,
     /// Instrumentation: original `LOG` broadcasts (votes) made.
@@ -53,6 +60,10 @@ pub struct Validator {
     decisions_made: u64,
     /// Instrumentation: recovery requests served.
     recoveries_served: u64,
+    /// Instrumentation: VRF verifications performed.
+    vrf_verifies: u64,
+    /// Instrumentation: VRF verifications skipped via the per-view memo.
+    vrf_verify_skips: u64,
 }
 
 impl Validator {
@@ -61,7 +72,7 @@ impl Validator {
     pub fn new(me: tobsvd_types::ValidatorId, cfg: TobConfig, store: &BlockStore) -> Self {
         Validator {
             me,
-            keypair: Keypair::from_seed(me.key_seed()),
+            keypair: KeyCache::keypair(me.key_seed()),
             sched: ViewSchedule::new(cfg.delta),
             gas: BTreeMap::new(),
             proposals: BTreeMap::new(),
@@ -69,11 +80,14 @@ impl Validator {
             decided: Log::genesis(store),
             archive: BTreeMap::new(),
             sync: SyncState::new(store),
+            verified: VerifiedSet::new(),
             started: false,
             votes_cast: 0,
             proposals_made: 0,
             decisions_made: 0,
             recoveries_served: 0,
+            vrf_verifies: 0,
+            vrf_verify_skips: 0,
             cfg,
         }
     }
@@ -106,6 +120,57 @@ impl Validator {
     /// Number of recovery requests this validator answered.
     pub fn recoveries_served(&self) -> u64 {
         self.recoveries_served
+    }
+
+    /// Signature verifications this validator performed (one per unique
+    /// verified message id, plus one per forged frame and one per
+    /// fetch-plane frame — those ids are never retained).
+    pub fn sig_verifies(&self) -> u64 {
+        self.verified.verifies()
+    }
+
+    /// Deliveries that skipped signature verification (duplicate copies
+    /// of already-verified ids).
+    pub fn sig_verify_skips(&self) -> u64 {
+        self.verified.skips()
+    }
+
+    /// VRF verifications this validator performed.
+    pub fn vrf_verifies(&self) -> u64 {
+        self.vrf_verifies
+    }
+
+    /// Proposal receptions that hit the per-view VRF memo.
+    pub fn vrf_verify_skips(&self) -> u64 {
+        self.vrf_verify_skips
+    }
+
+    /// Number of distinct protocol message ids that passed verification
+    /// (fetch-plane ids are never retained).
+    pub fn verified_ids(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// Whether `id` has passed signature verification at this validator
+    /// (layered protocols — e.g. the finality gadget — reuse the base
+    /// validator's verification instead of re-checking signatures).
+    pub fn is_verified(&self, id: &Digest) -> bool {
+        self.verified.contains(id)
+    }
+
+    /// Whether this validator should process `msg`, under the
+    /// dedup-before-verify discipline (see [`VerifiedSet`]).
+    fn admit(&mut self, msg: &SignedMessage, ctx: &mut Context) -> bool {
+        // Fetch-plane ids are never retained: the subprotocol is
+        // point-to-point transport an adversary can mint without bound,
+        // so each fetch frame pays its own (cached-key) verification,
+        // exactly as before the fast path.
+        self.verified.admit(msg, !msg.payload().is_sync(), ctx)
+    }
+
+    /// Number of distinct message ids the gossip layer has seen.
+    pub fn unique_messages_seen(&self) -> usize {
+        self.gossip.seen_count()
     }
 
     /// Delta-sync state (pending set, fetch stats) — read-only view for
@@ -245,10 +310,6 @@ impl Validator {
                 sent += 1;
             }
         }
-    }
-
-    fn sender_key(sender: tobsvd_types::ValidatorId) -> tobsvd_crypto::PublicKey {
-        Keypair::from_seed(sender.key_seed()).public()
     }
 
     /// Issues a `BlockRequest` for the chain ending at `missing`:
@@ -418,8 +479,8 @@ impl Node for Validator {
     }
 
     fn on_message(&mut self, msg: &SignedMessage, ctx: &mut Context) {
-        if !msg.verify(&Self::sender_key(msg.sender())) {
-            return;
+        if !self.admit(msg, ctx) {
+            return; // forged signature
         }
         // Fetch traffic bypasses gossip entirely: it is point-to-point
         // transport (never re-broadcast), serving is idempotent, and a
@@ -479,11 +540,37 @@ impl Validator {
                 self.ensure_ga(w).on_log(msg.sender(), *log);
             }
             Payload::Proposal { view, log, vrf, proof } => {
-                if !verify_vrf(msg.sender(), *view, vrf, proof) {
-                    return; // forged VRF: proposal carries no priority
-                }
+                // Window check before the VRF check: an out-of-window
+                // proposal is dropped either way, so it should never
+                // cost crypto (and never touch the per-view tracker,
+                // which only exists for live views).
                 if view.number() + 1 < current.number() || view.number() > current.number() + 1 {
                     return;
+                }
+                // VRF memo: a valid (output, proof) pair is unique per
+                // (sender, view), so a claim matching an already-verified
+                // pair needs no re-check — an equivocation burst costs
+                // one VRF verify. Matching the full pair keeps honest
+                // validators uniform: a frame a cold validator would
+                // reject (e.g. right output, garbage proof) also misses
+                // the memo at a warm one.
+                let memo_hit = self
+                    .proposals
+                    .get(view)
+                    .is_some_and(|tr| tr.vrf_verified(msg.sender(), vrf, proof));
+                if memo_hit {
+                    self.vrf_verify_skips += 1;
+                    ctx.note_vrf_verify_skip();
+                } else {
+                    self.vrf_verifies += 1;
+                    ctx.note_vrf_verify();
+                    if !verify_vrf(msg.sender(), *view, vrf, proof) {
+                        return; // forged VRF: proposal carries no priority
+                    }
+                    self.proposals
+                        .entry(*view)
+                        .or_default()
+                        .note_vrf_verified(msg.sender(), *vrf, *proof);
                 }
                 self.archive_message(msg);
                 self.proposals
@@ -724,6 +811,191 @@ mod tests {
             "retry swallowed: {:?}",
             ctx.outbox()
         );
+    }
+
+    #[test]
+    fn forged_signature_never_seeds_the_verified_set() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let genuine =
+            SignedMessage::sign(&kp, sender, Payload::Log { instance: InstanceId(0), log: g });
+        // Same (sender, payload) — hence the same id — but a signature
+        // from the wrong key: the forgery an id-keyed cache must never
+        // mistake for the real thing.
+        let wrong = Keypair::from_seed(ValidatorId::new(2).key_seed());
+        let forged =
+            SignedMessage::from_parts(sender, *genuine.payload(), wrong.sign(b"forged"));
+        assert_eq!(forged.id(), genuine.id(), "forgery shares the id by construction");
+
+        // Forged copy first: dropped at verify, set not poisoned,
+        // nothing processed.
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&forged, &mut ctx);
+        assert_eq!(val.sig_verifies(), 1);
+        assert_eq!(val.verified_ids(), 0, "failed verify must not seed the set");
+        assert!(val.ga(View::ZERO).is_none(), "forged LOG must not reach the GA");
+
+        // The genuine copy afterwards is NOT shadowed by the forgery: it
+        // verifies, seeds the set, and is processed normally.
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&genuine, &mut ctx);
+        assert_eq!(val.sig_verifies(), 2);
+        assert_eq!(val.verified_ids(), 1);
+        assert!(val.ga(View::ZERO).is_some(), "genuine LOG processed after the forgery");
+
+        // A later copy (forged or not) of the verified id takes the skip
+        // path and is deduplicated by gossip — no reprocessing.
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&forged, &mut ctx);
+        assert_eq!(val.sig_verify_skips(), 1);
+        assert_eq!(val.sig_verifies(), 2, "no third verification");
+    }
+
+    #[test]
+    fn duplicate_copies_skip_crypto_but_process_once() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let msg =
+            SignedMessage::sign(&kp, sender, Payload::Log { instance: InstanceId(0), log: g });
+        for _ in 0..3 {
+            let mut ctx = ctx_at(3, &store);
+            val.on_message(&msg, &mut ctx);
+        }
+        assert_eq!(val.sig_verifies(), 1, "one verify per unique message id");
+        assert_eq!(val.sig_verify_skips(), 2, "every duplicate copy skips crypto");
+        assert_eq!(val.unique_messages_seen(), 1, "gossip still dedups to one");
+    }
+
+    #[test]
+    fn vrf_memo_skips_reverification_and_equivocation_still_discards() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let (vrf, proof) = vrf_for(sender, View::ZERO);
+        // Two *different* proposals (equivocation) carrying the same
+        // genuine VRF pair.
+        for tag in [ValidatorId::new(8), ValidatorId::new(9)] {
+            let log = g.extend_empty(&store, tag, View::ZERO);
+            let msg = SignedMessage::sign(
+                &kp,
+                sender,
+                Payload::Proposal { view: View::ZERO, log, vrf, proof },
+            );
+            let mut ctx = ctx_at(3, &store);
+            val.on_message(&msg, &mut ctx);
+        }
+        assert_eq!(val.vrf_verifies(), 1, "the second distinct proposal hits the memo");
+        assert_eq!(val.vrf_verify_skips(), 1);
+        // Equivocation semantics are intact: both proposals discarded.
+        let mut ctx = ctx_at(8, &store);
+        val.on_phase(&mut ctx);
+        match ctx.outbox() {
+            [tobsvd_sim::Outgoing::Broadcast(m)] => {
+                let log = m.payload().log().expect("LOG carries a log");
+                assert!(log.is_genesis(&store), "equivocating proposals must be discarded");
+            }
+            other => panic!("expected one broadcast, got {other:?}"),
+        }
+        // A mismatching VRF claim never hits the memo: a fresh sender
+        // claiming someone else's VRF value goes through verification
+        // (and fails — the proposal is not recorded).
+        let liar = ValidatorId::new(3);
+        let (other_vrf, other_proof) = vrf_for(ValidatorId::new(2), View::ZERO);
+        let log = g.extend_empty(&store, ValidatorId::new(10), View::ZERO);
+        let msg = SignedMessage::sign(
+            &Keypair::from_seed(liar.key_seed()),
+            liar,
+            Payload::Proposal { view: View::ZERO, log, vrf: other_vrf, proof: other_proof },
+        );
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&msg, &mut ctx);
+        assert_eq!(val.vrf_verifies(), 2, "a non-memoized claim is verified");
+        assert_eq!(val.vrf_verify_skips(), 1);
+    }
+
+    #[test]
+    fn correct_output_with_garbage_proof_misses_the_memo_and_is_rejected() {
+        // A cold validator rejects a proposal whose VRF proof is
+        // tampered (verify_vrf fails); a warm validator that already
+        // verified the sender's genuine pair must treat the same frame
+        // identically — the memo matches the full (output, proof) pair,
+        // so the tampered frame is re-verified and rejected, not
+        // recorded as an equivocation.
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let (vrf, proof) = vrf_for(sender, View::ZERO);
+        let p1 = SignedMessage::sign(
+            &kp,
+            sender,
+            Payload::Proposal { view: View::ZERO, log: g.extend_empty(&store, sender, View::ZERO), vrf, proof },
+        );
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&p1, &mut ctx);
+        assert_eq!(val.vrf_verifies(), 1);
+        // Warm now. Same output, garbage proof, different log.
+        let garbage = tobsvd_crypto::VrfProof(tobsvd_crypto::Digest::from_bytes([0xab; 32]));
+        let p2 = SignedMessage::sign(
+            &kp,
+            sender,
+            Payload::Proposal {
+                view: View::ZERO,
+                log: g.extend_empty(&store, ValidatorId::new(9), View::ZERO),
+                vrf,
+                proof: garbage,
+            },
+        );
+        let mut ctx = ctx_at(3, &store);
+        val.on_message(&p2, &mut ctx);
+        assert_eq!(val.vrf_verifies(), 2, "tampered proof misses the memo and is verified");
+        assert_eq!(val.vrf_verify_skips(), 0);
+        // The tampered frame was rejected: the sender is NOT an
+        // equivocator and p1 still stands.
+        let mut ctx = ctx_at(8, &store);
+        val.on_phase(&mut ctx);
+        match ctx.outbox() {
+            [tobsvd_sim::Outgoing::Broadcast(m)] => {
+                let log = m.payload().log().expect("LOG carries a log");
+                assert!(
+                    !log.is_genesis(&store),
+                    "p1 must survive: the tampered frame is dropped, not equivocation evidence"
+                );
+            }
+            other => panic!("expected one broadcast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_window_proposals_cost_no_vrf_check() {
+        let store = BlockStore::new();
+        let cfg = TobConfig::new(4);
+        let mut val = Validator::new(ValidatorId::new(0), cfg, &store);
+        let g = Log::genesis(&store);
+        let sender = ValidatorId::new(1);
+        let kp = Keypair::from_seed(sender.key_seed());
+        let (vrf, proof) = vrf_for(sender, View::new(20));
+        let msg = SignedMessage::sign(
+            &kp,
+            sender,
+            Payload::Proposal { view: View::new(20), log: g, vrf, proof },
+        );
+        let mut ctx = ctx_at(3, &store); // current view 0: view 20 is far future
+        val.on_message(&msg, &mut ctx);
+        assert_eq!(val.vrf_verifies(), 0, "window check precedes the VRF check");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::fmt;
 use crate::digest::{Digest, Hasher};
 
 /// Secret signing key (a 32-byte seed).
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct SecretKey {
     seed: Digest,
 }
@@ -44,7 +44,7 @@ pub struct Signature {
 }
 
 /// A signing keypair.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Keypair {
     secret: SecretKey,
     public: PublicKey,

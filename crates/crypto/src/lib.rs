@@ -18,6 +18,9 @@
 //!   remains honest, the adversary cannot forge its signatures") by
 //!   construction: no component fabricates a binding for a key it does not
 //!   hold.
+//! * [`KeyCache`] — a process-wide memo of seed → keypair derivations;
+//!   key material is a pure function of the seed, so the hot receive
+//!   paths look keys up instead of re-deriving them per message.
 //! * [`Vrf`] — a hash-based VRF: `eval(view) = H(secret ‖ view)`, publicly
 //!   verifiable by recomputation from the public seed. Outputs are fixed
 //!   per `(validator, view)` *before* any adversarial corruption choice,
@@ -43,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod digest;
 mod keys;
 mod sha256impl;
 mod vrf;
 
+pub use cache::KeyCache;
 pub use digest::{Digest, Hasher};
 pub use keys::{Keypair, PublicKey, SecretKey, Signature};
 pub use sha256impl::sha256;

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn eval_verify_roundtrip() {
         let kp = Keypair::from_seed(11);
-        let vrf = Vrf::new(kp.clone());
+        let vrf = Vrf::new(kp);
         let (out, proof) = vrf.eval(7);
         assert!(Vrf::verify(&kp.public(), 7, &out, &proof));
     }
@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn verify_rejects_wrong_view() {
         let kp = Keypair::from_seed(11);
-        let vrf = Vrf::new(kp.clone());
+        let vrf = Vrf::new(kp);
         let (out, proof) = vrf.eval(7);
         assert!(!Vrf::verify(&kp.public(), 8, &out, &proof));
     }
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn verify_rejects_tampered_output() {
         let kp = Keypair::from_seed(11);
-        let vrf = Vrf::new(kp.clone());
+        let vrf = Vrf::new(kp);
         let (_, proof) = vrf.eval(7);
         let forged = VrfOutput(Digest::from_bytes([0xff; 32]));
         assert!(!Vrf::verify(&kp.public(), 7, &forged, &proof));

@@ -75,7 +75,7 @@ fn vrf_outputs_distinguish_seeds_and_views() {
 fn vrf_verifies_only_the_genuine_tuple() {
     let kp = Keypair::from_seed(7);
     let other = Keypair::from_seed(8);
-    let vrf = Vrf::new(kp.clone());
+    let vrf = Vrf::new(kp);
     let (out, proof) = vrf.eval(12);
     assert!(Vrf::verify(&kp.public(), 12, &out, &proof));
     assert!(!Vrf::verify(&kp.public(), 13, &out, &proof), "wrong view accepted");

@@ -1,7 +1,7 @@
 //! The finalizing validator: TOB-SVD plus finality votes.
 
 use tobsvd_core::{TobConfig, Validator};
-use tobsvd_crypto::Keypair;
+use tobsvd_crypto::{KeyCache, Keypair};
 use tobsvd_sim::{Context, Node};
 use tobsvd_types::{BlockStore, Log, Payload, SignedMessage, ValidatorId, View};
 
@@ -32,7 +32,7 @@ impl FinalizingValidator {
     ) -> Self {
         FinalizingValidator {
             me,
-            keypair: Keypair::from_seed(me.key_seed()),
+            keypair: KeyCache::keypair(me.key_seed()),
             sched_delta: tob_cfg.delta,
             inner: Validator::new(me, tob_cfg, store),
             fin: FinalityState::new(fin_cfg, store),
@@ -59,10 +59,6 @@ impl FinalizingValidator {
     /// Finality votes this validator broadcast.
     pub fn finality_votes_cast(&self) -> u64 {
         self.finality_votes_cast
-    }
-
-    fn sender_key(sender: ValidatorId) -> tobsvd_crypto::PublicKey {
-        Keypair::from_seed(sender.key_seed()).public()
     }
 }
 
@@ -107,7 +103,10 @@ impl Node for FinalizingValidator {
         // ignores finality votes itself.
         self.inner.on_message(msg, ctx);
         if let Payload::FinalityVote { epoch, log } = msg.payload() {
-            if msg.sender() != self.me && msg.verify(&Self::sender_key(msg.sender())) {
+            // Reuse the base validator's verification verdict instead of
+            // re-checking the signature: its verified-id set holds the
+            // id iff this exact (sender, payload) passed verification.
+            if msg.sender() != self.me && self.inner.is_verified(&msg.id()) {
                 self.fin.on_vote(*epoch, msg.sender(), *log, &ctx.store);
             }
         }

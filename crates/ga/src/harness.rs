@@ -8,8 +8,8 @@
 //! validator's outputs, which is what the Theorem 1/2 property tests
 //! check the GA properties against.
 
-use tobsvd_crypto::Keypair;
-use tobsvd_sim::gossip::GossipState;
+use tobsvd_crypto::{KeyCache, Keypair};
+use tobsvd_sim::gossip::{GossipState, VerifiedSet};
 use tobsvd_sim::{
     Context, DelayPolicy, Node, ParticipationSchedule, SimConfig, SimReport, Simulation,
     UniformDelay,
@@ -67,6 +67,8 @@ pub struct GaNode {
     input_sent: bool,
     ga: AnyGa,
     gossip: GossipState,
+    /// Dedup-before-verify gate, shared with `tobsvd-core`'s validator.
+    verified: VerifiedSet,
 }
 
 impl GaNode {
@@ -86,13 +88,14 @@ impl GaNode {
         };
         GaNode {
             me,
-            keypair: Keypair::from_seed(me.key_seed()),
+            keypair: KeyCache::keypair(me.key_seed()),
             instance,
             start,
             input,
             input_sent: false,
             ga,
             gossip: GossipState::new(),
+            verified: VerifiedSet::new(),
         }
     }
 
@@ -130,10 +133,6 @@ impl GaNode {
             AnyGa::Mr(ga) => ga.outputs_grade0().to_vec(),
             _ => Vec::new(),
         }
-    }
-
-    fn sender_key(sender: ValidatorId) -> tobsvd_crypto::PublicKey {
-        Keypair::from_seed(sender.key_seed()).public()
     }
 }
 
@@ -178,7 +177,9 @@ impl Node for GaNode {
 
     fn on_message(&mut self, msg: &SignedMessage, ctx: &mut Context) {
         // "The adversary cannot forge signatures": drop invalid ones.
-        if !msg.verify(&Self::sender_key(msg.sender())) {
+        // GA traffic is all broadcast (never fetch-plane), so every
+        // verified id is retained for the dedup-before-verify skip.
+        if !self.verified.admit(msg, true, ctx) {
             return;
         }
         let reception = self.gossip.on_receive(msg);

@@ -38,7 +38,7 @@ use bytes::{Buf, Bytes};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use tobsvd_core::{TobConfig, Validator};
-use tobsvd_crypto::Keypair;
+use tobsvd_crypto::KeyCache;
 use tobsvd_sim::{Context, Mempool, Node as SimNode, Outgoing};
 use tobsvd_types::{
     wire, BlockId, BlockStore, Delta, Log, Payload, SignedMessage, Time, Transaction, ValidatorId,
@@ -82,6 +82,17 @@ pub struct WireStats {
     /// Session-layer fetch requests issued (excludes the validator's own
     /// protocol-layer fetches).
     pub session_fetches: u64,
+    /// Signature verifications the validator performed (one per unique
+    /// verified message id plus forged frames — the same fast path as
+    /// the simulator, so the two stay honest with each other).
+    pub sig_verifies: u64,
+    /// Frames that skipped signature verification via the validator's
+    /// verified-id set (duplicate broadcast copies).
+    pub sig_verify_skips: u64,
+    /// VRF verifications the validator performed.
+    pub vrf_verifies: u64,
+    /// Proposal receptions that hit the validator's per-view VRF memo.
+    pub vrf_verify_skips: u64,
 }
 
 /// What a node reports after its run.
@@ -197,7 +208,7 @@ fn run_node(
     }
     let tob_cfg = TobConfig::new(cfg.n).with_delta(cfg.delta);
     let mut validator = Validator::new(cfg.me, tob_cfg, &store);
-    let keypair = Keypair::from_seed(cfg.me.key_seed());
+    let keypair = KeyCache::keypair(cfg.me.key_seed());
 
     // Inbox fed by reader threads (and by our own loopback).
     let (tx_in, rx_in): (Sender<Inbound>, Receiver<Inbound>) = unbounded();
@@ -369,6 +380,13 @@ fn run_node(
         let _ = s.lock().shutdown(std::net::Shutdown::Both);
     }
     let _ = accept_handle.join();
+
+    // Crypto-op accounting comes straight off the validator: the node
+    // loop shares its verification fast path with the simulator.
+    wire_stats.sig_verifies = validator.sig_verifies();
+    wire_stats.sig_verify_skips = validator.sig_verify_skips();
+    wire_stats.vrf_verifies = validator.vrf_verifies();
+    wire_stats.vrf_verify_skips = validator.vrf_verify_skips();
 
     NodeOutcomeInner {
         me: cfg.me,

@@ -701,6 +701,10 @@ impl Simulation {
     fn apply_context(&mut self, idx: usize, ctx: Context) {
         let from = ValidatorId::new(idx as u32);
         let byzantine = self.slots[idx].byzantine;
+        self.metrics.sig_verifies += ctx.crypto_ops.sig_verifies;
+        self.metrics.sig_verify_skips += ctx.crypto_ops.sig_verify_skips;
+        self.metrics.vrf_verifies += ctx.crypto_ops.vrf_verifies;
+        self.metrics.vrf_verify_skips += ctx.crypto_ops.vrf_verify_skips;
         for out in ctx.outbox {
             // One allocation (and one byte-length computation) per
             // broadcast: every delivery event and the controller's tick

@@ -14,8 +14,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use tobsvd_crypto::Digest;
+use tobsvd_crypto::{Digest, KeyCache, PublicKey};
 use tobsvd_types::{SignedMessage, ValidatorId};
+
+use crate::node::Context;
 
 /// Outcome of receiving a message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +86,98 @@ impl GossipState {
     }
 }
 
+/// The dedup-before-verify gate shared by every honest receive path
+/// (`tobsvd-core`'s validator, the GA harness nodes).
+///
+/// Ids bind `(sender, payload)` and enter the set only after a
+/// successful signature verification, so a forged frame can never
+/// poison it — a repeat sighting of a member id is a copy of a message
+/// already proven authentic, and every downstream action depends only
+/// on `(sender, payload)`, so handling the copy is indistinguishable
+/// from re-delivering the original, whatever signature bytes the copy
+/// carries. Duplicate copies therefore skip crypto entirely; fresh ids
+/// (and all forgeries) verify against the process-wide [`KeyCache`].
+///
+/// Callers decide per message whether a verified id is *retained*
+/// (`retain = false` for payload kinds an adversary can mint without
+/// bound, e.g. the fetch subprotocol — those pay their own cached-key
+/// verification every time, and the set grows in lockstep with
+/// [`GossipState`]'s seen set).
+#[derive(Debug, Default)]
+pub struct VerifiedSet {
+    ids: HashSet<Digest>,
+    /// Per-node `seed → PublicKey` table (bounded by the number of
+    /// distinct senders, i.e. n): warm verifications stay lock-free
+    /// instead of taking the process-global [`KeyCache`] read lock on
+    /// every fresh id — that lock is hit once per sender per node.
+    keys: HashMap<u64, PublicKey>,
+    verifies: u64,
+    skips: u64,
+}
+
+impl VerifiedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits or rejects a delivered message: `true` means "authentic —
+    /// process it" (either a fresh id that verified, or a copy of an
+    /// already-verified id), `false` means the signature check failed.
+    /// Counts every decision into the per-node totals and the context's
+    /// [`crate::CryptoOps`].
+    pub fn admit(&mut self, msg: &SignedMessage, retain: bool, ctx: &mut Context) -> bool {
+        if self.ids.contains(&msg.id()) {
+            self.skips += 1;
+            ctx.note_sig_verify_skip();
+            return true;
+        }
+        self.verifies += 1;
+        ctx.note_sig_verify();
+        let seed = msg.sender().key_seed();
+        let key = match self.keys.get(&seed) {
+            Some(k) => *k,
+            None => {
+                let k = KeyCache::public(seed);
+                self.keys.insert(seed, k);
+                k
+            }
+        };
+        if !msg.verify(&key) {
+            return false;
+        }
+        if retain {
+            self.ids.insert(msg.id());
+        }
+        true
+    }
+
+    /// Whether `id` has passed verification here.
+    pub fn contains(&self, id: &Digest) -> bool {
+        self.ids.contains(id)
+    }
+
+    /// Signature verifications performed.
+    pub fn verifies(&self) -> u64 {
+        self.verifies
+    }
+
+    /// Verifications skipped (duplicate sightings of verified ids).
+    pub fn skips(&self) -> u64 {
+        self.skips
+    }
+
+    /// Number of retained verified ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no id has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +231,43 @@ mod tests {
         assert!(gossip.on_receive(&msg(&store, 0, 1, l1)).fresh);
         assert!(gossip.on_receive(&msg(&store, 0, 1, l2)).fresh);
         assert!(gossip.on_receive(&msg(&store, 1, 1, l1)).fresh);
+    }
+
+    #[test]
+    fn verified_set_admits_skips_and_rejects() {
+        let store = BlockStore::new();
+        let mut ctx = Context::new(
+            tobsvd_types::Time::ZERO,
+            ValidatorId::new(0),
+            tobsvd_types::Delta::default(),
+            store.clone(),
+            crate::Mempool::new(),
+        );
+        let genuine = msg(&store, 1, 0, Log::genesis(&store));
+        let forged = SignedMessage::from_parts(
+            genuine.sender(),
+            *genuine.payload(),
+            Keypair::from_seed(999).sign(b"forged"),
+        );
+        let mut set = VerifiedSet::new();
+        // Forged-first: rejected, set not seeded.
+        assert!(!set.admit(&forged, true, &mut ctx));
+        assert!(set.is_empty());
+        // Genuine: verified and retained; the earlier forgery cannot
+        // shadow it.
+        assert!(set.admit(&genuine, true, &mut ctx));
+        assert_eq!(set.len(), 1);
+        // Any later copy of the id — even the forged one — skips.
+        assert!(set.admit(&forged, true, &mut ctx));
+        assert_eq!((set.verifies(), set.skips()), (2, 1));
+        assert_eq!(ctx.crypto_ops.sig_verifies, 2);
+        assert_eq!(ctx.crypto_ops.sig_verify_skips, 1);
+        // retain = false: verified but never remembered.
+        let other = msg(&store, 2, 0, Log::genesis(&store));
+        assert!(set.admit(&other, false, &mut ctx));
+        assert!(!set.contains(&other.id()));
+        assert!(set.admit(&other, false, &mut ctx));
+        assert_eq!(set.verifies(), 4, "non-retained ids re-verify every time");
     }
 
     #[test]

@@ -76,6 +76,6 @@ pub use invariant::{
 pub use mempool::{Mempool, TxRecord};
 pub use metrics::{MessageKind, Metrics};
 pub use network::{BestCaseDelay, DelayPolicy, DeliveryFilter, UniformDelay, WorstCaseDelay};
-pub use node::{Context, IdleNode, Node, Outgoing};
+pub use node::{Context, CryptoOps, IdleNode, Node, Outgoing};
 pub use observer::{ConfirmedTx, DecisionObserver, DecisionRecord, SafetyViolation};
 pub use schedule::{CorruptionSchedule, ParticipationSchedule};

@@ -83,6 +83,22 @@ pub struct Metrics {
     pub block_request_bytes: u64,
     /// Delivered bytes of block fetch responses.
     pub block_response_bytes: u64,
+    /// Signature verifications actually performed by nodes (first
+    /// sighting of each unique message id per validator, plus every
+    /// forged frame — forgeries never enter a verified-id set).
+    pub sig_verifies: u64,
+    /// Deliveries that skipped signature verification because the
+    /// message id was already in the receiving node's verified-id set
+    /// (duplicate copies of a broadcast; fetch-plane ids are never
+    /// retained, so fetch frames always verify).
+    pub sig_verify_skips: u64,
+    /// VRF verifications actually performed (first sighting of each
+    /// claimed `(sender, view)` VRF value, plus every forged claim).
+    pub vrf_verifies: u64,
+    /// Proposal receptions that skipped VRF verification because the
+    /// claimed value matched the already-verified memo for
+    /// `(sender, view)`.
+    pub vrf_verify_skips: u64,
     /// Messages buffered for asleep validators.
     pub buffered: u64,
     /// Messages dropped because the recipient was asleep (only in
@@ -197,6 +213,10 @@ impl Metrics {
         self.finality_bytes += other.finality_bytes;
         self.block_request_bytes += other.block_request_bytes;
         self.block_response_bytes += other.block_response_bytes;
+        self.sig_verifies += other.sig_verifies;
+        self.sig_verify_skips += other.sig_verify_skips;
+        self.vrf_verifies += other.vrf_verifies;
+        self.vrf_verify_skips += other.vrf_verify_skips;
         self.buffered += other.buffered;
         self.dropped += other.dropped;
         self.filtered += other.filtered;

@@ -22,6 +22,23 @@ pub enum Outgoing {
     Multicast(Vec<ValidatorId>, SignedMessage),
 }
 
+/// Crypto-operation counts a node reports through its [`Context`]: how
+/// many signature/VRF verifications it actually performed vs skipped via
+/// its verified-id / VRF memo fast paths. The engine folds these into
+/// [`crate::Metrics`] after every callback, so a whole run's crypto
+/// budget is observable without instrumenting node internals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoOps {
+    /// Signature verifications performed.
+    pub sig_verifies: u64,
+    /// Signature verifications skipped (id already verified).
+    pub sig_verify_skips: u64,
+    /// VRF verifications performed.
+    pub vrf_verifies: u64,
+    /// VRF verifications skipped (claimed value already verified).
+    pub vrf_verify_skips: u64,
+}
+
 /// Per-callback execution context handed to a [`Node`].
 ///
 /// The context *collects* actions (messages, decisions); the engine
@@ -38,6 +55,8 @@ pub struct Context {
     pub store: BlockStore,
     /// Shared transaction pool.
     pub mempool: Mempool,
+    /// Crypto-operation counts for this callback (see [`CryptoOps`]).
+    pub crypto_ops: CryptoOps,
     pub(crate) outbox: Vec<Outgoing>,
     pub(crate) decisions: Vec<Log>,
 }
@@ -52,7 +71,36 @@ impl Context {
         store: BlockStore,
         mempool: Mempool,
     ) -> Self {
-        Context { time, me, delta, store, mempool, outbox: Vec::new(), decisions: Vec::new() }
+        Context {
+            time,
+            me,
+            delta,
+            store,
+            mempool,
+            crypto_ops: CryptoOps::default(),
+            outbox: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Records a performed signature verification.
+    pub fn note_sig_verify(&mut self) {
+        self.crypto_ops.sig_verifies += 1;
+    }
+
+    /// Records a signature verification skipped via the verified-id set.
+    pub fn note_sig_verify_skip(&mut self) {
+        self.crypto_ops.sig_verify_skips += 1;
+    }
+
+    /// Records a performed VRF verification.
+    pub fn note_vrf_verify(&mut self) {
+        self.crypto_ops.vrf_verifies += 1;
+    }
+
+    /// Records a VRF verification skipped via the per-view memo.
+    pub fn note_vrf_verify_skip(&mut self) {
+        self.crypto_ops.vrf_verify_skips += 1;
     }
 
     /// Actions collected so far (tests and custom harnesses).

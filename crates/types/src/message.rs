@@ -218,11 +218,19 @@ impl Payload {
 }
 
 /// A payload signed by its sender.
+///
+/// The payload digest is computed exactly once, at construction
+/// ([`SignedMessage::sign`] or [`SignedMessage::from_parts`]); the
+/// derived signing target (`binding`) and dedup `id` are memoized in the
+/// struct, so verification is a single keyed hash and deduplication a
+/// plain field read — no per-receive re-hashing of the payload.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SignedMessage {
     sender: ValidatorId,
     payload: Payload,
     signature: Signature,
+    /// Memoized signing target `H("msg-bind" ‖ sender ‖ payload digest)`.
+    binding: Digest,
     id: Digest,
 }
 
@@ -244,38 +252,35 @@ impl SignedMessage {
     /// assert!(msg.verify(&kp.public()));
     /// ```
     pub fn sign(keypair: &Keypair, sender: ValidatorId, payload: Payload) -> Self {
-        let digest = Self::binding_digest(sender, &payload);
-        let signature = keypair.sign(digest.as_bytes());
-        let id = Self::message_id(sender, &payload);
-        SignedMessage { sender, payload, signature, id }
+        let (binding, id) = Self::envelope_digests(sender, &payload);
+        let signature = keypair.sign(binding.as_bytes());
+        SignedMessage { sender, payload, signature, binding, id }
     }
 
     /// Reassembles a message from wire parts without verification.
     pub fn from_parts(sender: ValidatorId, payload: Payload, signature: Signature) -> Self {
-        let id = Self::message_id(sender, &payload);
-        SignedMessage { sender, payload, signature, id }
+        let (binding, id) = Self::envelope_digests(sender, &payload);
+        SignedMessage { sender, payload, signature, binding, id }
     }
 
-    fn binding_digest(sender: ValidatorId, payload: &Payload) -> Digest {
+    /// Both envelope digests from a single payload digest: the signing
+    /// target (`binding`) and the dedup `id` differ only in domain tag.
+    fn envelope_digests(sender: ValidatorId, payload: &Payload) -> (Digest, Digest) {
+        let payload_digest = payload.signing_digest();
         let mut h = Hasher::new("tobsvd/msg-bind");
         h.update_u64(u64::from(sender.raw()));
-        h.update_digest(&payload.signing_digest());
-        h.finalize()
-    }
-
-    fn message_id(sender: ValidatorId, payload: &Payload) -> Digest {
+        h.update_digest(&payload_digest);
+        let binding = h.finalize();
         let mut h = Hasher::new("tobsvd/msg-id");
         h.update_u64(u64::from(sender.raw()));
-        h.update_digest(&payload.signing_digest());
-        h.finalize()
+        h.update_digest(&payload_digest);
+        (binding, h.finalize())
     }
 
-    /// Verifies the signature against the sender's public key.
+    /// Verifies the signature against the sender's public key, using the
+    /// binding digest memoized at construction.
     pub fn verify(&self, public: &PublicKey) -> bool {
-        public.verify(
-            Self::binding_digest(self.sender, &self.payload).as_bytes(),
-            &self.signature,
-        )
+        public.verify(self.binding.as_bytes(), &self.signature)
     }
 
     /// The claimed sender.

@@ -193,18 +193,20 @@ impl BlockStore {
     /// Panics if either block is unknown (all callers hold blocks they
     /// previously stored; an unknown id is a logic error).
     pub fn lca(&self, a: BlockId, b: BlockId) -> BlockId {
+        // Walk by borrowed handles: no per-step `Arc` clone (refcount
+        // traffic) on what is an inner loop of the GA support counting.
         let inner = self.inner.read();
-        let mut x = inner.blocks.get(&a).expect("lca: unknown block").clone();
-        let mut y = inner.blocks.get(&b).expect("lca: unknown block").clone();
+        let mut x = inner.blocks.get(&a).expect("lca: unknown block");
+        let mut y = inner.blocks.get(&b).expect("lca: unknown block");
         while x.height() > y.height() {
-            x = inner.blocks.get(&x.parent()).expect("linked parent").clone();
+            x = inner.blocks.get(&x.parent()).expect("linked parent");
         }
         while y.height() > x.height() {
-            y = inner.blocks.get(&y.parent()).expect("linked parent").clone();
+            y = inner.blocks.get(&y.parent()).expect("linked parent");
         }
         while x.id() != y.id() {
-            x = inner.blocks.get(&x.parent()).expect("linked parent").clone();
-            y = inner.blocks.get(&y.parent()).expect("linked parent").clone();
+            x = inner.blocks.get(&x.parent()).expect("linked parent");
+            y = inner.blocks.get(&y.parent()).expect("linked parent");
         }
         x.id()
     }
@@ -213,7 +215,7 @@ impl BlockStore {
     /// (inclusive), in increasing height order.
     pub fn chain_range(&self, tip: BlockId, from_height: u64) -> Option<Vec<BlockId>> {
         let inner = self.inner.read();
-        let mut cur = inner.blocks.get(&tip)?.clone();
+        let mut cur = inner.blocks.get(&tip)?;
         if from_height > cur.height() {
             return Some(Vec::new());
         }
@@ -223,7 +225,7 @@ impl BlockStore {
             if cur.height() == from_height {
                 break;
             }
-            cur = inner.blocks.get(&cur.parent())?.clone();
+            cur = inner.blocks.get(&cur.parent())?;
         }
         out.reverse();
         Some(out)
@@ -232,16 +234,26 @@ impl BlockStore {
     /// All transactions on the chain from genesis to `tip`, deduplicated
     /// by first inclusion, in chain order.
     pub fn transactions_on_chain(&self, tip: BlockId) -> Vec<Transaction> {
-        let ids = match self.chain_range(tip, 0) {
-            Some(ids) => ids,
-            None => return Vec::new(),
-        };
+        // Single parent walk under one read lock — no id materialization
+        // or re-lookup pass.
         let inner = self.inner.read();
-        let mut out = Vec::new();
-        for id in ids {
-            if let Some(b) = inner.blocks.get(&id) {
-                out.extend(b.txs().iter().cloned());
+        let Some(mut cur) = inner.blocks.get(&tip) else {
+            return Vec::new();
+        };
+        let mut per_block: Vec<&Arc<Block>> = Vec::with_capacity(cur.height() as usize + 1);
+        loop {
+            per_block.push(cur);
+            if cur.height() == 0 {
+                break;
             }
+            match inner.blocks.get(&cur.parent()) {
+                Some(parent) => cur = parent,
+                None => return Vec::new(),
+            }
+        }
+        let mut out = Vec::new();
+        for b in per_block.into_iter().rev() {
+            out.extend(b.txs().iter().cloned());
         }
         out
     }
