@@ -1,0 +1,259 @@
+//! Communication scaling of the quorum-certificate aggregation plane
+//! vs the per-vote forwarding baseline.
+//!
+//! The paper's protocol has every validator forward every received vote
+//! (up to two per sender per instance): n votes → n² direct deliveries
+//! → n³ forwarded deliveries per view, the O(L·n³) of Table 1. With the
+//! aggregation plane on, vote relaying is deferred to the next phase
+//! boundary and a quorate group crosses the wire as **one certificate**
+//! (bitmap + 32-byte aggregate) instead of n per-receiver vote copies:
+//! n certificate broadcasts → n² deliveries per view, so both
+//! deliveries and wire bytes drop from cubic to quadratic growth in n.
+//!
+//! This bench measures both modes at increasing n on identical
+//! fault-free schedules, asserts the headline acceptance bars in-bench
+//! (≥ 5× fewer wire bytes per decided block at n = 128, sub-cubic
+//! certificate-mode growth), and writes the sweep to
+//! `BENCH_comm_scaling.json` at the repo root.
+//!
+//! Run: `cargo bench -p tobsvd-bench --bench comm_scaling`
+//! CI smoke: `cargo bench -p tobsvd-bench --bench comm_scaling -- --smoke`
+//! (certificate rows n = 64/128 plus the n = 128 baseline — enough to
+//! check the 5× ratio and the growth shape without the n = 256 row).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tobsvd_analysis::{fit_power_law, Table};
+use tobsvd_bench::run_tobsvd_with;
+use tobsvd_core::TxWorkload;
+
+const VIEWS: u64 = 3;
+const SEED: u64 = 23;
+
+#[derive(Clone, Copy)]
+struct Row {
+    certificates: bool,
+    n: usize,
+    decided_blocks: u64,
+    deliveries: u64,
+    bytes_delivered: u64,
+    certificate_broadcasts: u64,
+    certificate_bytes: u64,
+    forwards: u64,
+    agg_verifies: u64,
+    agg_verify_skips: u64,
+    wall_ms: f64,
+}
+
+fn measure(n: usize, certificates: bool) -> Row {
+    let t0 = Instant::now();
+    let report = run_tobsvd_with(
+        n,
+        0,
+        VIEWS,
+        SEED,
+        TxWorkload::PerView { count: 2, size: 64 },
+        certificates,
+    );
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report.assert_safety();
+    let blocks = report.decided_blocks();
+    assert!(blocks >= 1, "n={n} run must decide at least one block");
+    let m = &report.report.metrics;
+    Row {
+        certificates,
+        n,
+        decided_blocks: blocks,
+        deliveries: m.deliveries,
+        bytes_delivered: m.bytes_delivered,
+        certificate_broadcasts: m.certificate_broadcasts,
+        certificate_bytes: m.certificate_bytes,
+        forwards: m.forwards,
+        agg_verifies: m.agg_verifies,
+        agg_verify_skips: m.agg_verify_skips,
+        wall_ms,
+    }
+}
+
+impl Row {
+    fn bytes_per_block(&self) -> f64 {
+        self.bytes_delivered as f64 / self.decided_blocks as f64
+    }
+
+    fn ms_per_block(&self) -> f64 {
+        self.wall_ms / self.decided_blocks as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("=== Communication scaling: certificates vs per-vote baseline ===\n");
+
+    // Baseline (per-vote forwarding, the paper's protocol) is cubic, so
+    // its large-n rows are the expensive ones; certificate mode scales
+    // quadratically and affords n = 256.
+    let (cert_ns, base_ns): (Vec<usize>, Vec<usize>) =
+        if smoke { (vec![64, 128], vec![128]) } else { (vec![32, 64, 128, 256], vec![32, 64, 128]) };
+
+    let cert_rows: Vec<Row> = cert_ns.iter().map(|&n| measure(n, true)).collect();
+    let base_rows: Vec<Row> = base_ns.iter().map(|&n| measure(n, false)).collect();
+
+    let mut table = Table::new(vec![
+        "mode",
+        "n",
+        "deliveries",
+        "wire bytes",
+        "bytes/block",
+        "ms/block",
+        "certs",
+        "agg skip/verify",
+    ]);
+    for row in base_rows.iter().chain(&cert_rows) {
+        table.row(vec![
+            if row.certificates { "certificates" } else { "per-vote" }.to_string(),
+            row.n.to_string(),
+            row.deliveries.to_string(),
+            row.bytes_delivered.to_string(),
+            format!("{:.0}", row.bytes_per_block()),
+            format!("{:.1}", row.ms_per_block()),
+            row.certificate_broadcasts.to_string(),
+            format!("{}/{}", row.agg_verify_skips, row.agg_verifies),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- Acceptance bar 1: ≥ 5× fewer wire bytes per decided block at
+    // n = 128 than the per-vote baseline.
+    let cert_128 = cert_rows.iter().find(|r| r.n == 128).expect("n=128 certificate row");
+    let base_128 = base_rows.iter().find(|r| r.n == 128).expect("n=128 baseline row");
+    let byte_ratio = base_128.bytes_per_block() / cert_128.bytes_per_block();
+    let ms_ratio = base_128.ms_per_block() / cert_128.ms_per_block();
+    println!(
+        "n=128: bytes/block {:.0} (per-vote) vs {:.0} (certificates) — {byte_ratio:.1}x fewer; \
+         ms/block {:.1} vs {:.1} — {ms_ratio:.1}x faster",
+        base_128.bytes_per_block(),
+        cert_128.bytes_per_block(),
+        base_128.ms_per_block(),
+        cert_128.ms_per_block(),
+    );
+    assert!(
+        byte_ratio >= 5.0,
+        "certificates must cut wire bytes per decided block ≥5x at n=128, got {byte_ratio:.1}x"
+    );
+
+    // --- Acceptance bar 2: certificate-mode growth is sub-cubic.
+    // Doubling n under cubic growth multiplies bytes by 8; quadratic by
+    // 4. Gate each doubling at ≤ 6x (and the overall fit, when the full
+    // sweep ran, at exponent < 2.6).
+    for pair in cert_rows.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let step = b.bytes_per_block() / a.bytes_per_block();
+        let doublings = ((b.n / a.n) as f64).log2();
+        let per_doubling = step.powf(1.0 / doublings);
+        println!(
+            "certificates n={} → n={}: bytes/block x{step:.1} ({per_doubling:.1}x per doubling)",
+            a.n, b.n
+        );
+        assert!(
+            per_doubling <= 6.0,
+            "certificate mode must grow sub-cubically: n={}→{} scaled {per_doubling:.1}x per doubling",
+            a.n,
+            b.n
+        );
+    }
+    let cert_fit = fit_power_law(
+        &cert_rows.iter().map(|r| (r.n as f64, r.bytes_per_block())).collect::<Vec<_>>(),
+    )
+    .expect("fit");
+    println!(
+        "certificate byte growth: bytes/block ≈ {:.2}·n^{:.2} (R² = {:.4})",
+        cert_fit.coefficient, cert_fit.exponent, cert_fit.r_squared
+    );
+    if !smoke {
+        assert!(
+            cert_fit.exponent < 2.6,
+            "certificate-mode exponent {:.2} not sub-cubic",
+            cert_fit.exponent
+        );
+        let base_fit = fit_power_law(
+            &base_rows.iter().map(|r| (r.n as f64, r.bytes_per_block())).collect::<Vec<_>>(),
+        )
+        .expect("fit");
+        println!(
+            "per-vote byte growth:    bytes/block ≈ {:.2}·n^{:.2} (R² = {:.4})",
+            base_fit.coefficient, base_fit.exponent, base_fit.r_squared
+        );
+        assert!(
+            base_fit.exponent > cert_fit.exponent + 0.5,
+            "baseline exponent {:.2} must clearly dominate certificate exponent {:.2}",
+            base_fit.exponent,
+            cert_fit.exponent
+        );
+        write_json(&cert_rows, &base_rows, byte_ratio, cert_fit.exponent, base_fit.exponent);
+    }
+    println!("acceptance passed: ≥5x at n=128, sub-cubic certificate growth.");
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{ \"n\": {}, \"decided_blocks\": {}, \"deliveries\": {}, \"wire_bytes\": {}, \
+             \"bytes_per_block\": {:.0}, \"wall_ms_per_block\": {:.2}, \
+             \"certificate_broadcasts\": {}, \"certificate_bytes\": {}, \"forwards\": {}, \
+             \"agg_verifies\": {}, \"agg_verify_skips\": {} }}",
+            r.n,
+            r.decided_blocks,
+            r.deliveries,
+            r.bytes_delivered,
+            r.bytes_per_block(),
+            r.ms_per_block(),
+            r.certificate_broadcasts,
+            r.certificate_bytes,
+            r.forwards,
+            r.agg_verifies,
+            r.agg_verify_skips,
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn write_json(
+    cert_rows: &[Row],
+    base_rows: &[Row],
+    byte_ratio_128: f64,
+    cert_exponent: f64,
+    base_exponent: f64,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm_scaling.json");
+    let json = format!(
+        "{{\n  \"bench\": \"comm_scaling\",\n  \"description\": \"Quorum-certificate aggregation \
+         plane vs per-vote forwarding: fault-free sweeps over n on identical schedules \
+         ({views} views, 2 x 64B txs per view, worst-case delays). Per-vote forwarding is the \
+         paper's O(L*n^3); certificates defer vote relaying to phase boundaries and ship quorate \
+         groups as one bitmap+aggregate message, collapsing per-view traffic to O(n^2). Re-run: \
+         cargo bench -p tobsvd-bench --bench comm_scaling\",\n  \
+         \"parameters\": {{ \"views\": {views}, \"txs_per_view\": 2, \"tx_bytes\": 64, \
+         \"seed\": {seed} }},\n  \
+         \"results\": {{\n    \"per_vote_baseline\": {base},\n    \"certificates\": {cert},\n    \
+         \"byte_ratio_at_n128\": {byte_ratio_128:.1},\n    \
+         \"per_vote_byte_exponent\": {base_exponent:.2},\n    \
+         \"certificate_byte_exponent\": {cert_exponent:.2},\n    \
+         \"acceptance\": \"ratio >= 5x at n=128 required, certificate growth sub-cubic \
+         (exponent < 2.6) required; both asserted in-bench\"\n  }}\n}}\n",
+        views = VIEWS,
+        seed = SEED,
+        base = rows_json(base_rows),
+        cert = rows_json(cert_rows),
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

@@ -34,12 +34,33 @@ pub fn halves(n: usize) -> (Vec<ValidatorId>, Vec<ValidatorId>) {
 /// workload. The worst-case delay policy makes the latency numbers tight
 /// against the paper's Δ accounting and keeps equivocation splits clean
 /// (second-hand forwards land after the voting deadline).
+///
+/// Runs the paper's protocol verbatim — per-vote forwarding, no
+/// certificates — so the Table 1 reproductions keep measuring the
+/// published O(L·n³) behavior. See [`run_tobsvd_with`] for the
+/// aggregation-plane variant.
 pub fn run_tobsvd(
     n: usize,
     byz: usize,
     views: u64,
     seed: u64,
     workload: TxWorkload,
+) -> TobReport {
+    run_tobsvd_with(n, byz, views, seed, workload, false)
+}
+
+/// [`run_tobsvd`] with the quorum-certificate aggregation plane
+/// switchable: `certificates = false` is the per-vote baseline (Table
+/// 1's cubic fit), `true` defers vote relaying to phase boundaries and
+/// ships quorate groups as certificates (the sub-cubic mode the
+/// `comm_scaling` bench measures).
+pub fn run_tobsvd_with(
+    n: usize,
+    byz: usize,
+    views: u64,
+    seed: u64,
+    workload: TxWorkload,
+    certificates: bool,
 ) -> TobReport {
     assert!(byz < n, "cannot corrupt everyone");
     let delta = Delta::default();
@@ -49,10 +70,11 @@ pub fn run_tobsvd(
         .seed(seed)
         .delta(delta)
         .workload(workload)
+        .certificates(certificates)
         .delay(Box::new(WorstCaseDelay));
     for v in ValidatorId::all(n).skip(n - byz) {
         let (a, b) = (half_a.clone(), half_b.clone());
-        let cfg = TobConfig::new(n).with_delta(delta);
+        let cfg = TobConfig::new(n).with_delta(delta).with_certificates(certificates);
         builder = builder.byzantine(
             v,
             Box::new(move |store| Box::new(SplitBrainNode::new(v, cfg, store, a, b))),

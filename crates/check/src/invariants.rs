@@ -70,7 +70,9 @@ impl Invariant for BoundedDecisionLatency {
             };
             let proposed_at = self.schedule.view_start(block.view());
             let latency = ev.record.at - proposed_at;
-            let bound = self.max_deltas * self.delta.ticks();
+            // Saturating: a bound of u64::MAX Δ means "no bound", not a
+            // wrap that flags every block.
+            let bound = self.max_deltas.saturating_mul(self.delta.ticks());
             if latency > bound && first_violation.is_none() {
                 first_violation = Some(format!(
                     "block of view {} decided {}Δ after proposal (bound {}Δ): proposed t={}, decided t={}",
@@ -162,7 +164,15 @@ impl NoStalledFetch {
         let fault_w =
             scenario.fetch_faults.iter().map(|f| f.until - f.from).max().unwrap_or(0);
         let sleep_w = scenario.sleeps.iter().map(|w| w.until - w.from).max().unwrap_or(0);
-        NoStalledFetch { bound_ticks: 8 * scenario.delta + fault_w + sleep_w }
+        // Saturating throughout: shrinker-explored scenarios may carry a
+        // Δ (or fault windows) near u64::MAX, and an overflowed bound
+        // would wrap small and flag healthy runs.
+        let bound_ticks = scenario
+            .delta
+            .saturating_mul(8)
+            .saturating_add(fault_w)
+            .saturating_add(sleep_w);
+        NoStalledFetch { bound_ticks }
     }
 
     /// Evaluates the check against a finished run's report.
@@ -223,6 +233,20 @@ mod tests {
         let tight = report_builder(1);
         assert!(!tight.is_empty());
         assert_eq!(tight[0].invariant, "bounded-decision-latency");
+    }
+
+    /// Regression (issue 6): a scenario with Δ near `u64::MAX` (the
+    /// shrinker's search space includes extreme deltas) must produce a
+    /// saturated stall bound, not one that wraps small and flags every
+    /// healthy run.
+    #[test]
+    fn stall_bound_saturates_at_extreme_delta() {
+        let scenario = CheckScenario {
+            sleeps: vec![SleepWindow { validator: 0, from: 0, until: u64::MAX }],
+            ..CheckScenario::fault_free(4, u64::MAX / 4, 5, 3)
+        };
+        let inv = NoStalledFetch::for_scenario(&scenario);
+        assert_eq!(inv.bound_ticks, u64::MAX, "8Δ + windows must clamp, not wrap");
     }
 
     /// A napper that sleeps past the recovery archive's window (so

@@ -18,6 +18,12 @@ pub struct TobConfig {
     pub recovery: bool,
     /// Cap on messages re-sent per recovery request served.
     pub recovery_response_cap: usize,
+    /// Enables the aggregation plane: vote relaying is deferred to the
+    /// next phase boundary and quorate vote groups cross the wire as one
+    /// `Payload::Certificate` instead of per-receiver vote forwards,
+    /// collapsing per-view traffic from O(n³) to O(n²) deliveries.
+    /// Disable to reproduce the per-vote baseline (Table 1's cubic fit).
+    pub certificates: bool,
 }
 
 impl TobConfig {
@@ -29,6 +35,7 @@ impl TobConfig {
             max_txs_per_block: 256,
             recovery: false,
             recovery_response_cap: 1024,
+            certificates: true,
         }
     }
 
@@ -47,6 +54,12 @@ impl TobConfig {
     /// Enables the §2 recovery protocol.
     pub fn with_recovery(mut self, recovery: bool) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Enables or disables the quorum-certificate aggregation plane.
+    pub fn with_certificates(mut self, certificates: bool) -> Self {
+        self.certificates = certificates;
         self
     }
 }

@@ -75,6 +75,7 @@ pub struct TobSimulationBuilder {
     controller: Option<Box<dyn AdversaryController>>,
     byz_factory: Option<ByzantineFactory>,
     recovery: bool,
+    certificates: bool,
     drop_while_asleep: bool,
     advance: AdvanceMode,
     invariants: Vec<Box<dyn Invariant>>,
@@ -121,6 +122,7 @@ impl TobSimulationBuilder {
             controller: None,
             byz_factory: None,
             recovery: false,
+            certificates: true,
             drop_while_asleep: false,
             advance: AdvanceMode::default(),
             invariants: Vec::new(),
@@ -147,6 +149,14 @@ impl TobSimulationBuilder {
     /// Enables the §2 recovery protocol on every honest validator.
     pub fn recovery(mut self, on: bool) -> Self {
         self.recovery = on;
+        self
+    }
+
+    /// Enables or disables the quorum-certificate aggregation plane
+    /// (on by default). Disable to reproduce the per-vote forwarding
+    /// baseline whose communication is Table 1's cubic fit.
+    pub fn certificates(mut self, on: bool) -> Self {
+        self.certificates = on;
         self
     }
 
@@ -254,7 +264,8 @@ impl TobSimulationBuilder {
         let tob_cfg = TobConfig::new(self.n)
             .with_delta(self.delta)
             .with_max_txs(self.max_txs_per_block)
-            .with_recovery(self.recovery);
+            .with_recovery(self.recovery)
+            .with_certificates(self.certificates);
         let sched = ViewSchedule::new(self.delta);
         let mut builder = Simulation::builder(cfg)
             .drop_while_asleep(self.drop_while_asleep)
@@ -354,6 +365,9 @@ impl TobSimulationBuilder {
                     sig_verify_skips: val.sig_verify_skips(),
                     vrf_verifies: val.vrf_verifies(),
                     vrf_verify_skips: val.vrf_verify_skips(),
+                    agg_verifies: val.agg_verifies(),
+                    agg_verify_skips: val.agg_verify_skips(),
+                    certificates_emitted: val.certificates_emitted(),
                     verified_ids: val.verified_ids(),
                     unique_messages_seen: val.unique_messages_seen(),
                 },
@@ -422,6 +436,14 @@ pub struct CryptoStats {
     pub vrf_verifies: u64,
     /// Proposal receptions that hit the VRF memo.
     pub vrf_verify_skips: u64,
+    /// Aggregate-signature verifications performed on received
+    /// certificates.
+    pub agg_verifies: u64,
+    /// Certificate receptions whose aggregate check was skipped because
+    /// every claimed signer was already individually authenticated.
+    pub agg_verify_skips: u64,
+    /// Quorum certificates this validator assembled and broadcast.
+    pub certificates_emitted: u64,
     /// Distinct message ids that passed verification.
     pub verified_ids: usize,
     /// Distinct message ids the gossip layer has seen.

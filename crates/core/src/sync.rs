@@ -173,7 +173,12 @@ impl SyncState {
             self.pending.push_back(Parked { missing, msg, since: now });
             self.parked_total += 1;
             while self.pending.len() > Self::PENDING_CAP {
-                let evicted = self.pending.pop_front().expect("non-empty over cap");
+                // `len > CAP ≥ 0` implies non-empty today, but eviction
+                // must never be a panic path: a refactor of the cap (or
+                // a CAP of 0) degrades to "stop evicting", not a crash.
+                let Some(evicted) = self.pending.pop_front() else {
+                    break;
+                };
                 self.evicted += 1;
                 // Cancel the orphaned fetch unless another parked
                 // message still waits on the same block.
@@ -251,7 +256,10 @@ impl SyncState {
     pub fn stale_requests(&mut self, now: Time, retry_after: u64) -> Vec<BlockId> {
         let mut stale = Vec::new();
         for (id, inflight) in self.inflight.iter_mut() {
-            if inflight.last_sent + retry_after <= now {
+            // Checked: a deadline past the end of time (Δ near
+            // u64::MAX) means "never stale", not a wrap into the past.
+            let deadline = inflight.last_sent.ticks().checked_add(retry_after);
+            if deadline.is_some_and(|d| d <= now.ticks()) {
                 inflight.last_sent = now;
                 stale.push(*id);
             }
@@ -409,6 +417,71 @@ mod tests {
             !sync.stale_requests(Time::new(10_000), 1).contains(&first_missing.unwrap()),
             "evicted message's fetch must be cancelled"
         );
+    }
+
+    /// Regression (issue 6): filling the pending set to exactly the cap
+    /// evicts nothing, and one message past the cap evicts exactly the
+    /// oldest entry — gracefully, never through a panic path.
+    #[test]
+    fn cap_boundary_exact_then_one_past() {
+        let store = BlockStore::new();
+        let mut sync = SyncState::new(&store);
+        let genesis = Log::genesis(&store);
+        let park_fork = |sync: &mut SyncState, i: u64| {
+            let fork = genesis
+                .extend(&store, ValidatorId::new(2), View::new(1), vec![Transaction::synthetic(i, 8)])
+                .extend_empty(&store, ValidatorId::new(2), View::new(2))
+                .extend_empty(&store, ValidatorId::new(2), View::new(3));
+            let Resolution::Missing(base) = sync.resolve(&fork, &store) else {
+                panic!("fork must not resolve");
+            };
+            let m = msg_with_log(&store, 2, i, fork);
+            sync.park(base, m, Time::new(i));
+            (m.id(), base)
+        };
+
+        let mut first = None;
+        for i in 0..SyncState::PENDING_CAP as u64 {
+            let entry = park_fork(&mut sync, i);
+            first.get_or_insert(entry);
+        }
+        // Exactly at the cap: everything retained.
+        assert_eq!(sync.pending_len(), SyncState::PENDING_CAP);
+        assert_eq!(sync.evicted(), 0);
+
+        // One past the cap: the oldest entry (and only it) goes.
+        park_fork(&mut sync, SyncState::PENDING_CAP as u64);
+        assert_eq!(sync.pending_len(), SyncState::PENDING_CAP);
+        assert_eq!(sync.evicted(), 1);
+        let (first_id, first_missing) = first.unwrap();
+        assert!(
+            !sync.take_resolved().iter().any(|m| m.id() == first_id),
+            "evicted message must not be replayable"
+        );
+        assert!(
+            sync.should_fetch(first_missing),
+            "evicted message's orphaned fetch must be cancelled"
+        );
+    }
+
+    /// Regression (issue 6): a retry window near `u64::MAX` must mean
+    /// "never stale", not a wrapping add that fires the retry instantly.
+    #[test]
+    fn huge_retry_window_never_goes_stale() {
+        let store = BlockStore::new();
+        let mut sync = SyncState::new(&store);
+        let l3 = chain(&store, 3);
+        let Resolution::Missing(base) = sync.resolve(&l3, &store) else {
+            panic!()
+        };
+        sync.park(base, msg_with_log(&store, 1, 1, l3), Time::new(u64::MAX - 4));
+        sync.note_requested(base, Time::new(u64::MAX - 4));
+        assert!(
+            sync.stale_requests(Time::new(u64::MAX), u64::MAX).is_empty(),
+            "saturating deadline must not wrap into the past"
+        );
+        // A finite window elapsing at the edge of time still retries.
+        assert_eq!(sync.stale_requests(Time::new(u64::MAX), 4), vec![base]);
     }
 
     #[test]

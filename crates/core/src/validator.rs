@@ -2,18 +2,119 @@
 
 use std::collections::BTreeMap;
 
-use tobsvd_crypto::{Digest, KeyCache, Keypair};
+use tobsvd_crypto::{AggregateSignature, Digest, KeyCache, Keypair, PublicKey, Signature, VrfOutput};
 use tobsvd_ga::Ga3;
 use tobsvd_sim::gossip::{GossipState, VerifiedSet};
 use tobsvd_sim::{Context, Node};
 use tobsvd_types::{
-    wire, BlockId, BlockStore, InstanceId, Log, Payload, SignedMessage, ValidatorId, View,
+    wire, BlockId, BlockStore, InstanceId, Log, Payload, SignedMessage, SignerSet, ValidatorId,
+    View,
 };
 
 use crate::config::TobConfig;
 use crate::leader::{verify_vrf, vrf_for, ProposalTracker};
 use crate::schedule::{ViewSchedule, ViewPhase};
 use crate::sync::{Resolution, SyncState};
+
+/// Aggregation state for one `(instance, log)` vote group.
+///
+/// The aggregation plane defers all vote relaying to the next phase
+/// boundary. Boundaries are Δ-spaced and the engine delivers messages
+/// before firing the phase callback at the same tick, so a vote in this
+/// validator's `kΔ` snapshot is flushed at `kΔ` and reaches every honest
+/// validator by `(k+1)Δ` — exactly the graded-delivery guarantee the
+/// paper obtains from immediate per-receiver forwarding, at O(n²)
+/// instead of O(n³) deliveries per view.
+struct VoteGroup {
+    instance: InstanceId,
+    log: Log,
+    /// Individually received (and verified) votes, in arrival order.
+    /// One entry per sender: gossip dedups ids, and a sender's two
+    /// conflicting logs land in two different groups.
+    votes: Vec<SignedMessage>,
+    /// Senders of `votes` as a bitmap (the signer set of our own
+    /// certificate).
+    have_votes: SignerSet,
+    /// `votes[..flushed]` have been relayed — individually or covered
+    /// by a certificate this validator sent.
+    flushed: usize,
+    /// Signers this validator has *personally* sent a certificate for
+    /// (own broadcast or a forwarded received certificate). Only sends
+    /// count: coverage is what upholds the relay guarantee through this
+    /// validator.
+    covered: SignerSet,
+    /// Signers vouched by a received certificate whose aggregate this
+    /// validator fully verified.
+    cert_verified: SignerSet,
+    /// Whether this validator's own certificate for the group has been
+    /// broadcast (at most one per group, so the per-sender gossip cap
+    /// can never drop a later emission that would carry new signers).
+    own_cert_emitted: bool,
+    /// Verified received certificates queued for boundary forwarding.
+    pending_certs: Vec<SignedMessage>,
+}
+
+impl VoteGroup {
+    fn new(instance: InstanceId, log: Log) -> Self {
+        VoteGroup {
+            instance,
+            log,
+            votes: Vec::new(),
+            have_votes: SignerSet::empty(),
+            flushed: 0,
+            covered: SignerSet::empty(),
+            cert_verified: SignerSet::empty(),
+            own_cert_emitted: false,
+            pending_certs: Vec::new(),
+        }
+    }
+
+    /// Signers whose votes this validator can vouch for without the
+    /// certificate under consideration: individually held votes plus
+    /// previously verified certificates.
+    fn vouched(&self) -> SignerSet {
+        let mut s = self.have_votes;
+        s.union_with(&self.cert_verified);
+        s
+    }
+
+    /// Signers already guaranteed to be relayed by this validator: held
+    /// votes (flushed individually or via our own certificate) plus
+    /// everything we already sent a certificate for.
+    fn relayed_by_us(&self) -> SignerSet {
+        let mut s = self.have_votes;
+        s.union_with(&self.covered);
+        s
+    }
+}
+
+/// Deferred proposal relaying for one view (certificate mode).
+///
+/// The paper's gossip echoes every received proposal per receiver:
+/// n proposals × n forwarders is the second O(n³) delivery term per
+/// view, co-equal with the vote echo the certificates eliminate. But a
+/// proposal relay is informative in exactly two cases — it spreads the
+/// highest-VRF proposal (the one any vote could pick) or it spreads
+/// equivocation evidence. Votes themselves never depend on relays
+/// under worst-case delay: a proposal received at t relays at the next
+/// boundary and lands at t + Δ at the earliest, past the `t_v + Δ`
+/// vote it could have fed, while the direct broadcast already reaches
+/// every awake validator in time. So the boundary flush forwards the
+/// best verified proposal seen (once per priority improvement) and
+/// every buffered copy from a detected equivocator, and drops the
+/// rest: O(n) relays per view instead of O(n²).
+#[derive(Default)]
+struct ProposalRelay {
+    /// VRF-verified proposal receptions since the last boundary flush.
+    /// Bounded by the gossip cap: at most two distinct messages per
+    /// sender per view survive `on_receive`.
+    pending: Vec<SignedMessage>,
+    /// Highest `(vrf, Reverse(sender))` priority already relayed for
+    /// this view — the same total order [`ProposalTracker`] uses to
+    /// pick the vote input, so a relayed proposal is outranked only by
+    /// one that would also outrank it there.
+    best_relayed: Option<(VrfOutput, std::cmp::Reverse<ValidatorId>)>,
+}
 
 /// An honest TOB-SVD validator.
 ///
@@ -43,6 +144,14 @@ pub struct Validator {
     archive: BTreeMap<View, Vec<SignedMessage>>,
     /// Delta-sync state: block knowledge, bounded pending set, fetches.
     sync: SyncState,
+    /// Aggregation plane: per-view vote groups awaiting the boundary
+    /// flush (certificate emission or individual relay). Pruned with the
+    /// GA window.
+    agg_groups: BTreeMap<View, Vec<VoteGroup>>,
+    /// Aggregation plane, proposal side: proposal relays buffered since
+    /// the last boundary plus per-view relay coverage. Pruned with the
+    /// proposal window.
+    prop_relays: BTreeMap<View, ProposalRelay>,
     /// Verification fast path: the dedup-before-verify gate (see
     /// [`VerifiedSet`]). Fetch-plane ids are deliberately *not*
     /// retained (point-to-point transport an adversary can mint without
@@ -64,6 +173,13 @@ pub struct Validator {
     vrf_verifies: u64,
     /// Instrumentation: VRF verifications skipped via the per-view memo.
     vrf_verify_skips: u64,
+    /// Instrumentation: certificate aggregate verifications performed.
+    agg_verifies: u64,
+    /// Instrumentation: aggregate verifications skipped because every
+    /// attested signer was already vouched (subset fast path).
+    agg_verify_skips: u64,
+    /// Instrumentation: own certificates broadcast.
+    certificates_emitted: u64,
 }
 
 impl Validator {
@@ -80,6 +196,8 @@ impl Validator {
             decided: Log::genesis(store),
             archive: BTreeMap::new(),
             sync: SyncState::new(store),
+            agg_groups: BTreeMap::new(),
+            prop_relays: BTreeMap::new(),
             verified: VerifiedSet::new(),
             started: false,
             votes_cast: 0,
@@ -88,6 +206,9 @@ impl Validator {
             recoveries_served: 0,
             vrf_verifies: 0,
             vrf_verify_skips: 0,
+            agg_verifies: 0,
+            agg_verify_skips: 0,
+            certificates_emitted: 0,
             cfg,
         }
     }
@@ -143,6 +264,22 @@ impl Validator {
     /// Proposal receptions that hit the per-view VRF memo.
     pub fn vrf_verify_skips(&self) -> u64 {
         self.vrf_verify_skips
+    }
+
+    /// Certificate aggregate verifications this validator performed.
+    pub fn agg_verifies(&self) -> u64 {
+        self.agg_verifies
+    }
+
+    /// Certificate receptions that skipped aggregate verification
+    /// because every attested signer was already vouched individually.
+    pub fn agg_verify_skips(&self) -> u64 {
+        self.agg_verify_skips
+    }
+
+    /// Own quorum certificates this validator has broadcast.
+    pub fn certificates_emitted(&self) -> u64 {
+        self.certificates_emitted
     }
 
     /// Number of distinct protocol message ids that passed verification
@@ -274,9 +411,14 @@ impl Validator {
         self.gas.retain(|w, _| w.number() + 2 >= v.number());
         // Proposals for view w only matter until t_w + Δ.
         self.proposals.retain(|w, _| w.number() + 1 >= v.number());
+        // Relay buffers follow the proposal window.
+        self.prop_relays.retain(|w, _| w.number() + 1 >= v.number());
         // The archive follows the GA window: recovering validators can
         // only act on still-live instances anyway.
         self.archive.retain(|w, _| w.number() + 2 >= v.number());
+        // Vote groups follow the GA window too: a finished instance
+        // takes no more snapshots, so nothing is owed a relay.
+        self.agg_groups.retain(|w, _| w.number() + 2 >= v.number());
     }
 
     /// Records a fresh message in the recovery archive.
@@ -426,6 +568,200 @@ impl Validator {
             }
         }
     }
+
+    /// The vote group for `(instance, log)`, created on first use.
+    /// Groups per instance are few (honestly at most two — the gossip
+    /// cap drops further distinct logs per sender), so a linear scan in
+    /// arrival order keeps the flush deterministic.
+    fn group_mut(&mut self, instance: InstanceId, log: Log) -> &mut VoteGroup {
+        let groups = self.agg_groups.entry(instance.view()).or_default();
+        match groups.iter().position(|g| g.instance == instance && g.log == log) {
+            Some(i) => &mut groups[i],
+            None => {
+                groups.push(VoteGroup::new(instance, log));
+                groups.last_mut().expect("just pushed")
+            }
+        }
+    }
+
+    /// Buffers a fresh, resolved, in-window vote for the boundary flush.
+    fn note_vote(&mut self, msg: &SignedMessage, instance: InstanceId, log: Log, ctx: &mut Context) {
+        if !self.cfg.certificates {
+            return;
+        }
+        let g = self.group_mut(instance, log);
+        if !g.have_votes.insert(msg.sender()) {
+            // Beyond the bitmap capacity: fall back to the baseline
+            // immediate forward so the relay guarantee still holds.
+            ctx.forward(*msg);
+            return;
+        }
+        g.votes.push(*msg);
+    }
+
+    /// Handles a fresh, resolved, in-window quorum certificate.
+    ///
+    /// The attested `(signer, log)` claims enter the GA only through one
+    /// of two authenticated doors: every attested signer was already
+    /// vouched (its vote individually verified here, or covered by a
+    /// previously verified certificate) — the subset fast path, no new
+    /// claims — or the aggregate itself verifies against the
+    /// reconstructed per-signer vote bindings. A forged aggregate fails
+    /// the recomputation and is dropped before any absorption or
+    /// forwarding.
+    fn on_certificate(
+        &mut self,
+        msg: &SignedMessage,
+        instance: InstanceId,
+        log: Log,
+        signers: SignerSet,
+        agg: AggregateSignature,
+        ctx: &mut Context,
+    ) {
+        if !self.cfg.certificates {
+            return;
+        }
+        // A certificate naming validators outside the committee claims
+        // votes that cannot exist; drop it outright.
+        if signers.is_empty() || signers.iter().any(|s| s.index() >= self.cfg.n) {
+            return;
+        }
+        let w = instance.view();
+        let g = self.group_mut(instance, log);
+        if signers.is_subset(&g.vouched()) {
+            // Every attested vote is already authenticated here; the
+            // certificate adds no claims and needs no relay from us
+            // (held votes flush through our own machinery; previously
+            // verified certificates were queued when they arrived).
+            self.agg_verify_skips += 1;
+            ctx.note_agg_verify_skip();
+            return;
+        }
+        self.agg_verifies += 1;
+        ctx.note_agg_verify();
+        let vote_payload = Payload::Log { instance, log };
+        let signer_ids: Vec<ValidatorId> = signers.iter().collect();
+        let bindings: Vec<Digest> = signer_ids
+            .iter()
+            .map(|s| SignedMessage::binding_for(*s, &vote_payload))
+            .collect();
+        let msgs: Vec<&[u8]> = bindings.iter().map(|d| d.as_bytes().as_slice()).collect();
+        let pks: Vec<PublicKey> =
+            signer_ids.iter().map(|s| KeyCache::keypair(s.key_seed()).public()).collect();
+        let pk_refs: Vec<&PublicKey> = pks.iter().collect();
+        if !agg.aggregate_verify(&msgs, &pk_refs) {
+            return; // forged aggregate: no absorption, no forward
+        }
+        let g = self.group_mut(instance, log);
+        g.cert_verified.union_with(&signers);
+        // Queue for boundary forwarding iff it vouches signers we could
+        // not otherwise relay — this is what preserves the paper's
+        // graded-delivery guarantee for votes we never saw individually.
+        if !signers.is_subset(&g.relayed_by_us()) {
+            g.pending_certs.push(*msg);
+        }
+        // Absorb the attested votes into the GA (duplicates no-op,
+        // conflicting logs across certificates surface as equivocation
+        // in the tracker, exactly as individual votes would).
+        for signer in signer_ids {
+            self.ensure_ga(w).on_log(signer, log);
+        }
+    }
+
+    /// Boundary flush of the aggregation plane (every Δ while awake):
+    /// forward verified certificates that extend our coverage, emit our
+    /// own certificate once a group turns quorate (> n/2 distinct
+    /// voters), and relay the remaining buffered votes individually.
+    fn flush_aggregation(&mut self, ctx: &mut Context) {
+        if !self.cfg.certificates {
+            return;
+        }
+        let quorum = self.cfg.n / 2;
+        let mut own_certs = 0u64;
+        for groups in self.agg_groups.values_mut() {
+            for g in groups.iter_mut() {
+                // Received certificates first: maximal coverage means
+                // fewer individual forwards below.
+                for cert in std::mem::take(&mut g.pending_certs) {
+                    let Payload::Certificate { signers, .. } = cert.payload() else {
+                        continue;
+                    };
+                    if !signers.is_subset(&g.relayed_by_us()) {
+                        ctx.forward(cert);
+                        g.covered.union_with(signers);
+                    }
+                }
+                // Our own certificate, at most once per group, and only
+                // if it vouches someone our coverage does not.
+                if !g.own_cert_emitted
+                    && g.votes.len() > quorum
+                    && !g.have_votes.is_subset(&g.covered)
+                {
+                    let mut votes: Vec<&SignedMessage> = g.votes.iter().collect();
+                    votes.sort_by_key(|m| m.sender());
+                    let sigs: Vec<&Signature> = votes.iter().map(|m| m.signature()).collect();
+                    let agg = AggregateSignature::aggregate(&sigs)
+                        .expect("quorate group is non-empty");
+                    let payload = Payload::Certificate {
+                        instance: g.instance,
+                        log: g.log,
+                        signers: g.have_votes,
+                        agg,
+                    };
+                    ctx.broadcast(SignedMessage::sign(&self.keypair, self.me, payload));
+                    own_certs += 1;
+                    g.own_cert_emitted = true;
+                    let have = g.have_votes;
+                    g.covered.union_with(&have);
+                    g.flushed = g.votes.len();
+                }
+                // Whatever is still unflushed goes out individually —
+                // the sub-quorum (or late-vote) fallback, identical to
+                // the paper's per-receiver forwarding.
+                while g.flushed < g.votes.len() {
+                    let vote = g.votes[g.flushed];
+                    g.flushed += 1;
+                    if !g.covered.contains(vote.sender()) {
+                        ctx.forward(vote);
+                    }
+                }
+            }
+        }
+        self.certificates_emitted += own_certs;
+        // Proposal side: relay the highest-priority verified proposal
+        // per view (only when it outranks everything we relayed for the
+        // view before) plus every buffered copy from a detected
+        // equivocator — the two relays that carry information. The rest
+        // of the echo is dropped; see [`ProposalRelay`] for why votes
+        // never depend on it.
+        for (view, relay) in self.prop_relays.iter_mut() {
+            let tracker = self.proposals.get(view);
+            let mut best: Option<((VrfOutput, std::cmp::Reverse<ValidatorId>), SignedMessage)> =
+                None;
+            for msg in std::mem::take(&mut relay.pending) {
+                let Payload::Proposal { vrf, .. } = msg.payload() else {
+                    continue;
+                };
+                if tracker.is_some_and(|t| t.is_equivocator(msg.sender())) {
+                    // Evidence: both conflicting copies (the gossip cap
+                    // admits at most two per sender) spread so peers
+                    // discard the equivocator too.
+                    ctx.forward(msg);
+                    continue;
+                }
+                let prio = (*vrf, std::cmp::Reverse(msg.sender()));
+                if best.as_ref().map_or(true, |(p, _)| prio > *p) {
+                    best = Some((prio, msg));
+                }
+            }
+            if let Some((prio, msg)) = best {
+                if relay.best_relayed.map_or(true, |b| prio > b) {
+                    ctx.forward(msg);
+                    relay.best_relayed = Some(prio);
+                }
+            }
+        }
+    }
 }
 
 impl Node for Validator {
@@ -456,10 +792,16 @@ impl Node for Validator {
         // Retry unanswered fetches first (as broadcasts, so any honest
         // awake peer can answer a request whose original target dropped
         // it, slept, or turned Byzantine).
-        let retry_after = SyncState::RETRY_AFTER_DELTAS * ctx.delta.ticks();
+        // Saturating: hostile checker scenarios drive Δ toward u64::MAX,
+        // where `2 × Δ` wraps and every fetch would retry instantly.
+        let retry_after = SyncState::RETRY_AFTER_DELTAS.saturating_mul(ctx.delta.ticks());
         for missing in self.sync.stale_requests(ctx.time, retry_after) {
             self.request_blocks(missing, None, ctx);
         }
+        // Flush the aggregation plane: votes and certificates buffered
+        // since the previous boundary go out now, as one quorum
+        // certificate where a group is quorate.
+        self.flush_aggregation(ctx);
         // Drive the ongoing GA instances: the TOB phase at this
         // boundary consumes outputs computed at this very time (Figure 3
         // arrows land on the phase they feed).
@@ -500,7 +842,20 @@ impl Node for Validator {
             _ => {}
         }
         let reception = self.gossip.on_receive(msg);
-        if reception.forward {
+        // Under the aggregation plane, votes, certificates and
+        // proposals are not forwarded on reception: votes and
+        // certificates buffer in their vote group and flush at the next
+        // phase boundary (as one certificate when the group is
+        // quorate); proposals buffer in their view's relay and flush as
+        // the best-VRF proposal plus equivocation evidence. Everything
+        // else keeps the immediate per-receiver forward of the paper's
+        // gossip.
+        let deferred = self.cfg.certificates
+            && matches!(
+                msg.payload(),
+                Payload::Log { .. } | Payload::Certificate { .. } | Payload::Proposal { .. }
+            );
+        if reception.forward && !deferred {
             ctx.forward(*msg);
         }
         if !reception.fresh {
@@ -538,6 +893,14 @@ impl Validator {
                 }
                 self.archive_message(msg);
                 self.ensure_ga(w).on_log(msg.sender(), *log);
+                self.note_vote(msg, *instance, *log, ctx);
+            }
+            Payload::Certificate { instance, log, signers, agg } => {
+                let w = instance.view();
+                if w.number() + 2 < current.number() || w.number() > current.number() + 1 {
+                    return;
+                }
+                self.on_certificate(msg, *instance, *log, *signers, *agg, ctx);
             }
             Payload::Proposal { view, log, vrf, proof } => {
                 // Window check before the VRF check: an out-of-window
@@ -577,6 +940,14 @@ impl Validator {
                     .entry(*view)
                     .or_default()
                     .record(msg.sender(), *log, *vrf);
+                // Certificate mode: the relay decision is deferred to
+                // the boundary flush, where this view's tracker knows
+                // the best VRF seen and the equivocators. Only
+                // VRF-verified proposals get here, so a forged-VRF
+                // frame is never relayed either.
+                if self.cfg.certificates {
+                    self.prop_relays.entry(*view).or_default().pending.push(*msg);
+                }
             }
             Payload::Vote { .. } => {} // not part of TOB-SVD
             Payload::Recovery { from_view, .. } => {
@@ -662,15 +1033,21 @@ mod tests {
             .into_iter()
             .max_by_key(|v| vrf_for(*v, View::ZERO).0)
             .unwrap();
+        // The boundary flush relays exactly the winning proposal (the
+        // loser's echo is dropped), then the vote adopts its log.
         match ctx.outbox() {
-            [tobsvd_sim::Outgoing::Broadcast(m)] => match m.payload() {
-                Payload::Log { log, .. } => {
-                    let block = store.get(log.tip()).unwrap();
-                    assert_eq!(block.proposer(), Some(winner));
+            [tobsvd_sim::Outgoing::Forward(relay), tobsvd_sim::Outgoing::Broadcast(m)] => {
+                assert!(matches!(relay.payload(), Payload::Proposal { .. }));
+                assert_eq!(relay.sender(), winner, "only the best-VRF proposal is relayed");
+                match m.payload() {
+                    Payload::Log { log, .. } => {
+                        let block = store.get(log.tip()).unwrap();
+                        assert_eq!(block.proposer(), Some(winner));
+                    }
+                    p => panic!("expected LOG, got {p:?}"),
                 }
-                p => panic!("expected LOG, got {p:?}"),
-            },
-            other => panic!("expected one broadcast, got {other:?}"),
+            }
+            other => panic!("expected relay + vote, got {other:?}"),
         }
     }
 
@@ -897,15 +1274,23 @@ mod tests {
         }
         assert_eq!(val.vrf_verifies(), 1, "the second distinct proposal hits the memo");
         assert_eq!(val.vrf_verify_skips(), 1);
-        // Equivocation semantics are intact: both proposals discarded.
+        // Equivocation semantics are intact: both proposals discarded
+        // from the vote, and the flush relays both copies as evidence
+        // (never as a best-proposal pick).
         let mut ctx = ctx_at(8, &store);
         val.on_phase(&mut ctx);
         match ctx.outbox() {
-            [tobsvd_sim::Outgoing::Broadcast(m)] => {
+            [tobsvd_sim::Outgoing::Forward(e1), tobsvd_sim::Outgoing::Forward(e2), tobsvd_sim::Outgoing::Broadcast(m)] =>
+            {
+                for evidence in [e1, e2] {
+                    assert!(matches!(evidence.payload(), Payload::Proposal { .. }));
+                    assert_eq!(evidence.sender(), sender, "evidence is the equivocator's copies");
+                }
+                assert_ne!(e1.id(), e2.id(), "both conflicting copies spread");
                 let log = m.payload().log().expect("LOG carries a log");
                 assert!(log.is_genesis(&store), "equivocating proposals must be discarded");
             }
-            other => panic!("expected one broadcast, got {other:?}"),
+            other => panic!("expected two evidence relays + vote, got {other:?}"),
         }
         // A mismatching VRF claim never hits the memo: a fresh sender
         // claiming someone else's VRF value goes through verification
@@ -968,14 +1353,19 @@ mod tests {
         let mut ctx = ctx_at(8, &store);
         val.on_phase(&mut ctx);
         match ctx.outbox() {
-            [tobsvd_sim::Outgoing::Broadcast(m)] => {
+            [tobsvd_sim::Outgoing::Forward(relay), tobsvd_sim::Outgoing::Broadcast(m)] => {
+                assert_eq!(
+                    relay.id(),
+                    p1.id(),
+                    "only the genuine proposal is relayed — the tampered frame is gone"
+                );
                 let log = m.payload().log().expect("LOG carries a log");
                 assert!(
                     !log.is_genesis(&store),
                     "p1 must survive: the tampered frame is dropped, not equivocation evidence"
                 );
             }
-            other => panic!("expected one broadcast, got {other:?}"),
+            other => panic!("expected relay + vote, got {other:?}"),
         }
     }
 

@@ -1,0 +1,176 @@
+//! Simulated aggregate signatures (BLS stand-in).
+//!
+//! Quorum certificates compress `k` votes into one constant-size object.
+//! Real deployments use BLS aggregation (e.g. `blst::min_sig`:
+//! `AggregateSignature::aggregate` over individual signatures, then one
+//! `aggregate_verify` over the `(public key, message)` pairs). This
+//! module reproduces that API shape on top of the repository's simulated
+//! signature scheme so the whole workspace stays offline and
+//! deterministic:
+//!
+//! * an [`AggregateSignature`] is the running digest
+//!   `H("agg" ‖ σ₁ ‖ … ‖ σₖ)` over the constituent signatures **in the
+//!   order given** (callers must fix a canonical order — certificates
+//!   use increasing signer id);
+//! * [`AggregateSignature::aggregate_verify`] recomputes each expected
+//!   constituent signature from its public key (possible only in the
+//!   simulated scheme, where keys embed their seed) and checks the
+//!   digest chain — one pass over the `(key, message)` pairs, exactly
+//!   the multi-message verification contract of BLS.
+//!
+//! The idealization inherited from [`crate::keys`] carries over: an
+//! adversary cannot produce an aggregate covering an honest validator's
+//! message the validator never signed, because no component signs with a
+//! key it does not own.
+
+use std::fmt;
+
+use crate::digest::{Digest, Hasher};
+use crate::keys::{PublicKey, Signature};
+
+/// Errors from aggregate construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggregateError {
+    /// An aggregate over zero signatures has no meaning; reject it
+    /// rather than give the empty certificate a verifiable digest.
+    Empty,
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::Empty => write!(f, "cannot aggregate zero signatures"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// An aggregate over one or more signatures (order-sensitive).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AggregateSignature {
+    acc: Digest,
+}
+
+impl AggregateSignature {
+    /// Aggregates `sigs` (in the order given) into one signature.
+    ///
+    /// ```
+    /// use tobsvd_crypto::{AggregateSignature, Keypair};
+    /// let kps: Vec<Keypair> = (0..3).map(Keypair::from_seed).collect();
+    /// let sigs: Vec<_> = kps.iter().map(|kp| kp.sign(b"vote")).collect();
+    /// let refs: Vec<&_> = sigs.iter().collect();
+    /// let agg = AggregateSignature::aggregate(&refs).unwrap();
+    /// let pks: Vec<_> = kps.iter().map(|kp| kp.public()).collect();
+    /// let pk_refs: Vec<&_> = pks.iter().collect();
+    /// assert!(agg.aggregate_verify(&[b"vote", b"vote", b"vote"], &pk_refs));
+    /// ```
+    pub fn aggregate(sigs: &[&Signature]) -> Result<Self, AggregateError> {
+        if sigs.is_empty() {
+            return Err(AggregateError::Empty);
+        }
+        let mut h = Hasher::new("tobsvd/agg");
+        for sig in sigs {
+            h.update_digest(sig.as_digest());
+        }
+        Ok(AggregateSignature { acc: h.finalize() })
+    }
+
+    /// Verifies this aggregate against per-signer `(message, key)` pairs,
+    /// in the same order the signatures were aggregated.
+    ///
+    /// Returns `false` on any length mismatch, on zero pairs, or when the
+    /// recomputed digest chain does not match.
+    pub fn aggregate_verify(&self, msgs: &[&[u8]], pks: &[&PublicKey]) -> bool {
+        if msgs.is_empty() || msgs.len() != pks.len() {
+            return false;
+        }
+        let mut h = Hasher::new("tobsvd/agg");
+        for (msg, pk) in msgs.iter().zip(pks) {
+            h.update_digest(pk.expected_signature(msg).as_digest());
+        }
+        h.finalize() == self.acc
+    }
+
+    /// Raw aggregate digest (for wire encoding).
+    pub fn as_digest(&self) -> &Digest {
+        &self.acc
+    }
+
+    /// Reconstructs an aggregate from its wire digest.
+    pub fn from_digest(d: Digest) -> Self {
+        AggregateSignature { acc: d }
+    }
+}
+
+impl fmt::Debug for AggregateSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AggregateSignature({}..)", self.acc.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+
+    fn setup(k: u64) -> (Vec<Keypair>, Vec<Signature>) {
+        let kps: Vec<Keypair> = (0..k).map(Keypair::from_seed).collect();
+        let sigs = kps.iter().map(|kp| kp.sign(b"m")).collect();
+        (kps, sigs)
+    }
+
+    #[test]
+    fn aggregate_roundtrip() {
+        let (kps, sigs) = setup(4);
+        let agg = AggregateSignature::aggregate(&sigs.iter().collect::<Vec<_>>()).unwrap();
+        let pks: Vec<PublicKey> = kps.iter().map(|kp| kp.public()).collect();
+        let msgs: Vec<&[u8]> = vec![b"m"; 4];
+        assert!(agg.aggregate_verify(&msgs, &pks.iter().collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn empty_aggregate_rejected() {
+        assert_eq!(AggregateSignature::aggregate(&[]), Err(AggregateError::Empty));
+    }
+
+    #[test]
+    fn order_matters() {
+        let (kps, sigs) = setup(2);
+        let fwd = AggregateSignature::aggregate(&[&sigs[0], &sigs[1]]).unwrap();
+        let rev = AggregateSignature::aggregate(&[&sigs[1], &sigs[0]]).unwrap();
+        assert_ne!(fwd, rev);
+        let pks: Vec<PublicKey> = kps.iter().map(|kp| kp.public()).collect();
+        let msgs: Vec<&[u8]> = vec![b"m"; 2];
+        assert!(fwd.aggregate_verify(&msgs, &[&pks[0], &pks[1]]));
+        assert!(!fwd.aggregate_verify(&msgs, &[&pks[1], &pks[0]]));
+    }
+
+    #[test]
+    fn wrong_message_or_key_fails() {
+        let (kps, sigs) = setup(3);
+        let agg = AggregateSignature::aggregate(&sigs.iter().collect::<Vec<_>>()).unwrap();
+        let pks: Vec<PublicKey> = kps.iter().map(|kp| kp.public()).collect();
+        let pk_refs: Vec<&PublicKey> = pks.iter().collect();
+        assert!(!agg.aggregate_verify(&[b"m", b"x", b"m"], &pk_refs));
+        let outsider = Keypair::from_seed(99).public();
+        assert!(!agg.aggregate_verify(&[b"m", b"m", b"m"], &[&pks[0], &outsider, &pks[2]]));
+        assert!(!agg.aggregate_verify(&[b"m", b"m"], &pk_refs[..2]));
+        assert!(!agg.aggregate_verify(&[], &[]));
+    }
+
+    #[test]
+    fn digest_roundtrip() {
+        let (_, sigs) = setup(2);
+        let agg = AggregateSignature::aggregate(&[&sigs[0], &sigs[1]]).unwrap();
+        assert_eq!(AggregateSignature::from_digest(*agg.as_digest()), agg);
+    }
+
+    #[test]
+    fn subset_has_distinct_aggregate() {
+        let (_, sigs) = setup(3);
+        let full = AggregateSignature::aggregate(&sigs.iter().collect::<Vec<_>>()).unwrap();
+        let sub = AggregateSignature::aggregate(&[&sigs[0], &sigs[1]]).unwrap();
+        assert_ne!(full, sub);
+    }
+}

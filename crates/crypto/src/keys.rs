@@ -109,6 +109,15 @@ impl PublicKey {
         h.finalize() == sig.binding
     }
 
+    /// The signature this key's owner would produce for `message`.
+    ///
+    /// Only meaningful in the simulated scheme, where the public key
+    /// embeds the seed: aggregate verification recomputes each expected
+    /// constituent signature instead of pairing-checking it.
+    pub(crate) fn expected_signature(&self, message: &[u8]) -> Signature {
+        SecretKey { seed: self.seed }.sign(message)
+    }
+
     /// A stable digest identifying this key (e.g. for registries).
     pub fn fingerprint(&self) -> Digest {
         let mut h = Hasher::new("tobsvd/pk-fp");

@@ -18,6 +18,10 @@
 //!   remains honest, the adversary cannot forge its signatures") by
 //!   construction: no component fabricates a binding for a key it does not
 //!   hold.
+//! * [`AggregateSignature`] — a BLS-shaped aggregate over constituent
+//!   signatures, verified in one pass over the `(key, message)` pairs;
+//!   quorum certificates ride on it to compress `k` votes into one
+//!   constant-size attestation.
 //! * [`KeyCache`] — a process-wide memo of seed → keypair derivations;
 //!   key material is a pure function of the seed, so the hot receive
 //!   paths look keys up instead of re-deriving them per message.
@@ -46,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
 mod cache;
 mod digest;
 mod keys;
 mod sha256impl;
 mod vrf;
 
+pub use aggregate::{AggregateError, AggregateSignature};
 pub use cache::KeyCache;
 pub use digest::{Digest, Hasher};
 pub use keys::{Keypair, PublicKey, SecretKey, Signature};

@@ -77,6 +77,10 @@ pub struct WireStats {
     pub sync_bytes_in: u64,
     /// Fetch-subprotocol bytes sent.
     pub sync_bytes_out: u64,
+    /// Quorum-certificate (aggregation plane) bytes received.
+    pub certificate_bytes_in: u64,
+    /// Quorum-certificate bytes sent.
+    pub certificate_bytes_out: u64,
     /// Frames parked at the session layer pending block fetches.
     pub frames_parked: u64,
     /// Session-layer fetch requests issued (excludes the validator's own
@@ -93,6 +97,14 @@ pub struct WireStats {
     pub vrf_verifies: u64,
     /// Proposal receptions that hit the validator's per-view VRF memo.
     pub vrf_verify_skips: u64,
+    /// Aggregate-signature verifications the validator performed on
+    /// received certificates.
+    pub agg_verifies: u64,
+    /// Certificate receptions that skipped the aggregate check because
+    /// every claimed signer was already individually authenticated.
+    pub agg_verify_skips: u64,
+    /// Quorum certificates this node assembled and broadcast.
+    pub certificates_emitted: u64,
 }
 
 /// What a node reports after its run.
@@ -274,6 +286,8 @@ fn run_node(
                     frames_received += 1;
                     if msg.payload().is_sync() {
                         wire_stats.sync_bytes_in += bytes;
+                    } else if matches!(msg.payload(), Payload::Certificate { .. }) {
+                        wire_stats.certificate_bytes_in += bytes;
                     } else {
                         wire_stats.announce_bytes_in += bytes;
                     }
@@ -304,6 +318,8 @@ fn run_node(
                     frames_received += 1;
                     if frame_is_sync(&raw) {
                         wire_stats.sync_bytes_in += raw.len() as u64;
+                    } else if frame_is_certificate(&raw) {
+                        wire_stats.certificate_bytes_in += raw.len() as u64;
                     } else {
                         wire_stats.announce_bytes_in += raw.len() as u64;
                     }
@@ -387,6 +403,9 @@ fn run_node(
     wire_stats.sig_verify_skips = validator.sig_verify_skips();
     wire_stats.vrf_verifies = validator.vrf_verifies();
     wire_stats.vrf_verify_skips = validator.vrf_verify_skips();
+    wire_stats.agg_verifies = validator.agg_verifies();
+    wire_stats.agg_verify_skips = validator.agg_verify_skips();
+    wire_stats.certificates_emitted = validator.certificates_emitted();
 
     NodeOutcomeInner {
         me: cfg.me,
@@ -438,6 +457,12 @@ fn retry_parked(
 /// the fixed offset after version + sender).
 fn frame_is_sync(frame: &Bytes) -> bool {
     matches!(frame.get(5), Some(5 | 6))
+}
+
+/// Whether a raw frame carries a quorum certificate (same fixed tag
+/// offset).
+fn frame_is_certificate(frame: &Bytes) -> bool {
+    matches!(frame.get(5), Some(7))
 }
 
 fn dial_with_retry(addr: SocketAddr, until: std::time::Instant) -> Option<TcpStream> {
@@ -544,6 +569,7 @@ fn flush(
         };
         let bytes = wire::encode_message(&msg, store);
         let is_sync = msg.payload().is_sync();
+        let is_cert = matches!(msg.payload(), Payload::Certificate { .. });
         for target in targets {
             if target == me {
                 // Self-copies never cross the network: charge 0 bytes
@@ -555,6 +581,8 @@ fn flush(
                 if write_frame(&mut *stream.lock(), &bytes).is_ok() {
                     if is_sync {
                         wire_stats.sync_bytes_out += bytes.len() as u64;
+                    } else if is_cert {
+                        wire_stats.certificate_bytes_out += bytes.len() as u64;
                     } else {
                         wire_stats.announce_bytes_out += bytes.len() as u64;
                     }

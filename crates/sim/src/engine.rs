@@ -705,6 +705,8 @@ impl Simulation {
         self.metrics.sig_verify_skips += ctx.crypto_ops.sig_verify_skips;
         self.metrics.vrf_verifies += ctx.crypto_ops.vrf_verifies;
         self.metrics.vrf_verify_skips += ctx.crypto_ops.vrf_verify_skips;
+        self.metrics.agg_verifies += ctx.crypto_ops.agg_verifies;
+        self.metrics.agg_verify_skips += ctx.crypto_ops.agg_verify_skips;
         for out in ctx.outbox {
             // One allocation (and one byte-length computation) per
             // broadcast: every delivery event and the controller's tick
@@ -902,6 +904,7 @@ fn kind_of(payload: &Payload) -> MessageKind {
         Payload::FinalityVote { .. } => MessageKind::FinalityVote,
         Payload::BlockRequest { .. } => MessageKind::BlockRequest,
         Payload::BlockResponse { .. } => MessageKind::BlockResponse,
+        Payload::Certificate { .. } => MessageKind::Certificate,
     }
 }
 

@@ -38,6 +38,8 @@ pub enum MessageKind {
     BlockRequest,
     /// Delta-sync block fetch response.
     BlockResponse,
+    /// Quorum certificate (aggregated vote group, aggregation plane).
+    Certificate,
 }
 
 /// Aggregated counters for one simulation run.
@@ -57,6 +59,8 @@ pub struct Metrics {
     pub block_request_broadcasts: u64,
     /// Block fetch responses sent (delta-sync subprotocol).
     pub block_response_broadcasts: u64,
+    /// Quorum certificates broadcast (aggregation plane).
+    pub certificate_broadcasts: u64,
     /// Forwarded (re-broadcast or recovery-resent) messages.
     pub forwards: u64,
     /// Per-recipient message deliveries.
@@ -83,6 +87,8 @@ pub struct Metrics {
     pub block_request_bytes: u64,
     /// Delivered bytes of block fetch responses.
     pub block_response_bytes: u64,
+    /// Delivered bytes of quorum certificates.
+    pub certificate_bytes: u64,
     /// Signature verifications actually performed by nodes (first
     /// sighting of each unique message id per validator, plus every
     /// forged frame — forgeries never enter a verified-id set).
@@ -99,6 +105,13 @@ pub struct Metrics {
     /// claimed value matched the already-verified memo for
     /// `(sender, view)`.
     pub vrf_verify_skips: u64,
+    /// Aggregate-signature verifications actually performed (certificate
+    /// receptions whose signer set was not already fully vouched).
+    pub agg_verifies: u64,
+    /// Certificate receptions that skipped aggregate verification
+    /// because every claimed signer was already individually
+    /// authenticated at the receiver.
+    pub agg_verify_skips: u64,
     /// Messages buffered for asleep validators.
     pub buffered: u64,
     /// Messages dropped because the recipient was asleep (only in
@@ -137,6 +150,7 @@ impl Metrics {
             MessageKind::FinalityVote => self.finality_broadcasts += 1,
             MessageKind::BlockRequest => self.block_request_broadcasts += 1,
             MessageKind::BlockResponse => self.block_response_broadcasts += 1,
+            MessageKind::Certificate => self.certificate_broadcasts += 1,
         }
     }
 
@@ -154,6 +168,7 @@ impl Metrics {
             MessageKind::FinalityVote => self.finality_bytes += wire_bytes,
             MessageKind::BlockRequest => self.block_request_bytes += wire_bytes,
             MessageKind::BlockResponse => self.block_response_bytes += wire_bytes,
+            MessageKind::Certificate => self.certificate_bytes += wire_bytes,
         }
     }
 
@@ -170,6 +185,7 @@ impl Metrics {
             + self.proposal_broadcasts
             + self.vote_broadcasts
             + self.recovery_broadcasts
+            + self.certificate_broadcasts
     }
 
     /// Total fetch-subprotocol sends (requests + responses).
@@ -202,6 +218,7 @@ impl Metrics {
         self.finality_broadcasts += other.finality_broadcasts;
         self.block_request_broadcasts += other.block_request_broadcasts;
         self.block_response_broadcasts += other.block_response_broadcasts;
+        self.certificate_broadcasts += other.certificate_broadcasts;
         self.forwards += other.forwards;
         self.deliveries += other.deliveries;
         self.bytes_delivered += other.bytes_delivered;
@@ -213,10 +230,13 @@ impl Metrics {
         self.finality_bytes += other.finality_bytes;
         self.block_request_bytes += other.block_request_bytes;
         self.block_response_bytes += other.block_response_bytes;
+        self.certificate_bytes += other.certificate_bytes;
         self.sig_verifies += other.sig_verifies;
         self.sig_verify_skips += other.sig_verify_skips;
         self.vrf_verifies += other.vrf_verifies;
         self.vrf_verify_skips += other.vrf_verify_skips;
+        self.agg_verifies += other.agg_verifies;
+        self.agg_verify_skips += other.agg_verify_skips;
         self.buffered += other.buffered;
         self.dropped += other.dropped;
         self.filtered += other.filtered;

@@ -37,6 +37,13 @@ pub struct CryptoOps {
     pub vrf_verifies: u64,
     /// VRF verifications skipped (claimed value already verified).
     pub vrf_verify_skips: u64,
+    /// Aggregate-signature verifications performed (certificate whose
+    /// signer set contains at least one not-yet-vouched signer).
+    pub agg_verifies: u64,
+    /// Aggregate-signature verifications skipped because every claimed
+    /// signer was already individually authenticated (vote in hand or a
+    /// previously verified certificate).
+    pub agg_verify_skips: u64,
 }
 
 /// Per-callback execution context handed to a [`Node`].
@@ -101,6 +108,17 @@ impl Context {
     /// Records a VRF verification skipped via the per-view memo.
     pub fn note_vrf_verify_skip(&mut self) {
         self.crypto_ops.vrf_verify_skips += 1;
+    }
+
+    /// Records a performed aggregate-signature verification.
+    pub fn note_agg_verify(&mut self) {
+        self.crypto_ops.agg_verifies += 1;
+    }
+
+    /// Records an aggregate verification skipped because every claimed
+    /// signer was already vouched for.
+    pub fn note_agg_verify_skip(&mut self) {
+        self.crypto_ops.agg_verify_skips += 1;
     }
 
     /// Actions collected so far (tests and custom harnesses).

@@ -59,7 +59,7 @@ pub mod wire;
 pub use block::{Block, BlockId};
 pub use ids::ValidatorId;
 pub use log::Log;
-pub use message::{InstanceId, Payload, SignedMessage};
+pub use message::{InstanceId, Payload, SignedMessage, SignerSet};
 pub use store::BlockStore;
 pub use time::{Delta, Time};
 pub use tx::{Transaction, TxId};

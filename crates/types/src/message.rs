@@ -23,7 +23,9 @@
 
 use std::fmt;
 
-use tobsvd_crypto::{Digest, Hasher, Keypair, PublicKey, Signature, VrfOutput, VrfProof};
+use tobsvd_crypto::{
+    AggregateSignature, Digest, Hasher, Keypair, PublicKey, Signature, VrfOutput, VrfProof,
+};
 
 use crate::block::BlockId;
 use crate::ids::ValidatorId;
@@ -52,6 +54,87 @@ impl InstanceId {
 impl fmt::Display for InstanceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "GA{}", self.0)
+    }
+}
+
+/// The set of validators attested by a quorum certificate.
+///
+/// A fixed-width bitmap ([`SignerSet::CAPACITY`] validators) so
+/// [`Payload`] stays `Copy`; iteration order is ascending validator id,
+/// which is also the canonical aggregation order of the certificate's
+/// [`AggregateSignature`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SignerSet {
+    words: [u64; SignerSet::WORDS],
+}
+
+impl SignerSet {
+    /// Number of 64-bit words backing the bitmap.
+    pub const WORDS: usize = 8;
+    /// Highest representable validator count (`WORDS × 64`).
+    pub const CAPACITY: usize = Self::WORDS * 64;
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        SignerSet::default()
+    }
+
+    /// Inserts `v`; returns `false` when `v`'s index is beyond
+    /// [`SignerSet::CAPACITY`] and cannot be represented.
+    pub fn insert(&mut self, v: ValidatorId) -> bool {
+        let i = v.index();
+        if i >= Self::CAPACITY {
+            return false;
+        }
+        self.words[i / 64] |= 1u64 << (i % 64);
+        true
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: ValidatorId) -> bool {
+        let i = v.index();
+        i < Self::CAPACITY && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of signers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Whether every signer in `self` is also in `other`.
+    pub fn is_subset(&self, other: &SignerSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Adds every signer of `other` to `self`.
+    pub fn union_with(&mut self, other: &SignerSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Ascending iterator over the member validator ids.
+    pub fn iter(&self) -> impl Iterator<Item = ValidatorId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| {
+                ValidatorId::new((wi * 64 + b) as u32)
+            })
+        })
+    }
+
+    /// The raw bitmap words (for wire encoding and hashing).
+    pub fn words(&self) -> &[u64; Self::WORDS] {
+        &self.words
+    }
+
+    /// Reconstructs a set from raw bitmap words.
+    pub fn from_words(words: [u64; Self::WORDS]) -> Self {
+        SignerSet { words }
     }
 }
 
@@ -103,6 +186,22 @@ pub enum Payload {
         /// The log voted for finalization.
         log: Log,
     },
+    /// A quorum certificate: one constant-size attestation that every
+    /// validator in `signers` sent `⟨LOG, log⟩` into GA `instance`. The
+    /// aggregation plane broadcasts one certificate instead of relaying
+    /// the underlying votes individually, collapsing the per-view
+    /// forwarded-vote traffic from O(n³) deliveries to O(n²).
+    Certificate {
+        /// The GA instance the attested votes feed.
+        instance: InstanceId,
+        /// The log every attested vote carries.
+        log: Log,
+        /// Which validators' votes are aggregated.
+        signers: SignerSet,
+        /// Aggregate over the constituent vote signatures, in ascending
+        /// signer order.
+        agg: AggregateSignature,
+    },
     /// Content-addressed fetch request of the delta-sync subprotocol:
     /// "send me the blocks of the chain ending at `tip`, from height
     /// `from_height` upward". Emitted when a received announcement
@@ -137,7 +236,8 @@ impl Payload {
             | Payload::Proposal { log, .. }
             | Payload::Vote { log, .. }
             | Payload::Recovery { log, .. }
-            | Payload::FinalityVote { log, .. } => Some(*log),
+            | Payload::FinalityVote { log, .. }
+            | Payload::Certificate { log, .. } => Some(*log),
             Payload::BlockRequest { .. } | Payload::BlockResponse { .. } => None,
         }
     }
@@ -195,6 +295,16 @@ impl Payload {
                 h.update_u64(*from_height);
                 h.update_u64(*count);
             }
+            Payload::Certificate { instance, log, signers, agg } => {
+                h.update_u64(7);
+                h.update_u64(instance.0);
+                h.update_digest(&log.tip().0);
+                h.update_u64(log.len());
+                for word in signers.words() {
+                    h.update_u64(*word);
+                }
+                h.update_digest(agg.as_digest());
+            }
         }
         h.finalize()
     }
@@ -210,6 +320,12 @@ impl Payload {
             Payload::Vote { instance, .. } => Some((2, instance.0)),
             Payload::Recovery { from_view, .. } => Some((3, from_view.number())),
             Payload::FinalityVote { epoch, .. } => Some((4, *epoch)),
+            // Certificates carry LOG attestations, so the per-sender
+            // gossip cap for LOG messages (at most two distinct per
+            // instance) applies to them as well — an honest aggregator
+            // emits at most one certificate per vote group, and no
+            // instance can honestly carry more than two quorate groups.
+            Payload::Certificate { instance, .. } => Some((5, instance.0)),
             // Fetch traffic is request/response, not a protocol claim:
             // re-requesting or re-serving a range is never equivocation.
             Payload::BlockRequest { .. } | Payload::BlockResponse { .. } => None,
@@ -277,6 +393,14 @@ impl SignedMessage {
         (binding, h.finalize())
     }
 
+    /// The signing target a message from `sender` carrying `payload`
+    /// would bind — without building the envelope. Certificate
+    /// verification uses this to reconstruct each attested vote's
+    /// binding as the per-signer message of the aggregate.
+    pub fn binding_for(sender: ValidatorId, payload: &Payload) -> Digest {
+        Self::envelope_digests(sender, payload).0
+    }
+
     /// Verifies the signature against the sender's public key, using the
     /// binding digest memoized at construction.
     pub fn verify(&self, public: &PublicKey) -> bool {
@@ -321,6 +445,9 @@ impl fmt::Display for SignedMessage {
             }
             Payload::FinalityVote { epoch, log } => {
                 write!(f, "⟨FINALIZE,{log}⟩ from {} for epoch {epoch}", self.sender)
+            }
+            Payload::Certificate { instance, log, signers, .. } => {
+                write!(f, "⟨QC,{log}×{}⟩ from {} in {instance}", signers.len(), self.sender)
             }
             Payload::BlockRequest { tip, from_height } => {
                 write!(f, "⟨FETCH,{tip}≥{from_height}⟩ from {}", self.sender)

@@ -37,6 +37,14 @@ impl Time {
         Time(self.0.saturating_sub(other.0))
     }
 
+    /// Saturating addition: clamps at `u64::MAX` instead of wrapping.
+    /// Deadline arithmetic (`last_sent + retry_after`, `t + k·Δ`) uses
+    /// this so a Δ chosen near `u64::MAX` degrades to "never fires"
+    /// rather than wrapping into the past.
+    pub fn saturating_add(self, ticks: u64) -> Time {
+        Time(self.0.saturating_add(ticks))
+    }
+
     /// Whether this time falls on a multiple of `delta`.
     ///
     /// Protocol actions (phase boundaries) only fire on Δ-multiples.
@@ -151,6 +159,7 @@ mod tests {
         assert_eq!(t + Delta::new(8), Time::new(18));
         assert_eq!(Time::new(15) - t, 5);
         assert_eq!(Time::new(3).saturating_sub(Time::new(10)), Time::ZERO);
+        assert_eq!(Time::new(u64::MAX - 1).saturating_add(7), Time::new(u64::MAX));
     }
 
     #[test]

@@ -33,9 +33,10 @@
 //! u8  version (=2)
 //! u32 sender
 //! u8  tag           0 = LOG, 1 = PROPOSAL, 2 = VOTE, 3 = RECOVERY,
-//!                   4 = FINALITY-VOTE, 5 = BLOCK-REQUEST, 6 = BLOCK-RESPONSE
+//!                   4 = FINALITY-VOTE, 5 = BLOCK-REQUEST, 6 = BLOCK-RESPONSE,
+//!                   7 = CERTIFICATE
 //! ... tag-specific header (instance / view + vrf + proof / epoch)
-//! tags 0–4 — log announcement:
+//! tags 0–4, 7 — log announcement:
 //!   u64 log length  (number of blocks incl. genesis)
 //!   32B tip id
 //!   u8  k           inline suffix blocks (= min(len−1, INLINE_WINDOW))
@@ -48,16 +49,20 @@
 //! tag 6 — block response: 32B tip, u64 from_height, u64 count,
 //!   32B anchor id (block at height from_height−1), then `count` blocks
 //!   in the same body format as above
+//! tag 7 — certificate, after the announcement: u8 signer word count
+//!   (minimal — the top word must be non-zero, so each signer set has
+//!   exactly one encoding), that many u64 bitmap words, 32B aggregate
+//!   signature digest
 //! 32B signature digest
 //! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use tobsvd_crypto::{Digest, Signature, VrfOutput, VrfProof};
+use tobsvd_crypto::{AggregateSignature, Digest, Signature, VrfOutput, VrfProof};
 
 use crate::block::{Block, BlockId};
 use crate::ids::ValidatorId;
 use crate::log::Log;
-use crate::message::{InstanceId, Payload, SignedMessage};
+use crate::message::{InstanceId, Payload, SignedMessage, SignerSet};
 use crate::store::BlockStore;
 use crate::tx::Transaction;
 use crate::view::View;
@@ -142,7 +147,14 @@ fn payload_tag(payload: &Payload) -> u8 {
         Payload::FinalityVote { .. } => 4,
         Payload::BlockRequest { .. } => 5,
         Payload::BlockResponse { .. } => 6,
+        Payload::Certificate { .. } => 7,
     }
+}
+
+/// Minimal number of bitmap words needed to carry `signers` (index of
+/// the highest non-zero word, plus one).
+fn signer_word_count(signers: &SignerSet) -> usize {
+    signers.words().iter().rposition(|w| *w != 0).map_or(0, |i| i + 1)
 }
 
 /// Encodes a message, reading referenced blocks from `store`.
@@ -183,6 +195,16 @@ pub fn encode_message(msg: &SignedMessage, store: &BlockStore) -> Bytes {
         Payload::BlockRequest { tip, from_height } => {
             buf.put_slice(tip.0.as_bytes());
             buf.put_u64(*from_height);
+        }
+        Payload::Certificate { instance, log, signers, agg } => {
+            buf.put_u64(instance.0);
+            encode_announcement(&mut buf, log, store);
+            let wc = signer_word_count(signers);
+            buf.put_u8(wc as u8);
+            for word in &signers.words()[..wc] {
+                buf.put_u64(*word);
+            }
+            buf.put_slice(agg.as_digest().as_bytes());
         }
         Payload::BlockResponse { tip, from_height, count } => {
             buf.put_slice(tip.0.as_bytes());
@@ -265,17 +287,26 @@ fn block_body_len(block: &Block) -> u64 {
 /// Panics under the same conditions as [`encode_message`].
 pub fn encoded_len(msg: &SignedMessage, store: &BlockStore) -> u64 {
     let header = match msg.payload() {
-        Payload::Log { .. } | Payload::Vote { .. } | Payload::Recovery { .. } | Payload::FinalityVote { .. } => 8,
+        Payload::Log { .. }
+        | Payload::Vote { .. }
+        | Payload::Recovery { .. }
+        | Payload::FinalityVote { .. }
+        | Payload::Certificate { .. } => 8,
         Payload::Proposal { .. } => 8 + 64,
         Payload::BlockRequest { .. } => 32 + 8,
         Payload::BlockResponse { .. } => 32 + 8 + 8,
+    };
+    let trailer = match msg.payload() {
+        Payload::Certificate { signers, .. } => 1 + 8 * signer_word_count(signers) as u64 + 32,
+        _ => 0,
     };
     let body = match msg.payload() {
         Payload::Log { log, .. }
         | Payload::Proposal { log, .. }
         | Payload::Vote { log, .. }
         | Payload::Recovery { log, .. }
-        | Payload::FinalityVote { log, .. } => {
+        | Payload::FinalityVote { log, .. }
+        | Payload::Certificate { log, .. } => {
             let (k, a) = announcement_windows(log.len());
             let mut n = 8 + 32 + 1 + 1 + 32 * a;
             if k > 0 {
@@ -301,8 +332,9 @@ pub fn encoded_len(msg: &SignedMessage, store: &BlockStore) -> u64 {
                 .sum::<u64>()
         }
     };
-    // version + sender + tag + header + body + signature.
-    1 + 4 + 1 + header + body + 32
+    // version + sender + tag + header + body (+ certificate trailer) +
+    // signature.
+    1 + 4 + 1 + header + body + trailer + 32
 }
 
 /// Nominal wire length of the same message under the pre-delta-sync
@@ -375,6 +407,28 @@ pub fn decode_message(mut buf: Bytes, store: &BlockStore) -> Result<SignedMessag
             Payload::BlockRequest { tip, from_height }
         }
         6 => decode_response(&mut buf, store)?,
+        7 => {
+            let instance = InstanceId(get_u64(&mut buf)?);
+            let log = decode_announcement(&mut buf, store)?;
+            let wc = get_u8(&mut buf)? as usize;
+            if wc == 0 || wc > SignerSet::WORDS {
+                return Err(WireError::LimitExceeded("certificate signer words"));
+            }
+            let mut words = [0u64; SignerSet::WORDS];
+            for word in words.iter_mut().take(wc) {
+                *word = get_u64(&mut buf)?;
+            }
+            // Canonical form: minimal word count, so each signer set has
+            // exactly one encoding — a zero-padded bitmap would let the
+            // same certificate circulate under several message ids
+            // (the malleability hole `check_ancestors` closes for the
+            // ancestor list).
+            if words[wc - 1] == 0 {
+                return Err(WireError::LimitExceeded("certificate signer encoding"));
+            }
+            let agg = AggregateSignature::from_digest(get_digest(&mut buf)?);
+            Payload::Certificate { instance, log, signers: SignerSet::from_words(words), agg }
+        }
         t => return Err(WireError::BadTag(t)),
     };
     let signature = Signature::from_digest(get_digest(&mut buf)?);
@@ -830,6 +884,138 @@ mod tests {
         ));
     }
 
+    /// A quorum certificate over votes from validators 0, 2 and 5.
+    fn sample_certificate(store: &BlockStore) -> Payload {
+        let log = sample_log(store);
+        let instance = InstanceId(7);
+        let mut signers = SignerSet::empty();
+        let mut sigs = Vec::new();
+        for i in [0u32, 2, 5] {
+            let v = ValidatorId::new(i);
+            let kp = Keypair::from_seed(v.key_seed());
+            let vote = SignedMessage::sign(&kp, v, Payload::Log { instance, log });
+            sigs.push(*vote.signature());
+            signers.insert(v);
+        }
+        let agg = AggregateSignature::aggregate(&sigs.iter().collect::<Vec<_>>()).unwrap();
+        Payload::Certificate { instance, log, signers, agg }
+    }
+
+    #[test]
+    fn certificate_roundtrip() {
+        let store = BlockStore::new();
+        let payload = sample_certificate(&store);
+        let msg = signed(payload);
+        let bytes = encode_message(&msg, &store);
+        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store));
+        let rx = synced_receiver(&store, &payload.log().unwrap());
+        let decoded = decode_message(bytes, &rx).expect("decode");
+        assert_eq!(decoded.payload(), msg.payload());
+        assert_eq!(decoded.id(), msg.id());
+        let kp = Keypair::from_seed(ValidatorId::new(1).key_seed());
+        assert!(decoded.verify(&kp.public()));
+    }
+
+    #[test]
+    fn certificate_to_cold_receiver_reports_missing_blocks() {
+        // Certificates go through the same resolution gate as votes: a
+        // receiver missing the announced chain parks the frame and
+        // fetches.
+        let store = BlockStore::new();
+        let msg = signed(sample_certificate(&store));
+        let cold = BlockStore::new();
+        assert!(matches!(
+            decode_message(encode_message(&msg, &store), &cold),
+            Err(WireError::MissingBlocks { .. })
+        ));
+    }
+
+    #[test]
+    fn noncanonical_certificate_signer_encoding_rejected() {
+        let store = BlockStore::new();
+        let payload = sample_certificate(&store);
+        let msg = signed(payload);
+        let bytes = encode_message(&msg, &store).to_vec();
+        let rx = || synced_receiver(&store, &payload.log().unwrap());
+        // The signer section sits between the announcement and the two
+        // trailing digests: u8 word count + words.
+        let wc_off = bytes.len() - 32 - 32 - 8 - 1;
+        assert_eq!(bytes[wc_off], 1, "sample signers fit one word");
+
+        // Zero-padded bitmap (same set, longer encoding) must fail.
+        let mut padded = bytes.clone();
+        padded[wc_off] = 2;
+        padded.splice(wc_off + 1 + 8..wc_off + 1 + 8, [0u8; 8]);
+        assert!(matches!(
+            decode_message(Bytes::from(padded), &rx()),
+            Err(WireError::LimitExceeded(_))
+        ));
+
+        // Empty signer set must fail.
+        let mut empty = bytes.clone();
+        empty[wc_off] = 0;
+        empty.splice(wc_off + 1..wc_off + 1 + 8, []);
+        assert!(decode_message(Bytes::from(empty), &rx()).is_err());
+
+        // Word count beyond the bitmap capacity must fail.
+        let mut oversized = bytes;
+        oversized[wc_off] = SignerSet::WORDS as u8 + 1;
+        assert!(decode_message(Bytes::from(oversized), &rx()).is_err());
+    }
+
+    #[test]
+    fn certificate_mutation_fuzz_never_panics_or_aliases() {
+        // Byte-level mutation sweep over the full certificate frame:
+        // decoding must never panic, and no mutation may yield a message
+        // that still carries the original payload *and* the original
+        // signature (i.e. nothing a receiver would accept as the same
+        // certificate). Mutations inside the signer bitmap or aggregate
+        // decode to a *different* payload whose envelope signature then
+        // fails verification.
+        let store = BlockStore::new();
+        let payload = sample_certificate(&store);
+        let msg = signed(payload);
+        let bytes = encode_message(&msg, &store).to_vec();
+        let sender_kp = Keypair::from_seed(ValidatorId::new(1).key_seed());
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0xff] {
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= flip;
+                let rx = synced_receiver(&store, &payload.log().unwrap());
+                if let Ok(decoded) = decode_message(Bytes::from(mutated), &rx) {
+                    assert!(
+                        decoded.payload() != msg.payload()
+                            || decoded.signature() != msg.signature()
+                            || decoded.sender() != msg.sender(),
+                        "mutation at byte {pos} (^{flip:#x}) aliased the original"
+                    );
+                    if decoded.sender() == msg.sender() && decoded.payload() != msg.payload() {
+                        assert!(
+                            !decoded.verify(&sender_kp.public()),
+                            "mutated payload at byte {pos} must not verify under the \
+                             original sender's key"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_truncation_sweep_never_panics() {
+        let store = BlockStore::new();
+        let payload = sample_certificate(&store);
+        let msg = signed(payload);
+        let bytes = encode_message(&msg, &store);
+        for cut in 0..bytes.len() {
+            let rx = synced_receiver(&store, &payload.log().unwrap());
+            assert!(
+                decode_message(bytes.slice(..cut), &rx).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
     #[test]
     fn encoded_len_matches_encode_for_all_variants() {
         let store = BlockStore::new();
@@ -846,6 +1032,7 @@ mod tests {
             Payload::FinalityVote { epoch: 9, log },
             Payload::BlockRequest { tip: log.tip(), from_height: 1 },
             Payload::BlockResponse { tip: log.tip(), from_height: 1, count: log.len() - 1 },
+            sample_certificate(&store),
         ];
         for payload in payloads {
             let msg = signed(payload);

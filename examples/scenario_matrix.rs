@@ -81,4 +81,33 @@ fn main() {
         .all(|o| o.decided_blocks > 0);
     assert!(fault_free_progress, "a fault-free scenario decided nothing");
     eprintln!("all scenarios safe; fault-free scenarios all made progress");
+
+    // Large-n rows: the committee sizes the aggregation plane exists
+    // for. Only viable with certificates collapsing per-view traffic to
+    // O(n²) — the per-vote baseline at n=256 would push ~50M deliveries
+    // per seed. Few views, one seed, fault-free: these rows check the
+    // plane at scale, not the adversary axes (the small matrix covers
+    // those, and certificates are on in every cell above too).
+    if !smoke {
+        let large = ScenarioMatrix::new(vec![128, 256], vec![4])
+            .views(3)
+            .seeds(vec![1])
+            .participation(vec![ParticipationSpec::Full])
+            .delays(vec![DelaySpec::Uniform])
+            .adversaries(vec![AdversarySpec::None])
+            .workload(WorkloadSpec::PerView { count: 1, size: 32 });
+        eprintln!("sweeping {} large-n scenarios (n=128/256)...", large.len());
+        let large_report = run_matrix(&large, 0);
+        if json {
+            print!("{}", large_report.to_json());
+        } else {
+            print!("{}", large_report.render());
+        }
+        assert!(large_report.all_safe(), "safety violated at large n");
+        assert!(
+            large_report.outcomes().iter().all(|o| o.decided_blocks > 0),
+            "a large-n fault-free scenario decided nothing"
+        );
+        eprintln!("large-n rows safe and live");
+    }
 }

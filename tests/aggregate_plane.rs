@@ -1,0 +1,132 @@
+//! Differential pin for the aggregation plane: verifying a quorum
+//! certificate's aggregate signature must accept and reject *exactly*
+//! when verifying the underlying votes one by one would — on honest
+//! vote sets, on sets containing a forged vote, on substituted signers,
+//! and on reordered aggregation inputs. A divergence in either
+//! direction is a soundness hole (aggregate accepts what individual
+//! checks reject) or a liveness bug (aggregate rejects honest quorums).
+
+use tob_svd::crypto::{AggregateSignature, KeyCache, Keypair, Signature};
+use tob_svd::types::{BlockStore, InstanceId, Log, Payload, SignedMessage, ValidatorId, View};
+
+/// One honest vote per validator in `signers` for the same (instance, log).
+fn votes_for(signers: &[u32], instance: u64, log: &Log) -> Vec<SignedMessage> {
+    signers
+        .iter()
+        .map(|&i| {
+            let v = ValidatorId::new(i);
+            let kp = Keypair::from_seed(v.key_seed());
+            SignedMessage::sign(&kp, v, Payload::Log { instance: InstanceId(instance), log: *log })
+        })
+        .collect()
+}
+
+/// The per-signer message the aggregate binds: the vote's envelope
+/// binding digest, exactly what `SignedMessage::verify` checks.
+fn bindings(votes: &[SignedMessage]) -> Vec<Vec<u8>> {
+    votes.iter().map(|m| SignedMessage::binding_for(m.sender(), m.payload()).as_bytes().to_vec()).collect()
+}
+
+fn aggregate_of(votes: &[SignedMessage]) -> AggregateSignature {
+    let sigs: Vec<&Signature> = votes.iter().map(|m| m.signature()).collect();
+    AggregateSignature::aggregate(&sigs).expect("non-empty vote set")
+}
+
+fn agg_verifies(votes: &[SignedMessage], agg: &AggregateSignature) -> bool {
+    let msgs = bindings(votes);
+    let msg_refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let pks: Vec<_> =
+        votes.iter().map(|m| KeyCache::keypair(m.sender().key_seed()).public()).collect();
+    let pk_refs: Vec<_> = pks.iter().collect();
+    agg.aggregate_verify(&msg_refs, &pk_refs)
+}
+
+fn individual_verifies(votes: &[SignedMessage]) -> bool {
+    votes.iter().all(|m| m.verify(&KeyCache::keypair(m.sender().key_seed()).public()))
+}
+
+#[test]
+fn aggregate_accepts_exactly_when_individual_checks_accept() {
+    let store = BlockStore::new();
+    let genesis = Log::genesis(&store);
+    let log = genesis
+        .extend_empty(&store, ValidatorId::new(0), View::new(1))
+        .extend_empty(&store, ValidatorId::new(3), View::new(2));
+
+    for signer_set in [vec![0u32], vec![0, 1, 2], vec![2, 4, 5, 6, 7], (0..16).collect()] {
+        for instance in [0u64, 7] {
+            let votes = votes_for(&signer_set, instance, &log);
+            assert!(individual_verifies(&votes), "honest votes verify individually");
+            let agg = aggregate_of(&votes);
+            assert!(
+                agg_verifies(&votes, &agg),
+                "aggregate must accept the honest quorum {signer_set:?} @ instance {instance}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forged_vote_fails_both_paths() {
+    let store = BlockStore::new();
+    let log = Log::genesis(&store).extend_empty(&store, ValidatorId::new(1), View::new(1));
+    let mut votes = votes_for(&[0, 1, 2, 3], 4, &log);
+
+    // Validator 2's vote forged: signed with validator 5's key.
+    let imposter = Keypair::from_seed(ValidatorId::new(5).key_seed());
+    let forged = SignedMessage::sign(
+        &imposter,
+        ValidatorId::new(5),
+        Payload::Log { instance: InstanceId(4), log },
+    );
+    let forged = SignedMessage::from_parts(
+        ValidatorId::new(2),
+        *forged.payload(),
+        *forged.signature(),
+    );
+    votes[2] = forged;
+
+    assert!(!individual_verifies(&votes), "the forged vote must fail its individual check");
+    let agg = aggregate_of(&votes);
+    assert!(!agg_verifies(&votes, &agg), "the aggregate over it must fail identically");
+}
+
+#[test]
+fn substituted_signer_fails_both_paths() {
+    let store = BlockStore::new();
+    let log = Log::genesis(&store).extend_empty(&store, ValidatorId::new(0), View::new(1));
+    let votes = votes_for(&[0, 1, 2], 9, &log);
+    let agg = aggregate_of(&votes);
+
+    // A certificate claiming signer 3 where signer 1 actually signed:
+    // same aggregate bytes, different claimed (message, key) pairs.
+    let mut claimed = votes.clone();
+    claimed[1] = votes_for(&[3], 9, &log).remove(0);
+    assert!(individual_verifies(&claimed), "each claimed vote is well-formed on its own");
+    assert!(
+        !agg_verifies(&claimed, &agg),
+        "the aggregate was not made over the claimed signer set and must reject"
+    );
+}
+
+#[test]
+fn aggregation_order_is_canonical() {
+    let store = BlockStore::new();
+    let log = Log::genesis(&store).extend_empty(&store, ValidatorId::new(2), View::new(1));
+    let votes = votes_for(&[0, 1, 2, 3, 4], 1, &log);
+    let agg = aggregate_of(&votes);
+
+    let mut shuffled = votes.clone();
+    shuffled.swap(0, 3);
+    shuffled.swap(1, 4);
+    let agg_shuffled = aggregate_of(&shuffled);
+    assert_ne!(
+        agg.as_digest(),
+        agg_shuffled.as_digest(),
+        "the H-chain stand-in is order-sensitive, so assembly must sort by signer"
+    );
+    // Verification against the ascending-signer order (the canonical
+    // order certificate assembly uses) accepts only the sorted aggregate.
+    assert!(agg_verifies(&votes, &agg));
+    assert!(!agg_verifies(&votes, &agg_shuffled));
+}

@@ -63,7 +63,8 @@ fn wire_bytes_per_decided_block_stay_under_budget() {
         + m.recovery_bytes
         + m.finality_bytes
         + m.block_request_bytes
-        + m.block_response_bytes;
+        + m.block_response_bytes
+        + m.certificate_bytes;
     assert_eq!(tiled, m.bytes_delivered, "per-kind byte counters must tile bytes_delivered");
 
     // A fault-free always-awake run needs no fetches at all: the

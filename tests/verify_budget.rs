@@ -27,9 +27,15 @@ const VIEWS: u64 = 50;
 
 #[test]
 fn one_signature_verify_per_unique_message_per_validator() {
+    // Per-vote baseline: this test pins the dedup-before-verify budget
+    // under the paper's gossip echo, where duplicate copies dominate.
+    // (The aggregation plane removes the echo — and with it the
+    // duplicates — which `certificate_counters_tile_under_churn` below
+    // covers.)
     let report = TobSimulationBuilder::new(N)
         .views(VIEWS)
         .seed(5)
+        .certificates(false)
         .workload(TxWorkload::PerView { count: 4, size: 128 })
         .run()
         .expect("fault-free run");
@@ -150,4 +156,59 @@ fn budget_holds_with_sleep_churn() {
             stats.validator
         );
     }
+}
+
+/// Certificate-era churn: with the aggregation plane on (the default)
+/// and validators sleeping mid-view while certificates are in flight,
+/// the engine-level aggregates must still equal the per-validator sums
+/// — no counter tick may be lost when a context is applied for a
+/// validator that naps right after, and no certificate broadcast may be
+/// double-counted across the sleep boundary.
+#[test]
+fn certificate_counters_tile_under_churn() {
+    use tob_svd::sim::ParticipationSchedule;
+    use tob_svd::types::{Time, ValidatorId};
+
+    let delta = 8u64;
+    let mut part = ParticipationSchedule::always_awake(N);
+    // Nap boundaries deliberately *inside* views (not on view starts),
+    // so certificates assembled at phase boundaries are in flight to
+    // validators that sleep before the next boundary.
+    part.set_intervals(
+        ValidatorId::new(1),
+        vec![(Time::ZERO, Time::new(30 * delta + 3)), (Time::new(70 * delta + 5), Time::new(100_000))],
+    );
+    part.set_intervals(
+        ValidatorId::new(6),
+        vec![(Time::ZERO, Time::new(90 * delta + 2)), (Time::new(130 * delta + 1), Time::new(100_000))],
+    );
+    let report = TobSimulationBuilder::new(N)
+        .views(VIEWS)
+        .seed(11)
+        .participation(part)
+        .run()
+        .expect("churn run");
+    report.assert_safety();
+    let m = &report.report.metrics;
+
+    // Certificates were genuinely in flight.
+    assert!(m.certificate_broadcasts > 0, "aggregation plane must be active");
+    assert!(m.certificate_bytes > 0, "certificate deliveries must be byte-accounted");
+    assert!(m.agg_verify_skips > 0, "subset-skip fast path must fire");
+
+    // Engine aggregates = per-validator sums, for every counter the
+    // aggregation plane touches.
+    let sum =
+        |f: fn(&tob_svd::protocol::CryptoStats) -> u64| -> u64 {
+            report.validators.iter().flatten().map(|s| f(&s.crypto)).sum()
+        };
+    assert_eq!(m.agg_verifies, sum(|c| c.agg_verifies), "agg_verifies must tile");
+    assert_eq!(m.agg_verify_skips, sum(|c| c.agg_verify_skips), "agg_verify_skips must tile");
+    assert_eq!(m.sig_verifies, sum(|c| c.sig_verifies), "sig_verifies must tile");
+    assert_eq!(m.sig_verify_skips, sum(|c| c.sig_verify_skips), "sig_verify_skips must tile");
+    assert_eq!(
+        m.certificate_broadcasts,
+        sum(|c| c.certificates_emitted),
+        "every certificate broadcast is one validator's emission, counted once"
+    );
 }
