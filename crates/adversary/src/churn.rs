@@ -23,7 +23,7 @@ pub fn rotating_sleep(
 ) -> ParticipationSchedule {
     assert!(groups >= 2, "need at least two groups");
     let mut sched = ParticipationSchedule::always_awake(n);
-    let windows = horizon.ticks() / window_ticks + 1;
+    let windows = (horizon.ticks() / window_ticks).saturating_add(1);
     for v in ValidatorId::all(n) {
         let group = v.index() % groups;
         let mut intervals = Vec::new();
@@ -61,7 +61,7 @@ pub fn random_churn(
 ) -> ParticipationSchedule {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sched = ParticipationSchedule::always_awake(n);
-    let windows = horizon.ticks() / window_ticks + 1;
+    let windows = (horizon.ticks() / window_ticks).saturating_add(1);
     for v in ValidatorId::all(n) {
         let mut intervals = Vec::new();
         let mut open: Option<u64> = None;

@@ -1,0 +1,182 @@
+//! The checked-in `audit.toml` baseline of grandfathered findings.
+//!
+//! The baseline is a ratchet: each `[[entry]]` pins the number of
+//! known findings for one (rule, file) pair. A scan producing *more*
+//! findings than the pinned count is a violation (new debt is
+//! deny-by-default); producing *fewer* is reported as a stale entry so
+//! the pin can be lowered. The self-run test in
+//! `crates/audit/tests/self_run.rs` requires exact equality, so the
+//! counts can only ever shrink.
+//!
+//! The format is a tiny TOML subset parsed by hand (the auditor has no
+//! dependencies): comments, blank lines, `[[entry]]` headers and
+//! `key = value` pairs with quoted strings or integers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Pinned finding counts, keyed by (rule, file).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<(String, String), usize>,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BaselineError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl Baseline {
+    /// Parses the TOML-subset baseline format.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut counts = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let mut cur_line = 0u32;
+
+        let flush = |cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+                         counts: &mut BTreeMap<(String, String), usize>,
+                         line: u32|
+         -> Result<(), BaselineError> {
+            if let Some((rule, file, count)) = cur.take() {
+                let (Some(rule), Some(file), Some(count)) = (rule, file, count) else {
+                    return Err(BaselineError {
+                        line,
+                        msg: "entry needs rule, file and count".to_string(),
+                    });
+                };
+                if counts.insert((rule.clone(), file.clone()), count).is_some() {
+                    return Err(BaselineError {
+                        line,
+                        msg: format!("duplicate entry for ({rule}, {file})"),
+                    });
+                }
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if trimmed == "[[entry]]" {
+                flush(&mut cur, &mut counts, cur_line)?;
+                cur = Some((None, None, None));
+                cur_line = line;
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(BaselineError { line, msg: format!("unparseable line: {trimmed}") });
+            };
+            let Some(entry) = cur.as_mut() else {
+                return Err(BaselineError {
+                    line,
+                    msg: "key outside of an [[entry]] block".to_string(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" | "file" => {
+                    let inner = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| BaselineError {
+                            line,
+                            msg: format!("{key} must be a quoted string"),
+                        })?;
+                    if key == "rule" {
+                        entry.0 = Some(inner.to_string());
+                    } else {
+                        entry.1 = Some(inner.to_string());
+                    }
+                }
+                "count" => {
+                    let n: usize = value.parse().map_err(|_| BaselineError {
+                        line,
+                        msg: format!("count must be an integer, got {value}"),
+                    })?;
+                    entry.2 = Some(n);
+                }
+                other => {
+                    return Err(BaselineError { line, msg: format!("unknown key {other}") });
+                }
+            }
+        }
+        flush(&mut cur, &mut counts, cur_line)?;
+        Ok(Baseline { counts })
+    }
+
+    /// Renders the baseline back to its canonical text form, sorted by
+    /// (rule, file).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# tobsvd-audit baseline — grandfathered findings.\n\
+             # Each entry pins the maximum allowed findings for one (rule, file)\n\
+             # pair; new findings beyond the pin are deny-by-default. Counts may\n\
+             # only shrink: lower the pin when you fix a site, never raise it.\n\
+             # Regenerate with `cargo run -p tobsvd-audit -- --write-baseline`\n\
+             # (then diff: additions need a justification in the PR).\n",
+        );
+        for ((rule, file), count) in &self.counts {
+            let _ = write!(out, "\n[[entry]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n");
+        }
+        out
+    }
+
+    /// Total pinned findings across all entries.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Baseline::default();
+        b.counts.insert(("no-panic-path".into(), "crates/x/src/a.rs".into()), 3);
+        b.counts.insert(("no-unchecked-index".into(), "crates/y/src/b.rs".into()), 7);
+        let text = b.render();
+        let parsed = Baseline::parse(&text).expect("canonical render must parse");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 10);
+    }
+
+    #[test]
+    fn rejects_incomplete_entry() {
+        let err = Baseline::parse("[[entry]]\nrule = \"r\"\n").unwrap_err();
+        assert!(err.msg.contains("needs rule, file and count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let text = "[[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = 1\n\n[[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = 2\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("what is this\n").is_err());
+        assert!(Baseline::parse("[[entry]]\ncount = x\n").is_err());
+        assert!(Baseline::parse("rule = \"r\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ok() {
+        let b = Baseline::parse("# header\n\n# more\n").expect("empty baseline parses");
+        assert!(b.counts.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Workspace walker, rule driver, and baseline reconciliation.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::policy::{classify, rule_applies, PolicyClass};
+use crate::rules::{per_file_rules, wire_tags, Finding, RULE_NAMES};
+use crate::source::SourceFile;
+
+/// All parsed sources of the workspace, in sorted path order.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+/// Loads every non-skipped `.rs` file under `root`.
+///
+/// Directory entries are sorted by name so the scan (and therefore the
+/// report and any written baseline) is byte-identical across platforms
+/// and runs — the auditor holds itself to the determinism rules it
+/// enforces.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for rel in paths {
+        let class = classify(&rel);
+        if class == PolicyClass::Skip {
+            continue;
+        }
+        let text = fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::parse(&rel, class, &text, RULE_NAMES));
+    }
+    Ok(Workspace { root: root.to_path_buf(), files })
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if path.is_dir() {
+            if matches!(name, "vendor" | "target" | ".git" | ".github") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the workspace, applying policy scope,
+/// test-region filtering and `audit-allow` markers.
+pub fn run_rules(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        for (rule, check) in per_file_rules() {
+            if !rule_applies(rule, file.class, &file.rel_path) {
+                continue;
+            }
+            for f in check(file) {
+                if file.is_test_line(f.line) || file.allowed(f.line, f.rule) {
+                    continue;
+                }
+                findings.push(f);
+            }
+        }
+    }
+    // Workspace-level wire-tag coverage.
+    let by_path = |p: &str| ws.files.iter().find(|f| f.rel_path == p);
+    if let (Some(enum_file), Some(codec_file)) =
+        (by_path(wire_tags::ENUM_FILE), by_path(wire_tags::CODEC_FILE))
+    {
+        let fuzz_file = by_path(wire_tags::FUZZ_FILE);
+        for f in wire_tags::check(enum_file, codec_file, fuzz_file) {
+            // Coverage findings point at variant declaration lines; the
+            // allow marker still applies, test-region filtering does not
+            // (the gap *is* about test coverage).
+            if enum_file.allowed(f.line, f.rule) {
+                continue;
+            }
+            findings.push(f);
+        }
+    } else {
+        findings.push(Finding {
+            rule: "wire-tag-coverage",
+            file: wire_tags::ENUM_FILE.to_string(),
+            line: 1,
+            msg: "payload enum or codec file missing from workspace".to_string(),
+        });
+    }
+    findings.sort_by(|a, b| {
+        (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line))
+    });
+    findings
+}
+
+/// Outcome of reconciling a scan against the checked-in baseline.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings beyond the pinned count, grouped per (rule, file).
+    pub violations: Vec<(String, String, usize, usize, Vec<Finding>)>,
+    /// Baseline entries whose pinned count exceeds the actual count:
+    /// (rule, file, pinned, actual).
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Findings covered by the baseline.
+    pub grandfathered: usize,
+    /// Total findings produced by the scan.
+    pub total_findings: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Clean *and* every pin is tight — the state the self-run test and
+    /// a freshly written baseline both require.
+    pub fn exact(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Groups findings per (rule, file) and compares against the baseline.
+pub fn reconcile(findings: Vec<Finding>, baseline: &Baseline) -> Report {
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        groups.entry((f.rule.to_string(), f.file.clone())).or_default().push(f);
+    }
+    let mut report = Report::default();
+    for ((rule, file), group) in &groups {
+        let pinned = baseline.counts.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+        report.total_findings += group.len();
+        if group.len() > pinned {
+            report.violations.push((rule.clone(), file.clone(), pinned, group.len(), group.clone()));
+        } else if group.len() < pinned {
+            report.stale.push((rule.clone(), file.clone(), pinned, group.len()));
+            report.grandfathered += group.len();
+        } else {
+            report.grandfathered += group.len();
+        }
+    }
+    // Baseline entries with no findings at all are stale too.
+    for ((rule, file), pinned) in &baseline.counts {
+        if *pinned > 0 && !groups.contains_key(&(rule.clone(), file.clone())) {
+            report.stale.push((rule.clone(), file.clone(), *pinned, 0));
+        }
+    }
+    report.stale.sort();
+    report
+}
+
+/// Builds a baseline that pins exactly the current scan's counts.
+pub fn baseline_from(findings: &[Finding]) -> Baseline {
+    let mut b = Baseline::default();
+    for f in findings {
+        *b.counts.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+    }
+    b
+}

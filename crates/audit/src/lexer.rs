@@ -1,0 +1,372 @@
+//! A minimal Rust lexer, just strong enough for syntactic lint rules.
+//!
+//! Produces a flat token stream with line numbers. Comments (line,
+//! block, doc) are skipped entirely — doc-test code inside `///`
+//! comments never reaches the rules. String/char literals are reduced
+//! to opaque `Str`/`Char` tokens so identifier-based rules cannot be
+//! fooled by identifier-like text inside literals.
+//!
+//! The lexer is deliberately lossy: multi-character operators come out
+//! as single-character [`TokKind::Punct`] tokens (`+=` is `+` then
+//! `=`), and number literals keep their raw spelling but are never
+//! interpreted. Rules pattern-match on short token windows, which is
+//! all the precision the rule set needs.
+
+/// One lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`self`, `for`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character (`+`, `[`, `:`, ...).
+    Punct(char),
+    /// Number literal, raw spelling (`0`, `0x1f`, `12_u64`).
+    Num(String),
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`), contents dropped.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`), contents dropped.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`), name dropped.
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes `src`, skipping whitespace and comments.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    // audit-allow: no-unchecked-index -- every index below is bounds-guarded by `i < n` loop conditions
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 1u32;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let start = line;
+            i += 1;
+            scan_string_body(&chars, &mut i, &mut line);
+            toks.push(Token { kind: TokKind::Str, line: start });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let start = line;
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = matches!(next, Some(ch) if ch == '_' || ch.is_alphabetic())
+                && after != Some('\'');
+            if is_lifetime {
+                i += 1;
+                while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push(Token { kind: TokKind::Lifetime, line: start });
+            } else {
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Token { kind: TokKind::Char, line: start });
+            }
+            continue;
+        }
+        // Number literal: consume alphanumerics and underscores, plus a
+        // single `.` when followed by a digit (so `0..8` stays three
+        // tokens: `0`, `.`, `.`, `8`).
+        if c.is_ascii_digit() {
+            let start = line;
+            let begin = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n
+                && chars[i] == '.'
+                && chars[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            let text: String = chars[begin..i].iter().collect();
+            toks.push(Token { kind: TokKind::Num(text), line: start });
+            continue;
+        }
+        // Identifier / keyword — with special-casing for string-literal
+        // prefixes (`r"…"`, `b"…"`, `r#"…"#`, `br#"…"#`, `b'x'`).
+        if c == '_' || c.is_alphabetic() {
+            let start = line;
+            let begin = i;
+            while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                i += 1;
+            }
+            let text: String = chars[begin..i].iter().collect();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+            if is_str_prefix && i < n && (chars[i] == '"' || chars[i] == '#') {
+                // Raw or byte string literal.
+                let mut hashes = 0usize;
+                let mut j = i;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    i = j + 1;
+                    if hashes == 0 && !text.contains('r') {
+                        // Plain byte string `b"…"` — escapes apply.
+                        scan_string_body(&chars, &mut i, &mut line);
+                    } else {
+                        // Raw string: ends at `"` followed by `hashes` #s.
+                        'raw: while i < n {
+                            if chars[i] == '\n' {
+                                line += 1;
+                                i += 1;
+                                continue;
+                            }
+                            if chars[i] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                    toks.push(Token { kind: TokKind::Str, line: start });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through, emit the ident
+                // without the `r` prefix below.
+                if hashes == 1 && j < n && (chars[j] == '_' || chars[j].is_alphabetic()) {
+                    let begin2 = j;
+                    i = j;
+                    while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                    let raw: String = chars[begin2..i].iter().collect();
+                    toks.push(Token { kind: TokKind::Ident(raw), line: start });
+                    continue;
+                }
+            }
+            if text == "b" && i < n && chars[i] == '\'' {
+                // Byte char literal `b'x'`.
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Token { kind: TokKind::Char, line: start });
+                continue;
+            }
+            toks.push(Token { kind: TokKind::Ident(text), line: start });
+            continue;
+        }
+        // Anything else: single punctuation character.
+        toks.push(Token { kind: TokKind::Punct(c), line });
+        i += 1;
+    }
+    toks
+}
+
+/// Consumes a (non-raw) string body starting just after the opening
+/// quote, leaving `i` just past the closing quote.
+fn scan_string_body(chars: &[char], i: &mut usize, line: &mut u32) {
+    let n = chars.len();
+    // audit-allow: no-unchecked-index -- indices guarded by `*i < n`
+    while *i < n {
+        match chars[*i] {
+            // Escapes skip the next char; a `\<newline>` line
+            // continuation still advances the line counter.
+            '\\' => {
+                if chars.get(*i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                *i += 2;
+            }
+            '"' => {
+                *i += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Ident("let".into()),
+                TokKind::Ident("x".into()),
+                TokKind::Punct('='),
+                TokKind::Ident("a".into()),
+                TokKind::Punct('.'),
+                TokKind::Ident("unwrap".into()),
+                TokKind::Punct('('),
+                TokKind::Punct(')'),
+                TokKind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("// x.unwrap()\n/* y.expect(\"\") */ z"), vec![TokKind::Ident("z".into())]);
+        // Nested block comments.
+        assert_eq!(kinds("/* a /* b */ c */ q"), vec![TokKind::Ident("q".into())]);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        assert_eq!(kinds(r#"let s = "HashMap.iter()";"#).iter().filter(|k| matches!(k, TokKind::Ident(s) if s == "HashMap")).count(), 0);
+        assert_eq!(kinds(r##"let s = r#"a "quoted" b"#;"##).last(), Some(&TokKind::Punct(';')));
+        assert_eq!(kinds(r#"let b = b"bytes";"#).last(), Some(&TokKind::Punct(';')));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'\\''"), vec![TokKind::Char]);
+        assert_eq!(kinds("&'static str")[1], TokKind::Lifetime);
+        assert_eq!(kinds("fn f<'a>(x: &'a u8) {}").iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+        assert_eq!(kinds("b'x'"), vec![TokKind::Char]);
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let ks = kinds("0..8");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Num("0".into()),
+                TokKind::Punct('.'),
+                TokKind::Punct('.'),
+                TokKind::Num("8".into()),
+            ]
+        );
+        assert_eq!(kinds("1.5"), vec![TokKind::Num("1.5".into())]);
+        assert_eq!(kinds("0x1f_u64"), vec![TokKind::Num("0x1f_u64".into())]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        // `\<newline>` inside a string is a line continuation; tokens
+        // after the string must still land on the right line.
+        let toks = lex("let s = \"a \\\n b \\\n c\";\nnext");
+        let last = toks.last().expect("tokens");
+        assert_eq!(last.kind, TokKind::Ident("next".into()));
+        assert_eq!(last.line, 4);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("r#type");
+        assert_eq!(ks, vec![TokKind::Ident("type".into())]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tobsvd-audit — determinism & panic-safety lint pass
+//!
+//! The workspace's verification story — byte-identical transcripts,
+//! fixed-seed checker fingerprints, thread-count-invariant sweeps —
+//! rests on properties `clippy` cannot see: no hash-order iteration in
+//! protocol crates, no wall clock or ambient entropy outside the
+//! runtime, no unchecked Δ arithmetic, no panic paths on
+//! Byzantine-reachable code. This crate machine-checks those
+//! properties on every commit with a purpose-built lexer and a small
+//! rule engine — no dependencies, same offline constraint as
+//! `vendor/`.
+//!
+//! ## Rules
+//!
+//! | rule | scope | module |
+//! |------|-------|--------|
+//! | `no-nondeterministic-iteration` | deterministic + tooling crates | [`rules::iteration`] |
+//! | `no-panic-path` | `core`/`types`/`crypto` non-test | [`rules::panic_path`] |
+//! | `checked-delta-arithmetic` | deterministic crates | [`rules::delta_arith`] |
+//! | `no-ambient-nondeterminism` | deterministic + tooling crates | [`rules::ambient`] |
+//! | `wire-tag-coverage` | workspace-level | [`rules::wire_tags`] |
+//! | `no-unchecked-index` | `core`/`types`/`crypto` non-test | [`rules::index`] |
+//!
+//! ## Baseline ratchet
+//!
+//! Grandfathered findings live in `audit.toml` at the workspace root
+//! as pinned per-(rule, file) counts. New findings beyond a pin are
+//! deny-by-default; fixing a site lowers the pin. The self-run test
+//! requires the pins to be *exact*, so the debt number can only move
+//! down. Individual sites with a written justification use inline
+//! `// audit-allow: <rule> <reason>` markers instead of the baseline.
+//!
+//! Run it as `cargo run -p tobsvd-audit -- --deny` (CI does, on every
+//! push).
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+pub mod source;
+
+pub use baseline::Baseline;
+pub use engine::{baseline_from, load_workspace, reconcile, run_rules, Report, Workspace};
+pub use rules::{Finding, RULE_NAMES};
+
+use std::path::Path;
+
+/// Scans the workspace at `root` and reconciles against the baseline
+/// text (pass `""` for an empty baseline).
+pub fn audit(root: &Path, baseline_text: &str) -> Result<Report, String> {
+    let baseline = Baseline::parse(baseline_text).map_err(|e| e.to_string())?;
+    let ws = load_workspace(root).map_err(|e| format!("scan failed: {e}"))?;
+    let findings = run_rules(&ws);
+    Ok(reconcile(findings, &baseline))
+}

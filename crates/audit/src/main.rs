@@ -1,0 +1,148 @@
+//! `tobsvd-audit` CLI.
+//!
+//! ```text
+//! cargo run -p tobsvd-audit               # report against audit.toml
+//! cargo run -p tobsvd-audit -- --deny     # exit 1 on violations (CI)
+//! cargo run -p tobsvd-audit -- --write-baseline   # regenerate pins
+//! cargo run -p tobsvd-audit -- --root /path/to/ws # explicit root
+//! cargo run -p tobsvd-audit -- --list     # dump every finding
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tobsvd_audit::{baseline_from, load_workspace, reconcile, run_rules, Baseline};
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace containing this crate's manifest.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    let mut deny = false;
+    let mut write_baseline = false;
+    let mut list = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--write-baseline" => write_baseline = true,
+            "--list" => list = true,
+            "--root" => {
+                let Some(p) = it.next() else {
+                    return Err("--root needs a path".to_string());
+                };
+                root = PathBuf::from(p);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tobsvd-audit: determinism & panic-safety lint pass\n\n\
+                     USAGE: tobsvd-audit [--root PATH] [--deny] [--write-baseline] [--list]\n\n\
+                     --root PATH        workspace root (default: this workspace)\n\
+                     --deny             exit nonzero when findings exceed the baseline\n\
+                     --write-baseline   rewrite audit.toml pinning current counts\n\
+                     --list             print every finding, including grandfathered ones"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args { root, deny, write_baseline, list })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tobsvd-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let ws = match load_workspace(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("tobsvd-audit: scan of {} failed: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = run_rules(&ws);
+
+    if args.write_baseline {
+        let baseline = baseline_from(&findings);
+        let path = args.root.join("audit.toml");
+        if let Err(e) = fs::write(&path, baseline.render()) {
+            eprintln!("tobsvd-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "tobsvd-audit: wrote {} ({} entries, {} findings pinned)",
+            path.display(),
+            baseline.counts.len(),
+            baseline.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = args.root.join("audit.toml");
+    let baseline_text = fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = match Baseline::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("tobsvd-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+        }
+    }
+
+    let report = reconcile(findings, &baseline);
+
+    for (rule, file, pinned, actual, group) in &report.violations {
+        eprintln!(
+            "VIOLATION [{rule}] {file}: {actual} finding(s), baseline allows {pinned}:"
+        );
+        for f in group {
+            eprintln!("  {}:{}: {}", f.file, f.line, f.msg);
+        }
+    }
+    for (rule, file, pinned, actual) in &report.stale {
+        eprintln!(
+            "stale baseline [{rule}] {file}: pinned {pinned} but found {actual} — \
+             lower the pin (cargo run -p tobsvd-audit -- --write-baseline)"
+        );
+    }
+
+    println!(
+        "tobsvd-audit: {} file(s) scanned, {} finding(s): {} grandfathered by baseline, {} violation group(s), {} stale pin(s)",
+        ws.files.len(),
+        report.total_findings,
+        report.grandfathered,
+        report.violations.len(),
+        report.stale.len()
+    );
+
+    if !report.violations.is_empty() {
+        eprintln!(
+            "tobsvd-audit: new findings beyond the baseline — fix them, add a justified \
+             `// audit-allow: <rule> <reason>` marker, or (for pre-existing debt only) \
+             regenerate audit.toml and justify the diff"
+        );
+        if args.deny {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

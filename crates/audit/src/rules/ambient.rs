@@ -1,0 +1,69 @@
+//! `no-ambient-nondeterminism`: wall clocks and OS entropy outside the
+//! runtime.
+//!
+//! Deterministic crates must derive every observable value from
+//! (config, seed). `Instant::now`, `SystemTime`, `thread_rng`,
+//! `OsRng`, `from_entropy` and hash-randomization types smuggle in
+//! process-local state that breaks replay and cross-thread-count
+//! byte-identity. The runtime and bench crates are policy-exempt;
+//! reporting-only uses in deterministic crates (e.g. printing a
+//! throughput figure that never enters a transcript) carry an explicit
+//! `audit-allow: no-ambient-nondeterminism` marker.
+//!
+//! `use` statements are not flagged — importing a name is harmless;
+//! only mention at a call/expression site counts.
+
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "no-ambient-nondeterminism";
+
+const AMBIENT_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "RandomState",
+    "DefaultHasher",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+
+    // Token spans of `use …;` statements.
+    let mut use_spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let start = i;
+            while i < toks.len() && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            use_spans.push((start, i));
+        }
+        i += 1;
+    }
+    let in_use = |idx: usize| use_spans.iter().any(|&(lo, hi)| lo <= idx && idx <= hi);
+
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !AMBIENT_IDENTS.contains(&name) || in_use(i) {
+            continue;
+        }
+        // No type-position exemption: naming `Instant` as a type in a
+        // deterministic crate is just as suspect as calling
+        // `Instant::now()`.
+        findings.push(Finding {
+            rule: RULE,
+            file: file.rel_path.clone(),
+            line: t.line,
+            msg: format!(
+                "`{name}` introduces ambient nondeterminism; derive values from \
+                 (config, seed) or move the code to the runtime/bench crates"
+            ),
+        });
+    }
+    findings
+}

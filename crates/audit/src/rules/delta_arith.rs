@@ -1,0 +1,115 @@
+//! `checked-delta-arithmetic`: raw `*`/`+` on tick quantities.
+//!
+//! Δ is config-controlled: a scenario may set it near `u64::MAX`, and
+//! deadline math like `t + k·Δ` must saturate rather than wrap (a
+//! wrapped deadline fires in the past and stalls or storms the
+//! protocol — PR 6 fixed two shipped instances of exactly this). The
+//! rule flags raw `*` and `+` (including `+=`) when the operation
+//! visibly involves tick math:
+//!
+//! * an operand within a few tokens is a `.ticks()` call or the
+//!   `DELTAS_PER_VIEW` constant, or
+//! * the expression reads `self.0` inside an `impl` block for `Time`,
+//!   `Delta` or `View` (the newtypes' own operator impls).
+//!
+//! The blessed forms are `saturating_*`/`checked_*` helpers — those
+//! never surface a raw operator token, so they pass automatically.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "checked-delta-arithmetic";
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+
+    // Token index ranges of impl blocks for the time newtypes.
+    let mut newtype_impls: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            let mut names_time_type = false;
+            let mut j = i + 1;
+            while j < toks.len() && j < i + 30 && !toks[j].is_punct('{') {
+                if let Some(s) = toks[j].ident() {
+                    if matches!(s, "Time" | "Delta" | "View") {
+                        names_time_type = true;
+                    }
+                }
+                j += 1;
+            }
+            if names_time_type && j < toks.len() {
+                let mut depth = 0i32;
+                let mut k = j;
+                while k < toks.len() {
+                    match &toks[k].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                newtype_impls.push((j, k));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+
+    let in_newtype_impl = |idx: usize| newtype_impls.iter().any(|&(lo, hi)| lo <= idx && idx <= hi);
+
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let op = match &t.kind {
+            TokKind::Punct('*') => '*',
+            TokKind::Punct('+') => '+',
+            _ => continue,
+        };
+        // Distinguish binary `*`/`+` from deref/`+=`-second-char noise:
+        // the left operand must end in an identifier, number, `)` or `]`.
+        let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else { continue };
+        let binary = matches!(
+            &prev.kind,
+            TokKind::Ident(_) | TokKind::Num(_) | TokKind::Punct(')') | TokKind::Punct(']')
+        );
+        if !binary {
+            continue;
+        }
+
+        let lo = i.saturating_sub(5);
+        let hi = (i + 6).min(toks.len());
+        let window = &toks[lo..hi];
+        // The blessed saturating_*/checked_* helpers never surface a
+        // raw operator token, so no explicit exemption is needed; a raw
+        // `*` nested inside a helper's argument (`x.saturating_add(k *
+        // d.ticks())`) is still correctly flagged.
+        let ticky = window.iter().any(|w| {
+            w.ident()
+                .is_some_and(|s| s == "ticks" || s == "DELTAS_PER_VIEW")
+        });
+        let selfy = in_newtype_impl(i)
+            && window.windows(3).any(|w| {
+                w[0].is_ident("self")
+                    && w[1].is_punct('.')
+                    && matches!(&w[2].kind, TokKind::Num(n) if n == "0")
+            });
+        if ticky || selfy {
+            findings.push(Finding {
+                rule: RULE,
+                file: file.rel_path.clone(),
+                line: t.line,
+                msg: format!(
+                    "raw `{op}` on tick arithmetic can wrap at u64::MAX; \
+                     use saturating_add/saturating_mul (Time/Delta helpers or u64 methods)"
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,75 @@
+//! `no-unchecked-index`: `x[i]` indexing in non-test protocol code.
+//!
+//! Slice/array indexing panics on out-of-bounds, and the protocol core
+//! handles attacker-shaped offsets (wire frames, bitmap positions,
+//! chain heights). The rule flags `[` used as an index operator — i.e.
+//! preceded by an identifier, `)`, or `]` — and exempts brackets whose
+//! contents are purely literal (`buf[0]`, `digest[..8]`,
+//! `state[4..8]`): a constant index into a fixed-size array is
+//! compile-time checkable and pervasive in the hash/codec kernels.
+//!
+//! Prefer `.get(i)`/`.get_mut(i)` with an error arm; sites with a
+//! locally-provable bound can carry `audit-allow: no-unchecked-index`.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "no-unchecked-index";
+
+/// Keywords that may directly precede an array *literal* rather than an
+/// index expression.
+const NON_INDEX_PREV: &[&str] = &[
+    "return", "break", "in", "if", "else", "match", "mut", "ref", "as", "impl", "dyn", "where",
+    "move", "const", "static", "let",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct('[') {
+            continue;
+        }
+        let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else { continue };
+        let indexes = match &prev.kind {
+            TokKind::Ident(s) => !NON_INDEX_PREV.contains(&s.as_str()),
+            TokKind::Punct(')') | TokKind::Punct(']') => true,
+            _ => false,
+        };
+        if !indexes {
+            continue;
+        }
+        // Find the matching `]` and check whether the contents are
+        // literal-only (numbers and `.` range dots).
+        let mut depth = 0i32;
+        let mut j = i;
+        let mut literal_only = true;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Num(_) | TokKind::Punct('.') => {}
+                _ if j > i => literal_only = false,
+                _ => {}
+            }
+            j += 1;
+        }
+        if literal_only {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE,
+            file: file.rel_path.clone(),
+            line: t.line,
+            msg: "indexing can panic on out-of-bounds; prefer `.get(i)` with an error arm"
+                .to_string(),
+        });
+    }
+    findings
+}

@@ -1,0 +1,139 @@
+//! `no-nondeterministic-iteration`: iterating a `HashMap`/`HashSet` in
+//! a deterministic crate.
+//!
+//! `std`'s hash containers iterate in `RandomState` order, which varies
+//! per process — any transcript, report line or protocol decision
+//! derived from such an iteration breaks byte-identical replay. The
+//! rule is a two-pass token scan:
+//!
+//! 1. Collect names declared with a `HashMap`/`HashSet` type
+//!    (`name: HashMap<…>`, fields and bindings alike) or initialized
+//!    from one (`name = HashMap::new()`).
+//! 2. Flag `name.iter()` / `.keys()` / `.values()` / `.drain()` /
+//!    `.into_iter()` (and `_mut`/`into_` variants), plus `for … in`
+//!    loops that consume such a name directly.
+//!
+//! Keyed access (`map.get`, `map.insert`, `map.contains_key`) is fine
+//! and never flagged. Sites that sort after collecting can carry an
+//! `audit-allow: no-nondeterministic-iteration` marker; better is to
+//! switch the container to `BTreeMap`/`BTreeSet`.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "no-nondeterministic-iteration";
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+
+    // Pass 1: names with a hash-container type.
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let Some(next) = toks.get(i + 1) else { continue };
+        if next.is_punct(':') {
+            // `name: …HashMap<…>` — scan a short window for the type
+            // name, stopping at punctuation that ends the declarator at
+            // angle-bracket depth 0.
+            let mut depth = 0i32;
+            for t2 in toks.iter().skip(i + 2).take(10) {
+                match &t2.kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') => depth -= 1,
+                    TokKind::Punct(',' | ';' | ')' | '{' | '=') if depth <= 0 => break,
+                    TokKind::Ident(s) if s == "HashMap" || s == "HashSet" => {
+                        hash_names.insert(name);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        } else if next.is_punct('=') {
+            // `name = HashMap::new()` / `= HashSet::with_capacity(…)`.
+            if toks.get(i + 2).is_some_and(|t2| {
+                matches!(&t2.kind, TokKind::Ident(s) if s == "HashMap" || s == "HashSet")
+            }) {
+                hash_names.insert(name);
+            }
+        }
+    }
+
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+
+    let mut findings = Vec::new();
+
+    // Pass 2a: `name.iter()`-style calls.
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !hash_names.contains(name) {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|p| p.is_punct('.')) {
+            if let Some(m) = toks.get(i + 2).and_then(|m| m.ident()) {
+                if ITER_METHODS.contains(&m) {
+                    findings.push(Finding {
+                        rule: RULE,
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        msg: format!(
+                            "`{name}.{m}()` iterates a hash container in nondeterministic order; \
+                             use BTreeMap/BTreeSet or sort before iterating"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass 2b: `for … in [&[mut]] [self.]name` direct consumption.
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("in") {
+            continue;
+        }
+        // Only `for` loops: look back a short window for the keyword so
+        // `impl Trait for T` and `in` inside identifiers don't match.
+        let lookback = toks[i.saturating_sub(8)..i].iter().any(|b| b.is_ident("for"));
+        if !lookback {
+            continue;
+        }
+        for j in i + 1..(i + 6).min(toks.len()) {
+            let Some(name) = toks[j].ident() else { continue };
+            if !hash_names.contains(name) {
+                continue;
+            }
+            // If followed by `.`, pass 2a owns the decision (method may
+            // be keyed access like `.get`); bare consumption is flagged.
+            if !toks.get(j + 1).is_some_and(|p| p.is_punct('.')) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: file.rel_path.clone(),
+                    line: toks[j].line,
+                    msg: format!(
+                        "`for … in {name}` consumes a hash container in nondeterministic order; \
+                         use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                });
+            }
+            break;
+        }
+    }
+
+    findings
+}

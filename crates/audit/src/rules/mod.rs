@@ -1,0 +1,54 @@
+//! The rule catalog.
+//!
+//! Each per-file rule is a pure function `&SourceFile -> Vec<Finding>`;
+//! the engine applies the policy scope, test-region filtering and
+//! `audit-allow` markers on top, so rules only encode *detection*.
+//! `wire-tag-coverage` is workspace-level and lives in [`wire_tags`],
+//! driven directly by the engine.
+
+pub mod ambient;
+pub mod delta_arith;
+pub mod index;
+pub mod iteration;
+pub mod panic_path;
+pub mod wire_tags;
+
+use crate::source::SourceFile;
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, from [`RULE_NAMES`].
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+/// All rule names, in report order. Keep in sync with [`per_file_rules`]
+/// plus the workspace-level `wire-tag-coverage`.
+pub const RULE_NAMES: &[&str] = &[
+    "no-nondeterministic-iteration",
+    "no-panic-path",
+    "checked-delta-arithmetic",
+    "no-ambient-nondeterminism",
+    "wire-tag-coverage",
+    "no-unchecked-index",
+];
+
+/// A per-file rule's check function.
+pub type RuleFn = fn(&SourceFile) -> Vec<Finding>;
+
+/// The per-file rules as (name, check-fn) pairs.
+pub fn per_file_rules() -> Vec<(&'static str, RuleFn)> {
+    vec![
+        ("no-nondeterministic-iteration", iteration::check as RuleFn),
+        ("no-panic-path", panic_path::check),
+        ("checked-delta-arithmetic", delta_arith::check),
+        ("no-ambient-nondeterminism", ambient::check),
+        ("no-unchecked-index", index::check),
+    ]
+}

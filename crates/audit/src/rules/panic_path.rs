@@ -1,0 +1,57 @@
+//! `no-panic-path`: `unwrap`/`expect`/`panic!`-family calls in
+//! non-test protocol code.
+//!
+//! Protocol code (`crates/core`, `crates/types`, `crates/crypto`) sits
+//! on the receive path for Byzantine input: a reachable panic is a
+//! remote crash vector. The rule flags
+//!
+//! * `.unwrap()`, `.expect(…)`, `.unwrap_err()`, `.expect_err(…)` —
+//!   method calls only, so `unwrap_or`/`unwrap_or_default` stay legal;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!` macro calls.
+//!
+//! `assert!`/`debug_assert!` are deliberately out of scope: those are
+//! stated invariants with a message, reviewed case by case. A site
+//! whose infallibility is locally provable can carry an
+//! `audit-allow: no-panic-path <reason>` marker.
+
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "no-panic-path";
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if PANIC_METHODS.contains(&name) {
+            let is_method_call = i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|p| p.is_punct('('));
+            if is_method_call {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`.{name}()` can panic on Byzantine-reachable input; \
+                         return an error or handle the None/Err arm"
+                    ),
+                });
+            }
+        } else if PANIC_MACROS.contains(&name)
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('!'))
+        {
+            findings.push(Finding {
+                rule: RULE,
+                file: file.rel_path.clone(),
+                line: t.line,
+                msg: format!("`{name}!` aborts the validator; degrade gracefully instead"),
+            });
+        }
+    }
+    findings
+}

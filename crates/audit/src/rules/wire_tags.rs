@@ -1,0 +1,164 @@
+//! `wire-tag-coverage`: every `Payload` variant must be encodable,
+//! decodable, and exercised by the codec mutation-fuzz suite.
+//!
+//! This is a workspace-level rule. It extracts the variant list from
+//! `enum Payload` in `crates/types/src/message.rs`, then requires for
+//! each variant `V`:
+//!
+//! * ≥ 2 non-test mentions of `Payload::V` in `crates/types/src/wire.rs`
+//!   (one on the encode match, one on the decode construction);
+//! * ≥ 1 mention of `Payload::V` in the codec mutation-fuzz suite,
+//!   `tests/wire_codec.rs` — a unit roundtrip in `wire.rs`'s own test
+//!   module does *not* count, because only the fuzz suite exercises
+//!   truncation/corruption/limit behavior per variant.
+//!
+//! Adding a variant without wiring it through the codec and the fuzz
+//! matrix is exactly the kind of silent gap this PR's scan caught
+//! (`Certificate` was encoded and decoded but absent from the
+//! mutation-fuzz suite).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "wire-tag-coverage";
+
+/// Path of the enum definition, the codec, and the fuzz suite.
+pub const ENUM_FILE: &str = "crates/types/src/message.rs";
+pub const CODEC_FILE: &str = "crates/types/src/wire.rs";
+pub const FUZZ_FILE: &str = "tests/wire_codec.rs";
+
+/// Extracts `enum Payload` variants as (name, line) pairs.
+pub fn payload_variants(enum_file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &enum_file.tokens;
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident("Payload") {
+            // Find the opening brace, then walk depth-1 identifiers.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let mut expect_variant = true;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokKind::Punct('{') | TokKind::Punct('(') => {
+                        depth += 1;
+                    }
+                    TokKind::Punct('}') | TokKind::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 && toks[j].is_punct('}') {
+                            return variants;
+                        }
+                    }
+                    TokKind::Punct(',') if depth == 1 => expect_variant = true,
+                    // Variant attributes (`#[…]`) sit between `,` and the
+                    // variant name; skip their bracket contents.
+                    TokKind::Punct('#') if depth == 1 => {
+                        let mut bd = 0i32;
+                        j += 1;
+                        while j < toks.len() {
+                            match &toks[j].kind {
+                                TokKind::Punct('[') => bd += 1,
+                                TokKind::Punct(']') => {
+                                    bd -= 1;
+                                    if bd == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    TokKind::Ident(name) if depth == 1 && expect_variant => {
+                        if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                            variants.push((name.clone(), toks[j].line));
+                        }
+                        expect_variant = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Counts `Payload::V` mentions per variant, split into non-test and
+/// test-region occurrences.
+fn mention_counts(file: &SourceFile) -> BTreeMap<String, (usize, usize)> {
+    let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let toks = &file.tokens;
+    for w in toks.windows(4) {
+        if w[0].is_ident("Payload")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+        {
+            if let Some(v) = w[3].ident() {
+                let entry = counts.entry(v.to_string()).or_default();
+                if file.is_test_line(w[3].line) {
+                    entry.1 += 1;
+                } else {
+                    entry.0 += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Runs the workspace-level coverage check over the three files.
+pub fn check(
+    enum_file: &SourceFile,
+    codec_file: &SourceFile,
+    fuzz_file: Option<&SourceFile>,
+) -> Vec<Finding> {
+    let variants = payload_variants(enum_file);
+    let mut findings = Vec::new();
+    if variants.is_empty() {
+        findings.push(Finding {
+            rule: RULE,
+            file: enum_file.rel_path.clone(),
+            line: 1,
+            msg: "could not locate `enum Payload` variants".to_string(),
+        });
+        return findings;
+    }
+    let codec = mention_counts(codec_file);
+    let fuzz = fuzz_file.map(mention_counts).unwrap_or_default();
+    for (name, line) in &variants {
+        let (codec_live, _codec_test) = codec.get(name).copied().unwrap_or((0, 0));
+        if codec_live < 2 {
+            findings.push(Finding {
+                rule: RULE,
+                file: enum_file.rel_path.clone(),
+                line: *line,
+                msg: format!(
+                    "Payload::{name} has {codec_live} non-test mention(s) in {}; \
+                     encode and decode arms are both required",
+                    codec_file.rel_path
+                ),
+            });
+        }
+        let (fuzz_live, fuzz_test) = fuzz.get(name).copied().unwrap_or((0, 0));
+        if fuzz_live + fuzz_test == 0 {
+            findings.push(Finding {
+                rule: RULE,
+                file: enum_file.rel_path.clone(),
+                line: *line,
+                msg: format!(
+                    "Payload::{name} never appears in the codec mutation-fuzz suite ({FUZZ_FILE})"
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,233 @@
+//! A parsed source file: token stream, `#[cfg(test)]` regions, and
+//! inline `audit-allow` markers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::policy::PolicyClass;
+
+/// One workspace source file, ready for rules to scan.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Determinism class from the policy map.
+    pub class: PolicyClass,
+    /// Token stream (comments and literal contents already dropped).
+    pub tokens: Vec<Token>,
+    /// Line ranges (1-based, inclusive) covered by test-only items.
+    test_ranges: Vec<(u32, u32)>,
+    /// `audit-allow` markers: target line → rules allowed there.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and extracts test regions and allow markers.
+    ///
+    /// `rule_names` is the set of valid rule names; `audit-allow`
+    /// markers only capture words from this set, so free-text reasons
+    /// after the rule list need no special delimiter.
+    pub fn parse(rel_path: &str, class: PolicyClass, text: &str, rule_names: &[&str]) -> SourceFile {
+        let tokens = lex(text);
+        let test_ranges = find_test_ranges(&tokens);
+        let allows = find_allows(text, rule_names);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            class,
+            tokens,
+            test_ranges,
+            allows,
+        }
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// True if an `audit-allow: <rule>` marker covers `line`.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows.get(&line).is_some_and(|rules| rules.contains(rule))
+    }
+}
+
+/// Finds line ranges of items annotated `#[test]`, `#[cfg(test)]` or
+/// any `cfg` attribute mentioning `test` (but not `not(test)`).
+///
+/// The scan is purely token-based: on an attribute whose bracket
+/// contents include the identifier `test` and exclude `not`, the
+/// following item extends to either the matching close brace of its
+/// first `{` or, for brace-less items (`#[cfg(test)] use …;`), to the
+/// terminating semicolon.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1) else { break };
+        if !open.is_punct('[') {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`, collecting identifiers.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        let mut close = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                TokKind::Ident(s) => {
+                    if s == "test" {
+                        has_test = true;
+                    }
+                    if s == "not" {
+                        has_not = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(close) = close else { break };
+        if !has_test || has_not {
+            i = close + 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Scan forward for the item body: first `{` (brace-match) or a
+        // `;` before any `{` (brace-less item).
+        let mut k = close + 1;
+        let mut end_line = start_line;
+        while k < tokens.len() {
+            match &tokens[k].kind {
+                TokKind::Punct(';') => {
+                    end_line = tokens[k].line;
+                    break;
+                }
+                TokKind::Punct('{') => {
+                    let mut bd = 0i32;
+                    while k < tokens.len() {
+                        match &tokens[k].kind {
+                            TokKind::Punct('{') => bd += 1,
+                            TokKind::Punct('}') => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end_line = tokens.get(k).map_or(start_line, |t| t.line);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        ranges.push((start_line, end_line));
+        i = k.max(close) + 1;
+    }
+    ranges
+}
+
+/// Scans raw source lines for `audit-allow: <rules…>` markers.
+///
+/// A marker on its own comment line applies to the *next* line; a
+/// trailing marker applies to its own line. Only words matching known
+/// rule names are captured, so the rest of the comment is free text.
+fn find_allows(text: &str, rule_names: &[&str]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let Some(pos) = raw.find("audit-allow:") else { continue };
+        let line = idx as u32 + 1;
+        let rest = &raw[pos + "audit-allow:".len()..];
+        let mut rules = BTreeSet::new();
+        for word in rest.split(|c: char| c.is_whitespace() || c == ',') {
+            if rule_names.contains(&word) {
+                rules.insert(word.to_string());
+            }
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        let own_line = raw.trim_start().starts_with("//");
+        let target = if own_line { line + 1 } else { line };
+        allows.entry(target).or_default().extend(rules);
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyClass;
+
+    const RULES: &[&str] = &["no-panic-path", "no-unchecked-index"];
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", PolicyClass::Deterministic, text, RULES)
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let f = parse(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let f = parse(src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn not_test_is_live() {
+        let src = "#[cfg(not(test))]\nfn live() { body(); }\n";
+        let f = parse(src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn test_fn_attribute() {
+        let src = "#[test]\nfn check() {\n  x();\n}\n";
+        let f = parse(src);
+        assert!(f.is_test_line(3));
+    }
+
+    #[test]
+    fn allow_markers() {
+        let src = "// audit-allow: no-panic-path -- justified below\nlet x = y.unwrap();\nlet z = q.unwrap(); // audit-allow: no-unchecked-index, no-panic-path\n";
+        let f = parse(src);
+        assert!(f.allowed(2, "no-panic-path"));
+        assert!(!f.allowed(2, "no-unchecked-index"));
+        assert!(f.allowed(3, "no-panic-path"));
+        assert!(f.allowed(3, "no-unchecked-index"));
+        assert!(!f.allowed(1, "no-panic-path"));
+    }
+
+    #[test]
+    fn unknown_rule_words_ignored() {
+        let src = "// audit-allow: bogus-rule\nlet x = 1;\n";
+        let f = parse(src);
+        assert!(!f.allowed(2, "no-panic-path"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Baseline format round-trip and rejection tests.
+
+use tobsvd_audit::engine::{baseline_from, reconcile};
+use tobsvd_audit::rules::Finding;
+use tobsvd_audit::Baseline;
+
+fn entry(rule: &'static str, file: &str, count: usize) -> ((String, String), usize) {
+    ((rule.to_string(), file.to_string()), count)
+}
+
+#[test]
+fn render_parse_round_trips() {
+    let mut b = Baseline::default();
+    b.counts.extend([
+        entry("no-panic-path", "crates/core/src/a.rs", 3),
+        entry("no-unchecked-index", "crates/crypto/src/b.rs", 18),
+        entry("no-nondeterministic-iteration", "crates/sim/src/c.rs", 1),
+    ]);
+    let text = b.render();
+    let reparsed = Baseline::parse(&text).expect("rendered baseline parses");
+    assert_eq!(reparsed.counts, b.counts);
+    assert_eq!(reparsed.total(), 22);
+    // Canonical render: parse(render(x)).render() == render(x).
+    assert_eq!(reparsed.render(), text);
+}
+
+#[test]
+fn empty_text_is_empty_baseline() {
+    let b = Baseline::parse("").expect("empty baseline");
+    assert!(b.counts.is_empty());
+    assert_eq!(b.total(), 0);
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let text = "# a comment\n\n[[entry]]\nrule = \"no-panic-path\"\n# interleaved\nfile = \"crates/core/src/a.rs\"\ncount = 2\n";
+    let b = Baseline::parse(text).expect("parses");
+    assert_eq!(b.counts.len(), 1);
+    assert_eq!(b.total(), 2);
+}
+
+#[test]
+fn garbage_and_duplicates_are_rejected() {
+    assert!(Baseline::parse("not toml at all").is_err());
+    assert!(Baseline::parse("[[entry]]\nrule = \"no-panic-path\"\n").is_err(), "incomplete entry");
+    let dup = "[[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = 1\n\
+               [[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = 2\n";
+    assert!(Baseline::parse(dup).is_err(), "duplicate (rule, file) must be rejected");
+}
+
+#[test]
+fn reconcile_classifies_violations_grandfathered_and_stale() {
+    let f = |rule: &'static str, file: &str, line: u32| Finding {
+        rule,
+        file: file.to_string(),
+        line,
+        msg: String::new(),
+    };
+    let findings = vec![
+        f("no-panic-path", "crates/core/src/a.rs", 1),
+        f("no-panic-path", "crates/core/src/a.rs", 2),
+        f("no-unchecked-index", "crates/crypto/src/b.rs", 5),
+    ];
+    let mut b = Baseline::default();
+    b.counts.extend([
+        entry("no-panic-path", "crates/core/src/a.rs", 1), // 2 found: violation
+        entry("no-unchecked-index", "crates/crypto/src/b.rs", 3), // 1 found: stale
+        entry("no-ambient-nondeterminism", "crates/sim/src/c.rs", 2), // 0 found: stale
+    ]);
+    let report = reconcile(findings, &b);
+    assert!(!report.clean());
+    assert!(!report.exact());
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.stale.len(), 2);
+    assert_eq!(report.grandfathered, 1);
+    assert_eq!(report.total_findings, 3);
+}
+
+#[test]
+fn baseline_from_pins_exactly_the_scan() {
+    let f = |rule: &'static str, line: u32| Finding {
+        rule,
+        file: "crates/core/src/a.rs".to_string(),
+        line,
+        msg: String::new(),
+    };
+    let findings = vec![f("no-panic-path", 1), f("no-panic-path", 9), f("no-unchecked-index", 3)];
+    let b = baseline_from(&findings);
+    assert_eq!(b.total(), 3);
+    let report = reconcile(findings, &b);
+    assert!(report.exact(), "a freshly generated baseline is exact by construction");
+}

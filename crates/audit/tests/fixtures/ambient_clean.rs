@@ -1,0 +1,8 @@
+//! Fixture: time and seeds flow in as parameters.
+pub fn stamp(now_ticks: u64) -> u64 {
+    now_ticks
+}
+
+pub fn derive_seed(base: u64, idx: u64) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(idx)
+}

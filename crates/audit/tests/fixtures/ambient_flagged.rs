@@ -1,0 +1,8 @@
+//! Fixture: ambient wall clock and entropy in deterministic code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn seed_state() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

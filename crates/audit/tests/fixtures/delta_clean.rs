@@ -1,0 +1,4 @@
+//! Fixture: saturating Δ-tick arithmetic.
+pub fn window_end(start: u64, ticks: u64, factor: u64) -> u64 {
+    start.saturating_add(ticks.saturating_mul(factor))
+}

@@ -1,0 +1,8 @@
+//! Fixture: checked access; literal indices are exempt.
+pub fn pick(v: &[u8], i: usize) -> u8 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+pub fn first_fixed(arr: [u64; 4]) -> u64 {
+    arr[0]
+}

@@ -1,0 +1,8 @@
+//! Fixture: unchecked dynamic indexing.
+pub fn pick(v: &[u8], i: usize) -> u8 {
+    v[i]
+}
+
+pub fn last_word(words: &[u64], wc: usize) -> u64 {
+    words[wc - 1]
+}

@@ -1,0 +1,14 @@
+//! Fixture: ordered iteration and order-free hash-map use.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn tally(scores: &BTreeMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn lookup(memo: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    memo.get(&k).copied()
+}

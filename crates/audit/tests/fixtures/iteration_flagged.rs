@@ -1,0 +1,22 @@
+//! Fixture: hash-order iteration in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(scores: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn collect_ids(seen: &HashSet<u64>) -> Vec<u64> {
+    seen.iter().copied().collect()
+}
+
+pub fn consume(pending: HashMap<u32, u64>) -> u64 {
+    let mut acc = 0;
+    for (_, v) in pending {
+        acc += v;
+    }
+    acc
+}

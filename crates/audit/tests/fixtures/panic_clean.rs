@@ -1,0 +1,12 @@
+//! Fixture: the same shapes with graceful arms.
+pub fn head(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.unwrap_or(0)
+}
+
+pub fn checked(v: Option<u8>) -> Result<u8, String> {
+    v.ok_or_else(|| "missing".to_string())
+}

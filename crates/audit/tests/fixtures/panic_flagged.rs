@@ -1,0 +1,16 @@
+//! Fixture: panic paths on live code.
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("unreachable state");
+}
+
+pub fn later() {
+    todo!()
+}

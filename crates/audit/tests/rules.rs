@@ -1,0 +1,158 @@
+//! Per-rule fixture tests: each rule fires on its `*_flagged.rs`
+//! fixture and stays silent on the `*_clean.rs` twin. Fixtures are
+//! plain text under `tests/fixtures/` (never compiled), so they can
+//! contain exactly the constructs the rules reject.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tobsvd_audit::policy::PolicyClass;
+use tobsvd_audit::rules::{ambient, delta_arith, index, iteration, panic_path, wire_tags, Finding};
+use tobsvd_audit::source::SourceFile;
+use tobsvd_audit::RULE_NAMES;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Parses a fixture as if it lived in the protocol core (the strictest
+/// scope), so every per-file rule is meaningfully exercised.
+fn parse(name: &str) -> SourceFile {
+    SourceFile::parse(
+        "crates/core/src/fixture.rs",
+        PolicyClass::Deterministic,
+        &fixture(name),
+        RULE_NAMES,
+    )
+}
+
+fn check_pair(
+    rule: &str,
+    check: fn(&SourceFile) -> Vec<Finding>,
+    flagged: &str,
+    clean: &str,
+    min_findings: usize,
+) {
+    let hits = check(&parse(flagged));
+    assert!(
+        hits.len() >= min_findings,
+        "{rule}: expected >= {min_findings} findings in {flagged}, got {}: {hits:?}",
+        hits.len()
+    );
+    for f in &hits {
+        assert_eq!(f.rule, rule, "finding carries the wrong rule name: {f:?}");
+        assert!(f.line > 0, "finding must carry a 1-based line: {f:?}");
+    }
+    let misses = check(&parse(clean));
+    assert!(misses.is_empty(), "{rule}: false positives in {clean}: {misses:?}");
+}
+
+#[test]
+fn iteration_rule_fires_on_hash_iteration_only() {
+    // Three sites: `.iter()` on a map, `.iter()` on a set, bare `for`
+    // consumption. The clean twin iterates a BTreeMap and does a plain
+    // order-free `.get` on a HashMap.
+    check_pair(
+        "no-nondeterministic-iteration",
+        iteration::check,
+        "iteration_flagged.rs",
+        "iteration_clean.rs",
+        3,
+    );
+}
+
+#[test]
+fn panic_rule_fires_on_unwrap_expect_and_macros() {
+    // unwrap, expect, panic!, todo! — four sites.
+    check_pair("no-panic-path", panic_path::check, "panic_flagged.rs", "panic_clean.rs", 4);
+}
+
+#[test]
+fn delta_rule_fires_on_unchecked_tick_arithmetic() {
+    // `start + ticks * factor`: both the add and the mul sit in a
+    // `ticks` window.
+    check_pair(
+        "checked-delta-arithmetic",
+        delta_arith::check,
+        "delta_flagged.rs",
+        "delta_clean.rs",
+        1,
+    );
+}
+
+#[test]
+fn ambient_rule_fires_on_wall_clock_and_entropy() {
+    // Instant::now() and RandomState::new().
+    check_pair(
+        "no-ambient-nondeterminism",
+        ambient::check,
+        "ambient_flagged.rs",
+        "ambient_clean.rs",
+        2,
+    );
+}
+
+#[test]
+fn index_rule_fires_on_dynamic_indexing_only() {
+    // `v[i]` and `words[wc - 1]`; the clean twin uses `.get` and a
+    // literal index into a fixed-size array (exempt by design).
+    check_pair("no-unchecked-index", index::check, "index_flagged.rs", "index_clean.rs", 2);
+}
+
+// ---- wire-tag-coverage (workspace-level, inline fixtures) ----
+
+fn wire_file(rel: &str, text: &str) -> SourceFile {
+    SourceFile::parse(rel, PolicyClass::Deterministic, text, RULE_NAMES)
+}
+
+const ENUM_SRC: &str = "pub enum Payload {\n    Log { a: u32 },\n    Vote { b: u32 },\n}\n";
+
+#[test]
+fn wire_tags_fires_when_variant_missing_from_codec_or_fuzz() {
+    let enum_file = wire_file(wire_tags::ENUM_FILE, ENUM_SRC);
+    // Codec encodes+decodes Log but never mentions Vote; the fuzz suite
+    // covers Log only.
+    let codec = wire_file(
+        wire_tags::CODEC_FILE,
+        "fn enc() { let _ = Payload::Log { a: 1 }; }\nfn dec() { let _ = Payload::Log { a: 2 }; }\n",
+    );
+    let fuzz = wire_file(wire_tags::FUZZ_FILE, "fn f() { let _ = Payload::Log { a: 3 }; }\n");
+    let findings = wire_tags::check(&enum_file, &codec, Some(&fuzz));
+    assert!(
+        findings.iter().any(|f| f.msg.contains("Vote")),
+        "missing Vote coverage must be reported: {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.msg.contains("Log") && !f.msg.contains("Vote")),
+        "covered Log variant must not be reported: {findings:?}"
+    );
+}
+
+#[test]
+fn wire_tags_clean_when_every_variant_covered_everywhere() {
+    let enum_file = wire_file(wire_tags::ENUM_FILE, ENUM_SRC);
+    let codec = wire_file(
+        wire_tags::CODEC_FILE,
+        "fn enc() { let _ = (Payload::Log { a: 1 }, Payload::Vote { b: 1 }); }\n\
+         fn dec() { let _ = (Payload::Log { a: 2 }, Payload::Vote { b: 2 }); }\n",
+    );
+    let fuzz = wire_file(
+        wire_tags::FUZZ_FILE,
+        "fn f() { let _ = (Payload::Log { a: 3 }, Payload::Vote { b: 3 }); }\n",
+    );
+    let findings = wire_tags::check(&enum_file, &codec, Some(&fuzz));
+    assert!(findings.is_empty(), "fully covered enum must be clean: {findings:?}");
+}
+
+#[test]
+fn wire_tags_fires_when_fuzz_suite_is_absent() {
+    let enum_file = wire_file(wire_tags::ENUM_FILE, ENUM_SRC);
+    let codec = wire_file(
+        wire_tags::CODEC_FILE,
+        "fn enc() { let _ = (Payload::Log { a: 1 }, Payload::Vote { b: 1 }); }\n\
+         fn dec() { let _ = (Payload::Log { a: 2 }, Payload::Vote { b: 2 }); }\n",
+    );
+    let findings = wire_tags::check(&enum_file, &codec, None);
+    assert_eq!(findings.len(), 2, "every variant lacks fuzz coverage: {findings:?}");
+}

@@ -1,0 +1,49 @@
+//! The audit gate, run on this workspace itself: the checked-in
+//! `audit.toml` must reconcile *exactly* — no new findings, no stale
+//! pins. This is the ratchet: fixing a site makes a pin stale, which
+//! fails here until the pin is lowered, so the debt count only shrinks.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tobsvd_audit::audit;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_against_checked_in_baseline() {
+    let root = workspace_root();
+    let baseline = fs::read_to_string(root.join("audit.toml")).expect("audit.toml at repo root");
+    let report = audit(&root, &baseline).expect("scan succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "new findings beyond audit.toml — fix them or justify with an \
+         audit-allow marker: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.stale.is_empty(),
+        "stale pins — some grandfathered findings were fixed; lower the \
+         pinned counts (cargo run -p tobsvd-audit -- --write-baseline): {:?}",
+        report.stale
+    );
+    assert!(report.exact());
+}
+
+#[test]
+fn empty_baseline_reports_only_grandfathered_debt() {
+    // With no baseline at all, the only findings are the documented
+    // grandfathered set (the from-scratch SHA-256's bounds-provable
+    // indexing). Anything else means a rule regressed or new debt
+    // slipped in without touching audit.toml.
+    let report = audit(&workspace_root(), "").expect("scan succeeds");
+    for (rule, file, _, _, findings) in &report.violations {
+        assert_eq!(
+            (rule.as_str(), file.as_str()),
+            ("no-unchecked-index", "crates/crypto/src/sha256impl.rs"),
+            "unexpected un-baselined findings: {findings:#?}"
+        );
+    }
+}

@@ -305,7 +305,9 @@ impl TobSimulationBuilder {
         let mut byz_map: std::collections::BTreeMap<usize, ByzantineNodeFactory> =
             std::collections::BTreeMap::new();
         for (v, f) in self.byzantine {
-            byz_slots[v.index()] = true;
+            if let Some(slot) = byz_slots.get_mut(v.index()) {
+                *slot = true;
+            }
             byz_map.insert(v.index(), f);
         }
         for v in ValidatorId::all(self.n) {
@@ -344,15 +346,16 @@ impl TobSimulationBuilder {
         // Collect per-validator stats.
         let mut validators = Vec::with_capacity(self.n);
         for v in ValidatorId::all(self.n) {
-            if byz_slots[v.index()] || sim.is_byzantine(v) {
+            if byz_slots.get(v.index()).copied().unwrap_or(false) || sim.is_byzantine(v) {
                 validators.push(None);
                 continue;
             }
-            let val = sim
-                .node(v)
-                .as_any()
-                .downcast_ref::<Validator>()
-                .expect("honest slots hold Validators");
+            // A non-`Validator` node in an honest slot would be a harness
+            // bug; report it as a missing entry rather than panicking.
+            let Some(val) = sim.node(v).as_any().downcast_ref::<Validator>() else {
+                validators.push(None);
+                continue;
+            };
             let sync = val.sync();
             validators.push(Some(ValidatorStats {
                 validator: v,
@@ -551,7 +554,7 @@ impl TobReport {
         if let Some(longest) = self.report.longest_decided {
             if let Some(chain) = self.store.chain_range(longest.tip(), 1) {
                 for (offset, id) in chain.into_iter().enumerate() {
-                    let block = self.store.get(id).expect("decided block stored");
+                    let Some(block) = self.store.get(id) else { continue };
                     let proposed_at = sched.view_start(block.view());
                     let height = 2 + offset as u64; // log length covering this block
                     // Earliest decision record covering this block.

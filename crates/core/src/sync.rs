@@ -34,7 +34,7 @@
 //! [`SyncState::RETRY_AFTER_DELTAS`]·Δ until answered, so a dropped
 //! request or response only delays resolution.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use tobsvd_types::{wire, BlockId, BlockStore, Log, SignedMessage, Time};
 
@@ -62,7 +62,7 @@ struct Inflight {
 /// Delta-sync bookkeeping for one validator.
 #[derive(Debug)]
 pub struct SyncState {
-    known: HashSet<BlockId>,
+    known: BTreeSet<BlockId>,
     genesis: BlockId,
     pending: VecDeque<Parked>,
     /// Outstanding fetches by missing block id. `BTreeMap` so retry
@@ -86,7 +86,7 @@ impl SyncState {
     /// Fresh state: only genesis is known.
     pub fn new(store: &BlockStore) -> Self {
         let genesis = store.genesis();
-        let mut known = HashSet::new();
+        let mut known = BTreeSet::new();
         known.insert(genesis);
         SyncState {
             known,

@@ -573,13 +573,18 @@ impl Validator {
     /// Groups per instance are few (honestly at most two — the gossip
     /// cap drops further distinct logs per sender), so a linear scan in
     /// arrival order keeps the flush deterministic.
-    fn group_mut(&mut self, instance: InstanceId, log: Log) -> &mut VoteGroup {
+    ///
+    /// `None` is unreachable in practice (the group is created on
+    /// demand); the `Option` keeps the accessor total without an
+    /// unreachable panic arm, and the caller degrades to the baseline
+    /// per-vote forward.
+    fn group_mut(&mut self, instance: InstanceId, log: Log) -> Option<&mut VoteGroup> {
         let groups = self.agg_groups.entry(instance.view()).or_default();
         match groups.iter().position(|g| g.instance == instance && g.log == log) {
-            Some(i) => &mut groups[i],
+            Some(i) => groups.get_mut(i),
             None => {
                 groups.push(VoteGroup::new(instance, log));
-                groups.last_mut().expect("just pushed")
+                groups.last_mut()
             }
         }
     }
@@ -589,7 +594,11 @@ impl Validator {
         if !self.cfg.certificates {
             return;
         }
-        let g = self.group_mut(instance, log);
+        let Some(g) = self.group_mut(instance, log) else {
+            // No group handle: keep the relay guarantee the simple way.
+            ctx.forward(*msg);
+            return;
+        };
         if !g.have_votes.insert(msg.sender()) {
             // Beyond the bitmap capacity: fall back to the baseline
             // immediate forward so the relay guarantee still holds.
@@ -627,7 +636,7 @@ impl Validator {
             return;
         }
         let w = instance.view();
-        let g = self.group_mut(instance, log);
+        let Some(g) = self.group_mut(instance, log) else { return };
         if signers.is_subset(&g.vouched()) {
             // Every attested vote is already authenticated here; the
             // certificate adds no claims and needs no relay from us
@@ -652,13 +661,15 @@ impl Validator {
         if !agg.aggregate_verify(&msgs, &pk_refs) {
             return; // forged aggregate: no absorption, no forward
         }
-        let g = self.group_mut(instance, log);
-        g.cert_verified.union_with(&signers);
-        // Queue for boundary forwarding iff it vouches signers we could
-        // not otherwise relay — this is what preserves the paper's
-        // graded-delivery guarantee for votes we never saw individually.
-        if !signers.is_subset(&g.relayed_by_us()) {
-            g.pending_certs.push(*msg);
+        if let Some(g) = self.group_mut(instance, log) {
+            g.cert_verified.union_with(&signers);
+            // Queue for boundary forwarding iff it vouches signers we
+            // could not otherwise relay — this is what preserves the
+            // paper's graded-delivery guarantee for votes we never saw
+            // individually.
+            if !signers.is_subset(&g.relayed_by_us()) {
+                g.pending_certs.push(*msg);
+            }
         }
         // Absorb the attested votes into the GA (duplicates no-op,
         // conflicting logs across certificates surface as equivocation
@@ -700,26 +711,28 @@ impl Validator {
                     let mut votes: Vec<&SignedMessage> = g.votes.iter().collect();
                     votes.sort_by_key(|m| m.sender());
                     let sigs: Vec<&Signature> = votes.iter().map(|m| m.signature()).collect();
-                    let agg = AggregateSignature::aggregate(&sigs)
-                        .expect("quorate group is non-empty");
-                    let payload = Payload::Certificate {
-                        instance: g.instance,
-                        log: g.log,
-                        signers: g.have_votes,
-                        agg,
-                    };
-                    ctx.broadcast(SignedMessage::sign(&self.keypair, self.me, payload));
-                    own_certs += 1;
-                    g.own_cert_emitted = true;
-                    let have = g.have_votes;
-                    g.covered.union_with(&have);
-                    g.flushed = g.votes.len();
+                    // A quorate group is non-empty, so aggregation always
+                    // succeeds; on the impossible `None` the group simply
+                    // falls through to per-vote forwarding below.
+                    if let Ok(agg) = AggregateSignature::aggregate(&sigs) {
+                        let payload = Payload::Certificate {
+                            instance: g.instance,
+                            log: g.log,
+                            signers: g.have_votes,
+                            agg,
+                        };
+                        ctx.broadcast(SignedMessage::sign(&self.keypair, self.me, payload));
+                        own_certs += 1;
+                        g.own_cert_emitted = true;
+                        let have = g.have_votes;
+                        g.covered.union_with(&have);
+                        g.flushed = g.votes.len();
+                    }
                 }
                 // Whatever is still unflushed goes out individually —
                 // the sub-quorum (or late-vote) fallback, identical to
                 // the paper's per-receiver forwarding.
-                while g.flushed < g.votes.len() {
-                    let vote = g.votes[g.flushed];
+                while let Some(vote) = g.votes.get(g.flushed).copied() {
                     g.flushed += 1;
                     if !g.covered.contains(vote.sender()) {
                         ctx.forward(vote);

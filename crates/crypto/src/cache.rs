@@ -16,7 +16,9 @@
 //! lock and publishes under the write lock (idempotent on races).
 
 use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
 
 use crate::keys::{Keypair, PublicKey};
 
@@ -41,11 +43,11 @@ impl KeyCache {
     /// assert_eq!(KeyCache::keypair(7).public(), Keypair::from_seed(7).public());
     /// ```
     pub fn keypair(seed: u64) -> Keypair {
-        if let Some(kp) = state().read().expect("key cache lock").keys.get(&seed) {
+        if let Some(kp) = state().read().keys.get(&seed) {
             return *kp;
         }
         let kp = Keypair::from_seed(seed);
-        let mut guard = state().write().expect("key cache lock");
+        let mut guard = state().write();
         guard.derivations += 1;
         *guard.keys.entry(seed).or_insert(kp)
     }
@@ -58,7 +60,7 @@ impl KeyCache {
     /// Number of cache-miss derivations performed so far (diagnostics;
     /// process-wide and monotone).
     pub fn derivations() -> u64 {
-        state().read().expect("key cache lock").derivations
+        state().read().derivations
     }
 }
 

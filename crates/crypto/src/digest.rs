@@ -39,10 +39,11 @@ impl Digest {
 
     /// Lowercase hex encoding of the digest.
     pub fn to_hex(&self) -> String {
+        use std::fmt::Write as _;
         let mut s = String::with_capacity(64);
         for b in &self.0 {
-            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+            // Formatting into a String is infallible.
+            let _ = write!(s, "{b:02x}");
         }
         s
     }
@@ -56,12 +57,13 @@ impl Digest {
         if s.len() != 64 || !s.is_ascii() {
             return None;
         }
-        let bytes = s.as_bytes();
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            let hi = (bytes[2 * i] as char).to_digit(16)?;
-            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
-            out[i] = ((hi << 4) | lo) as u8;
+        // `chunks_exact(2)` guarantees two bytes per pair, so the pair
+        // accesses below are bounds-safe by construction.
+        for (o, pair) in out.iter_mut().zip(s.as_bytes().chunks_exact(2)) {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            *o = ((hi << 4) | lo) as u8;
         }
         Some(Digest(out))
     }
@@ -76,7 +78,7 @@ impl Digest {
     /// Used where a numeric projection of a digest is convenient (e.g.
     /// pseudo-random tie-breaking in tests).
     pub fn leading_u64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+        self.0.iter().take(8).fold(0u64, |acc, b| (acc << 8) | u64::from(*b))
     }
 }
 

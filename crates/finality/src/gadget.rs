@@ -128,14 +128,18 @@ fn highest_with_quorum(
     if entries.len() < quorum {
         return None;
     }
-    // Iterated LCA: supported by everyone.
+    // Iterated LCA: supported by everyone. A missing tip degrades to
+    // the genesis base (sound, merely conservative).
     let mut base = entries[0].1;
     for (_, log) in entries.iter().skip(1) {
-        let lca = store.lca(base.tip(), log.tip());
-        base = Log::at_tip(store, lca).expect("lca stored");
+        base = store
+            .lca(base.tip(), log.tip())
+            .and_then(|lca| Log::at_tip(store, lca))
+            .unwrap_or_else(|| Log::genesis(store));
     }
-    let mut counts: std::collections::HashMap<tobsvd_types::BlockId, usize> =
-        std::collections::HashMap::new();
+    // BTreeMap: the scan below must not depend on hash-iteration order
+    // (the finalized checkpoint feeds transcripts and fingerprints).
+    let mut counts: BTreeMap<tobsvd_types::BlockId, usize> = BTreeMap::new();
     for (_, log) in entries {
         let mut cur = log.tip();
         while cur != base.tip() {
@@ -143,11 +147,14 @@ fn highest_with_quorum(
             cur = store.get(cur).expect("chain stored").parent();
         }
     }
+    // Deterministic tie-break: greater height first, then smaller block
+    // id. `2·quorum > n` makes equal-height passing blocks impossible,
+    // but the answer must not lean on that argument for determinism.
     let mut best: Option<(u64, tobsvd_types::BlockId)> = None;
     for (id, count) in &counts {
         if *count >= quorum {
             let h = store.height(*id).expect("stored");
-            if best.map(|(bh, _)| h > bh).unwrap_or(true) {
+            if best.map(|(bh, bid)| h > bh || (h == bh && *id < bid)).unwrap_or(true) {
                 best = Some((h, *id));
             }
         }
@@ -215,6 +222,28 @@ mod tests {
         fin.on_vote(1, v(2), b, &store); // equivocation
         assert_eq!(fin.on_vote(1, v(1), a, &store), None, "only 2 valid votes remain");
         assert!(fin.finalized().is_genesis(&store));
+    }
+
+    #[test]
+    fn finalization_independent_of_vote_order() {
+        // Regression for the ordered-iteration audit finding in
+        // `highest_with_quorum`: the finalized checkpoint and history
+        // must not depend on vote arrival order (beyond which vote
+        // completes the quorum). Votes for a, its extension a2, and a
+        // conflicting b, delivered in every rotation, always land on a.
+        let (store, g, a, a2) = setup();
+        let b = g.extend_empty(&store, v(9), View::new(1));
+        let votes = [(v(0), a2), (v(1), a), (v(2), a2), (v(3), b)];
+        for rot in 0..votes.len() {
+            let mut order = votes.to_vec();
+            order.rotate_left(rot);
+            let mut fin = FinalityState::new(FinalityConfig::new(4), &store);
+            for (sender, log) in order {
+                fin.on_vote(1, sender, log, &store);
+            }
+            assert_eq!(fin.finalized(), a, "rotation {rot}");
+            assert_eq!(fin.history(), &[(1, a)], "rotation {rot}");
+        }
     }
 
     #[test]

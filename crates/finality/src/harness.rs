@@ -30,7 +30,7 @@ impl DelayPolicy for AsyncWindowDelay {
         _rng: &mut StdRng,
     ) -> u64 {
         if at >= self.from && at < self.to {
-            delta.ticks() * self.factor
+            delta.ticks().saturating_mul(self.factor)
         } else {
             1
         }

@@ -14,7 +14,7 @@
 //! the LCA needs per-block counting. This keeps output phases cheap even
 //! after thousands of decided blocks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tobsvd_types::{BlockId, BlockStore, Log, ValidatorId};
 
@@ -39,15 +39,21 @@ pub fn highest_supported(
         return None;
     }
 
-    // Iterated LCA of all recorded tips: every entry extends it.
+    // Iterated LCA of all recorded tips: every entry extends it. A
+    // missing tip degrades to the genesis base (sound: genesis is a
+    // prefix of everything, the walk below just covers more blocks).
     let mut base = entries[0].1;
     for (_, log) in entries.iter().skip(1) {
-        let lca = store.lca(base.tip(), log.tip());
-        base = Log::at_tip(store, lca).expect("lca block stored");
+        base = store
+            .lca(base.tip(), log.tip())
+            .and_then(|lca| Log::at_tip(store, lca))
+            .unwrap_or_else(|| Log::genesis(store));
     }
 
-    // Count support for blocks strictly above the base.
-    let mut counts: HashMap<BlockId, usize> = HashMap::new();
+    // Count support for blocks strictly above the base. BTreeMap keeps
+    // the scan below in block-id order — the output must not depend on
+    // hash-iteration order.
+    let mut counts: BTreeMap<BlockId, usize> = BTreeMap::new();
     for (_, log) in entries {
         let mut cur = log.tip();
         while cur != base.tip() {
@@ -61,11 +67,15 @@ pub fn highest_supported(
     // blocks cannot both pass (their supporter sets are disjoint subsets
     // of `entries` and 2·c > s_len ≥ total forces overlap), so picking
     // the highest passing block is unambiguous.
+    // Deterministic tie-break: greater height wins, then smaller block
+    // id (heights can only tie for conflicting blocks, which cannot both
+    // pass — the id clause is defensive, so the answer never depends on
+    // iteration order even if that argument rots).
     let mut best: Option<(u64, BlockId)> = None;
     for (id, count) in &counts {
         if 2 * count > s_len {
             let h = store.height(*id).expect("counted block stored");
-            if best.map(|(bh, _)| h > bh).unwrap_or(true) {
+            if best.map(|(bh, bid)| h > bh || (h == bh && *id < bid)).unwrap_or(true) {
                 best = Some((h, *id));
             }
         }
@@ -85,16 +95,17 @@ pub fn highest_supported(
 pub fn distinct_supporter_counts(
     entries: &[(ValidatorId, Log)],
     store: &BlockStore,
-) -> HashMap<BlockId, usize> {
-    let mut counts: HashMap<BlockId, usize> = HashMap::new();
+) -> BTreeMap<BlockId, usize> {
+    let mut counts: BTreeMap<BlockId, usize> = BTreeMap::new();
     // Group logs by validator so each validator is counted at most once
-    // per block even when its two logs share a prefix.
-    let mut by_validator: HashMap<ValidatorId, Vec<Log>> = HashMap::new();
+    // per block even when its two logs share a prefix. Ordered maps keep
+    // the whole computation independent of hash-iteration order.
+    let mut by_validator: BTreeMap<ValidatorId, Vec<Log>> = BTreeMap::new();
     for (v, log) in entries {
         by_validator.entry(*v).or_default().push(*log);
     }
     for logs in by_validator.values() {
-        let mut marked: std::collections::HashSet<BlockId> = std::collections::HashSet::new();
+        let mut marked: BTreeSet<BlockId> = BTreeSet::new();
         for log in logs {
             let mut cur = log.tip();
             loop {
@@ -121,7 +132,7 @@ pub fn distinct_supporter_counts(
 /// Uniqueness gap), so a list is returned, sorted by block id for
 /// determinism.
 pub fn maximal_passing(
-    counts: &HashMap<BlockId, usize>,
+    counts: &BTreeMap<BlockId, usize>,
     s_len: usize,
     store: &BlockStore,
 ) -> Vec<Log> {
@@ -262,6 +273,34 @@ mod tests {
         assert_eq!(counts[&g.tip()], 2);
         assert_eq!(counts[&a1.tip()], 2);
         assert_eq!(counts[&b1.tip()], 1);
+    }
+
+    #[test]
+    fn outputs_independent_of_entry_order() {
+        // Regression for the ordered-iteration audit findings: every
+        // public output must be a pure function of the entry *set*. A
+        // hash-ordered counts map with a first-wins tie-break would make
+        // this flake across processes; BTree containers plus the
+        // explicit (height, id) tie-break make it exact.
+        let (store, _, a1, a2, b1) = fixtures();
+        let b2 = b1.extend_empty(&store, v(3), View::new(2));
+        let base = vec![(v(0), a2), (v(0), b2), (v(1), a1), (v(2), b1), (v(3), b2)];
+        let reference_highest = highest_supported(&base, 5, &store);
+        let reference_counts = distinct_supporter_counts(&base, &store);
+        let reference_maxima = maximal_passing(&reference_counts, 4, &store);
+        for rot in 1..base.len() {
+            let mut perm = base.clone();
+            perm.rotate_left(rot);
+            perm.reverse();
+            assert_eq!(highest_supported(&perm, 5, &store), reference_highest);
+            let counts = distinct_supporter_counts(&perm, &store);
+            assert_eq!(counts, reference_counts);
+            assert_eq!(maximal_passing(&counts, 4, &store), reference_maxima);
+        }
+        // Conflicting maxima come out id-sorted, not discovery-ordered.
+        for pair in reference_maxima.windows(2) {
+            assert!(pair[0].tip().0 < pair[1].tip().0);
+        }
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct WireStats {
     /// Session-layer fetch requests issued (excludes the validator's own
     /// protocol-layer fetches).
     pub session_fetches: u64,
+    /// Outgoing messages dropped because their chain could not be read
+    /// back from the local store at encode time (should stay 0; a
+    /// non-zero value flags store corruption without crashing the node).
+    pub encode_failures: u64,
     /// Signature verifications the validator performed (one per unique
     /// verified message id plus forged frames — the same fast path as
     /// the simulator, so the two stay honest with each other).
@@ -532,7 +536,12 @@ fn send_direct(
     outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
     wire_stats: &mut WireStats,
 ) -> u64 {
-    let bytes = wire::encode_message(msg, store);
+    let Ok(bytes) = wire::encode_message(msg, store) else {
+        // Refusing the frame beats crashing the node; the counter makes
+        // the drop observable in the run report.
+        wire_stats.encode_failures += 1;
+        return 0;
+    };
     let mut sent = 0u64;
     let targets: Vec<ValidatorId> = match to {
         Some(t) => vec![t],
@@ -567,7 +576,10 @@ fn flush(
             Outgoing::Forward(m) => (outbound.keys().copied().collect(), m),
             Outgoing::ForwardTo(t, m) | Outgoing::Multicast(t, m) => (t, m),
         };
-        let bytes = wire::encode_message(&msg, store);
+        let Ok(bytes) = wire::encode_message(&msg, store) else {
+            wire_stats.encode_failures += 1;
+            continue;
+        };
         let is_sync = msg.payload().is_sync();
         let is_cert = matches!(msg.payload(), Payload::Certificate { .. });
         for target in targets {

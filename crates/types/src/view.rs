@@ -42,9 +42,9 @@ impl View {
         self.0
     }
 
-    /// The next view `v + 1`.
+    /// The next view `v + 1` (saturating at `u64::MAX`).
     pub fn next(&self) -> View {
-        View(self.0 + 1)
+        View(self.0.saturating_add(1))
     }
 
     /// The previous view `v - 1`, or `None` for view 0.
@@ -52,14 +52,24 @@ impl View {
         self.0.checked_sub(1).map(View)
     }
 
-    /// The start time `t_v = 4Δ·v`.
+    /// The start time `t_v = 4Δ·v`, saturating at `u64::MAX`: with Δ
+    /// near the top of the u64 range a far view "starts" at the end of
+    /// time rather than wrapping into an earlier tick.
     pub fn start_time(&self, delta: Delta) -> Time {
-        Time::new(self.0 * DELTAS_PER_VIEW * delta.ticks())
+        Time::new(
+            self.0
+                .saturating_mul(DELTAS_PER_VIEW)
+                .saturating_mul(delta.ticks()),
+        )
     }
 
     /// The view containing time `t`.
+    ///
+    /// The view length `4Δ` saturates at `u64::MAX`, matching
+    /// [`View::start_time`]'s clamp (every finite time then maps to
+    /// view 0, consistent with all views starting at the end of time).
     pub fn of_time(t: Time, delta: Delta) -> View {
-        View(t.ticks() / (DELTAS_PER_VIEW * delta.ticks()))
+        View(t.ticks() / DELTAS_PER_VIEW.saturating_mul(delta.ticks()))
     }
 }
 
@@ -91,6 +101,18 @@ mod tests {
         // t_v + 4Δ is the start of view v+1.
         let t = View::new(2).start_time(d) + d * 4;
         assert_eq!(View::of_time(t, d), View::new(3));
+    }
+
+    #[test]
+    fn start_time_saturates_near_u64_max() {
+        // Regression: `4Δ·v` must clamp at the end of time, not wrap.
+        let d = Delta::new(u64::MAX / 2);
+        let far = View::new(u64::MAX / 8);
+        assert_eq!(far.start_time(d), Time::new(u64::MAX));
+        // of_time stays consistent: the saturated view length maps all
+        // finite times into view 0.
+        assert_eq!(View::of_time(Time::new(u64::MAX - 1), d), View::ZERO);
+        assert_eq!(View::new(u64::MAX).next(), View::new(u64::MAX));
     }
 
     #[test]

@@ -118,6 +118,11 @@ pub enum WireError {
         /// Suggested `from_height` for the corresponding `BlockRequest`.
         from_height: u64,
     },
+    /// Encode-side: the message references chain blocks that are not in
+    /// the local store (a `Log` inconsistent with its store, a response
+    /// range the responder does not hold, or a genesis block where a
+    /// proper block body is required). The frame cannot be produced.
+    UnstoredChain,
 }
 
 impl std::fmt::Display for WireError {
@@ -131,6 +136,9 @@ impl std::fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::MissingBlocks { missing, from_height } => {
                 write!(f, "chain references unknown block {missing} (fetch from height {from_height})")
+            }
+            WireError::UnstoredChain => {
+                write!(f, "referenced chain blocks are not in the local store")
             }
         }
     }
@@ -159,12 +167,14 @@ fn signer_word_count(signers: &SignerSet) -> usize {
 
 /// Encodes a message, reading referenced blocks from `store`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the log's (or response range's) blocks are missing from
-/// `store` — a constructed `Log` always has its chain stored, and honest
-/// responders only serve ranges they hold.
-pub fn encode_message(msg: &SignedMessage, store: &BlockStore) -> Bytes {
+/// Returns [`WireError::UnstoredChain`] if the log's (or response
+/// range's) blocks are missing from `store`. A constructed `Log` always
+/// has its chain stored and honest responders only serve ranges they
+/// hold, so this signals a caller bug or corrupted state — but it must
+/// not crash a validator, so the frame is refused instead.
+pub fn encode_message(msg: &SignedMessage, store: &BlockStore) -> Result<Bytes, WireError> {
     let mut buf = BytesMut::with_capacity(256);
     buf.put_u8(WIRE_VERSION);
     buf.put_u32(msg.sender().raw());
@@ -172,25 +182,25 @@ pub fn encode_message(msg: &SignedMessage, store: &BlockStore) -> Bytes {
     match msg.payload() {
         Payload::Log { instance, log } => {
             buf.put_u64(instance.0);
-            encode_announcement(&mut buf, log, store);
+            encode_announcement(&mut buf, log, store)?;
         }
         Payload::Proposal { view, log, vrf, proof } => {
             buf.put_u64(view.number());
             buf.put_slice(vrf.0.as_bytes());
             buf.put_slice(proof.0.as_bytes());
-            encode_announcement(&mut buf, log, store);
+            encode_announcement(&mut buf, log, store)?;
         }
         Payload::Vote { instance, log } => {
             buf.put_u64(instance.0);
-            encode_announcement(&mut buf, log, store);
+            encode_announcement(&mut buf, log, store)?;
         }
         Payload::Recovery { from_view, log } => {
             buf.put_u64(from_view.number());
-            encode_announcement(&mut buf, log, store);
+            encode_announcement(&mut buf, log, store)?;
         }
         Payload::FinalityVote { epoch, log } => {
             buf.put_u64(*epoch);
-            encode_announcement(&mut buf, log, store);
+            encode_announcement(&mut buf, log, store)?;
         }
         Payload::BlockRequest { tip, from_height } => {
             buf.put_slice(tip.0.as_bytes());
@@ -198,10 +208,10 @@ pub fn encode_message(msg: &SignedMessage, store: &BlockStore) -> Bytes {
         }
         Payload::Certificate { instance, log, signers, agg } => {
             buf.put_u64(instance.0);
-            encode_announcement(&mut buf, log, store);
+            encode_announcement(&mut buf, log, store)?;
             let wc = signer_word_count(signers);
             buf.put_u8(wc as u8);
-            for word in &signers.words()[..wc] {
+            for word in signers.words().iter().take(wc) {
                 buf.put_u64(*word);
             }
             buf.put_slice(agg.as_digest().as_bytes());
@@ -212,20 +222,20 @@ pub fn encode_message(msg: &SignedMessage, store: &BlockStore) -> Bytes {
             buf.put_u64(*count);
             let anchor = store
                 .ancestor_at(*tip, from_height.saturating_sub(1))
-                .expect("response anchor must be stored");
+                .ok_or(WireError::UnstoredChain)?;
             buf.put_slice(anchor.0.as_bytes());
             let ids = store
                 .chain_range(*tip, *from_height)
-                .expect("response range must be stored");
+                .ok_or(WireError::UnstoredChain)?;
             debug_assert_eq!(ids.len() as u64, *count, "count must match the served range");
             for id in ids {
-                let block = store.get(id).expect("range block stored");
-                encode_block_body(&mut buf, &block);
+                let block = store.get(id).ok_or(WireError::UnstoredChain)?;
+                encode_block_body(&mut buf, &block)?;
             }
         }
     }
     buf.put_slice(msg.signature().as_digest().as_bytes());
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 fn announcement_windows(len: u64) -> (u64, u64) {
@@ -234,7 +244,11 @@ fn announcement_windows(len: u64) -> (u64, u64) {
     (k, a)
 }
 
-fn encode_announcement(buf: &mut BytesMut, log: &Log, store: &BlockStore) {
+fn encode_announcement(
+    buf: &mut BytesMut,
+    log: &Log,
+    store: &BlockStore,
+) -> Result<(), WireError> {
     let len = log.len();
     buf.put_u64(len);
     buf.put_slice(log.tip().0.as_bytes());
@@ -244,33 +258,40 @@ fn encode_announcement(buf: &mut BytesMut, log: &Log, store: &BlockStore) {
     // Ancestor hashes, newest first: heights len−2−k down to len−1−k−a.
     for i in 0..a {
         let height = len - 2 - k - i;
-        let id = store.ancestor_at(log.tip(), height).expect("log chain must be stored");
+        let id = store
+            .ancestor_at(log.tip(), height)
+            .ok_or(WireError::UnstoredChain)?;
         buf.put_slice(id.0.as_bytes());
     }
     if k > 0 {
         let base_height = len - 1 - k;
         let parent = store
             .ancestor_at(log.tip(), base_height)
-            .expect("log chain must be stored");
+            .ok_or(WireError::UnstoredChain)?;
         buf.put_slice(parent.0.as_bytes());
         let ids = store
             .chain_range(log.tip(), base_height + 1)
-            .expect("log chain must be stored");
+            .ok_or(WireError::UnstoredChain)?;
         for id in ids {
-            let block = store.get(id).expect("chain block stored");
-            encode_block_body(buf, &block);
+            let block = store.get(id).ok_or(WireError::UnstoredChain)?;
+            encode_block_body(buf, &block)?;
         }
     }
+    Ok(())
 }
 
-fn encode_block_body(buf: &mut BytesMut, block: &Block) {
-    buf.put_u32(block.proposer().expect("non-genesis has proposer").raw());
+fn encode_block_body(buf: &mut BytesMut, block: &Block) -> Result<(), WireError> {
+    // Genesis carries no proposer and is never shipped in a body; a
+    // genesis block here means the range arithmetic above went wrong.
+    let proposer = block.proposer().ok_or(WireError::UnstoredChain)?;
+    buf.put_u32(proposer.raw());
     buf.put_u64(block.view().number());
     buf.put_u32(block.txs().len() as u32);
     for tx in block.txs() {
         buf.put_u32(tx.payload().len() as u32);
         buf.put_slice(tx.payload());
     }
+    Ok(())
 }
 
 fn block_body_len(block: &Block) -> u64 {
@@ -282,10 +303,10 @@ fn block_body_len(block: &Block) -> u64 {
 /// amount, so sim byte metrics and real TCP frames agree by
 /// construction (pinned by a codec test).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`encode_message`].
-pub fn encoded_len(msg: &SignedMessage, store: &BlockStore) -> u64 {
+/// Fails under the same conditions as [`encode_message`].
+pub fn encoded_len(msg: &SignedMessage, store: &BlockStore) -> Result<u64, WireError> {
     let header = match msg.payload() {
         Payload::Log { .. }
         | Payload::Vote { .. }
@@ -314,9 +335,10 @@ pub fn encoded_len(msg: &SignedMessage, store: &BlockStore) -> u64 {
                 let base_height = log.len() - 1 - k;
                 let ids = store
                     .chain_range(log.tip(), base_height + 1)
-                    .expect("log chain must be stored");
+                    .ok_or(WireError::UnstoredChain)?;
                 for id in ids {
-                    n += block_body_len(&store.get(id).expect("chain block stored"));
+                    let block = store.get(id).ok_or(WireError::UnstoredChain)?;
+                    n += block_body_len(&block);
                 }
             }
             n
@@ -325,16 +347,18 @@ pub fn encoded_len(msg: &SignedMessage, store: &BlockStore) -> u64 {
         Payload::BlockResponse { tip, from_height, .. } => {
             let ids = store
                 .chain_range(*tip, *from_height)
-                .expect("response range must be stored");
-            32 + ids
-                .iter()
-                .map(|id| block_body_len(&store.get(*id).expect("range block stored")))
-                .sum::<u64>()
+                .ok_or(WireError::UnstoredChain)?;
+            let mut n = 32;
+            for id in &ids {
+                let block = store.get(*id).ok_or(WireError::UnstoredChain)?;
+                n += block_body_len(&block);
+            }
+            n
         }
     };
     // version + sender + tag + header + body (+ certificate trailer) +
     // signature.
-    1 + 4 + 1 + header + body + trailer + 32
+    Ok(1 + 4 + 1 + header + body + trailer + 32)
 }
 
 /// Nominal wire length of the same message under the pre-delta-sync
@@ -423,7 +447,7 @@ pub fn decode_message(mut buf: Bytes, store: &BlockStore) -> Result<SignedMessag
             // same certificate circulate under several message ids
             // (the malleability hole `check_ancestors` closes for the
             // ancestor list).
-            if words[wc - 1] == 0 {
+            if words.get(wc - 1).map_or(true, |w| *w == 0) {
                 return Err(WireError::LimitExceeded("certificate signer encoding"));
             }
             let agg = AggregateSignature::from_digest(get_digest(&mut buf)?);
@@ -663,8 +687,8 @@ mod tests {
         let tx_store = BlockStore::new();
         let log = sample_log(&tx_store);
         let msg = signed(Payload::Log { instance: InstanceId(5), log });
-        let bytes = encode_message(&msg, &tx_store);
-        assert_eq!(bytes.len() as u64, encoded_len(&msg, &tx_store));
+        let bytes = encode_message(&msg, &tx_store).expect("encode");
+        assert_eq!(bytes.len() as u64, encoded_len(&msg, &tx_store).expect("len"));
 
         let rx_store = synced_receiver(&tx_store, &log);
         let decoded = decode_message(bytes, &rx_store).expect("decode");
@@ -681,7 +705,7 @@ mod tests {
         let tx_store = BlockStore::new();
         let log = sample_log(&tx_store);
         let msg = signed(Payload::Vote { instance: InstanceId(3), log });
-        let bytes = encode_message(&msg, &tx_store);
+        let bytes = encode_message(&msg, &tx_store).expect("encode");
         let cold = BlockStore::new();
         match decode_message(bytes, &cold) {
             Err(WireError::MissingBlocks { missing, from_height }) => {
@@ -708,7 +732,7 @@ mod tests {
             rx.insert(tx_store.get(*id).unwrap().as_ref().clone()).unwrap();
         }
         let msg = signed(Payload::Log { instance: InstanceId(0), log });
-        match decode_message(encode_message(&msg, &tx_store), &rx) {
+        match decode_message(encode_message(&msg, &tx_store).expect("encode"), &rx) {
             Err(WireError::MissingBlocks { from_height, .. }) => {
                 assert_eq!(from_height, 5);
             }
@@ -721,8 +745,8 @@ mod tests {
         let store = BlockStore::new();
         let log = sample_log(&store);
         let msg = signed(Payload::BlockRequest { tip: log.tip(), from_height: 1 });
-        let bytes = encode_message(&msg, &store);
-        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store));
+        let bytes = encode_message(&msg, &store).expect("encode");
+        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store).expect("len"));
         let rx = BlockStore::new();
         let decoded = decode_message(bytes, &rx).expect("decode");
         assert_eq!(decoded.payload(), msg.payload());
@@ -737,8 +761,8 @@ mod tests {
             from_height: 1,
             count: log.len() - 1,
         });
-        let bytes = encode_message(&msg, &store);
-        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store));
+        let bytes = encode_message(&msg, &store).expect("encode");
+        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store).expect("len"));
         let rx = BlockStore::new();
         let decoded = decode_message(bytes, &rx).expect("decode");
         assert_eq!(decoded.payload(), msg.payload());
@@ -760,7 +784,7 @@ mod tests {
         });
         let rx = BlockStore::new();
         assert!(matches!(
-            decode_message(encode_message(&msg, &store), &rx),
+            decode_message(encode_message(&msg, &store).expect("encode"), &rx),
             Err(WireError::MissingBlocks { .. })
         ));
     }
@@ -780,20 +804,20 @@ mod tests {
                 vec![Transaction::synthetic(i, 64)],
             );
             let msg = signed(Payload::Log { instance: InstanceId(i), log });
-            sizes.push(encoded_len(&msg, &store));
+            sizes.push(encoded_len(&msg, &store).expect("len"));
         }
         let (first_full, last) = (sizes[ANCESTOR_WINDOW as usize + 1], *sizes.last().unwrap());
         assert_eq!(first_full, last, "announcement size must not grow with the chain");
         // And it is an order of magnitude below the inline-chain bytes.
         let msg = signed(Payload::Log { instance: InstanceId(99), log });
-        assert!(inline_equivalent_len(&msg, &store) >= 10 * encoded_len(&msg, &store));
+        assert!(inline_equivalent_len(&msg, &store) >= 10 * encoded_len(&msg, &store).expect("len"));
     }
 
     #[test]
     fn truncated_rejected() {
         let store = BlockStore::new();
         let msg = signed(Payload::Log { instance: InstanceId(1), log: sample_log(&store) });
-        let bytes = encode_message(&msg, &store);
+        let bytes = encode_message(&msg, &store).expect("encode");
         for cut in [0, 1, 5, 10, bytes.len() - 1] {
             let rx = synced_receiver(&store, &msg.payload().log().unwrap());
             let res = decode_message(bytes.slice(..cut), &rx);
@@ -805,7 +829,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let store = BlockStore::new();
         let msg = signed(Payload::Log { instance: InstanceId(1), log: Log::genesis(&store) });
-        let mut bytes = encode_message(&msg, &store).to_vec();
+        let mut bytes = encode_message(&msg, &store).expect("encode").to_vec();
         bytes.push(0xff);
         let rx = BlockStore::new();
         assert_eq!(
@@ -818,7 +842,7 @@ mod tests {
     fn bad_version_rejected() {
         let store = BlockStore::new();
         let msg = signed(Payload::Log { instance: InstanceId(1), log: Log::genesis(&store) });
-        let mut bytes = encode_message(&msg, &store).to_vec();
+        let mut bytes = encode_message(&msg, &store).expect("encode").to_vec();
         bytes[0] = 99;
         let rx = BlockStore::new();
         assert_eq!(decode_message(Bytes::from(bytes), &rx), Err(WireError::BadVersion(99)));
@@ -836,7 +860,7 @@ mod tests {
             vec![Transaction::new(vec![1, 2, 3])],
         );
         let msg = signed(Payload::Log { instance: InstanceId(1), log });
-        let mut bytes = encode_message(&msg, &store).to_vec();
+        let mut bytes = encode_message(&msg, &store).expect("encode").to_vec();
         let pos = bytes
             .windows(3)
             .position(|w| w == [1, 2, 3])
@@ -854,7 +878,7 @@ mod tests {
             log = log.extend_empty(&store, ValidatorId::new(0), View::new(i + 1));
         }
         let msg = signed(Payload::Log { instance: InstanceId(1), log });
-        let bytes = encode_message(&msg, &store).to_vec();
+        let bytes = encode_message(&msg, &store).expect("encode").to_vec();
         // Flip a byte inside the first ancestor hash: offset =
         // version(1)+sender(4)+tag(1)+instance(8)+len(8)+tip(32)+k(1)+a(1).
         let off = 1 + 4 + 1 + 8 + 8 + 32 + 1 + 1;
@@ -873,7 +897,7 @@ mod tests {
         let store = BlockStore::new();
         let log = sample_log(&store);
         let msg = signed(Payload::BlockResponse { tip: log.tip(), from_height: 1, count: 2 });
-        let mut bytes = encode_message(&msg, &store).to_vec();
+        let mut bytes = encode_message(&msg, &store).expect("encode").to_vec();
         // count field offset: version(1)+sender(4)+tag(1)+tip(32)+from(8).
         let off = 1 + 4 + 1 + 32 + 8;
         bytes[off..off + 8].copy_from_slice(&u64::MAX.to_be_bytes());
@@ -906,8 +930,8 @@ mod tests {
         let store = BlockStore::new();
         let payload = sample_certificate(&store);
         let msg = signed(payload);
-        let bytes = encode_message(&msg, &store);
-        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store));
+        let bytes = encode_message(&msg, &store).expect("encode");
+        assert_eq!(bytes.len() as u64, encoded_len(&msg, &store).expect("len"));
         let rx = synced_receiver(&store, &payload.log().unwrap());
         let decoded = decode_message(bytes, &rx).expect("decode");
         assert_eq!(decoded.payload(), msg.payload());
@@ -925,7 +949,7 @@ mod tests {
         let msg = signed(sample_certificate(&store));
         let cold = BlockStore::new();
         assert!(matches!(
-            decode_message(encode_message(&msg, &store), &cold),
+            decode_message(encode_message(&msg, &store).expect("encode"), &cold),
             Err(WireError::MissingBlocks { .. })
         ));
     }
@@ -935,7 +959,7 @@ mod tests {
         let store = BlockStore::new();
         let payload = sample_certificate(&store);
         let msg = signed(payload);
-        let bytes = encode_message(&msg, &store).to_vec();
+        let bytes = encode_message(&msg, &store).expect("encode").to_vec();
         let rx = || synced_receiver(&store, &payload.log().unwrap());
         // The signer section sits between the announcement and the two
         // trailing digests: u8 word count + words.
@@ -975,7 +999,7 @@ mod tests {
         let store = BlockStore::new();
         let payload = sample_certificate(&store);
         let msg = signed(payload);
-        let bytes = encode_message(&msg, &store).to_vec();
+        let bytes = encode_message(&msg, &store).expect("encode").to_vec();
         let sender_kp = Keypair::from_seed(ValidatorId::new(1).key_seed());
         for pos in 0..bytes.len() {
             for flip in [0x01u8, 0xff] {
@@ -1006,7 +1030,7 @@ mod tests {
         let store = BlockStore::new();
         let payload = sample_certificate(&store);
         let msg = signed(payload);
-        let bytes = encode_message(&msg, &store);
+        let bytes = encode_message(&msg, &store).expect("encode");
         for cut in 0..bytes.len() {
             let rx = synced_receiver(&store, &payload.log().unwrap());
             assert!(
@@ -1037,8 +1061,8 @@ mod tests {
         for payload in payloads {
             let msg = signed(payload);
             assert_eq!(
-                encode_message(&msg, &store).len() as u64,
-                encoded_len(&msg, &store),
+                encode_message(&msg, &store).expect("encode").len() as u64,
+                encoded_len(&msg, &store).expect("len"),
                 "encoded_len disagrees for {payload:?}"
             );
         }

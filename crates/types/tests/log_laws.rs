@@ -123,7 +123,7 @@ proptest! {
             a.is_prefix_of(&b, &store)
         );
         let lca = store.lca(a.tip(), b.tip());
-        prop_assert_eq!(lca, a.common_prefix(&b, &store).tip());
+        prop_assert_eq!(lca, Some(a.common_prefix(&b, &store).tip()));
     }
 
     /// Nominal size is strictly monotone along extensions.

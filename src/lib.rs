@@ -23,6 +23,7 @@
 //! | [`finality`] | `tobsvd-finality` | ebb-and-flow finality gadget (paper intro) |
 //! | [`sweep`] | `tobsvd-sweep` | declarative scenario matrices + parallel sweep runner |
 //! | [`check`] | `tobsvd-check` | randomized schedule-exploration model checker + shrinker |
+//! | [`audit`] | `tobsvd-audit` | determinism & panic-safety lint pass over the workspace itself |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 
 pub use tobsvd_adversary as adversary;
 pub use tobsvd_analysis as analysis;
+pub use tobsvd_audit as audit;
 pub use tobsvd_baselines as baselines;
 pub use tobsvd_check as check;
 pub use tobsvd_core as protocol;

@@ -4,9 +4,10 @@
 //! stores, and mutations are rejected or break signatures.
 
 use proptest::prelude::*;
-use tob_svd::crypto::Keypair;
+use tob_svd::crypto::{AggregateSignature, Keypair};
 use tob_svd::types::{
-    wire, BlockStore, InstanceId, Log, Payload, SignedMessage, Transaction, ValidatorId, View,
+    wire, BlockStore, InstanceId, Log, Payload, SignedMessage, SignerSet, Transaction,
+    ValidatorId, View,
 };
 
 #[derive(Clone, Debug)]
@@ -21,7 +22,7 @@ struct MsgSpec {
 fn msg_spec() -> impl Strategy<Value = MsgSpec> {
     (
         0u32..16,
-        0u8..7,
+        0u8..8,
         0u64..100,
         proptest::collection::vec(
             (0u32..16, proptest::collection::vec(1u16..600, 0..4)),
@@ -53,6 +54,7 @@ fn build_message(spec: &MsgSpec, store: &BlockStore) -> SignedMessage {
         3 => Payload::Recovery { from_view: View::new(spec.instance), log },
         4 => Payload::FinalityVote { epoch: spec.instance, log },
         5 => Payload::BlockRequest { tip: log.tip(), from_height: 1 + spec.instance % 4 },
+        7 => certificate_over(InstanceId(spec.instance), log, spec.sender),
         _ if log.len() > 1 => {
             Payload::BlockResponse { tip: log.tip(), from_height: 1, count: log.len() - 1 }
         }
@@ -62,6 +64,24 @@ fn build_message(spec: &MsgSpec, store: &BlockStore) -> SignedMessage {
     };
     let kp = Keypair::from_seed(sender.key_seed());
     SignedMessage::sign(&kp, sender, payload)
+}
+
+/// A quorum certificate over `Payload::Log { instance, log }` votes from
+/// three validators starting at `first_signer` — genuine signatures, so
+/// decoded certificates aggregate-verify like live ones.
+fn certificate_over(instance: InstanceId, log: Log, first_signer: u32) -> Payload {
+    let mut signers = SignerSet::empty();
+    let mut sigs = Vec::new();
+    for i in first_signer..first_signer + 3 {
+        let v = ValidatorId::new(i);
+        let vkp = Keypair::from_seed(v.key_seed());
+        let vote = SignedMessage::sign(&vkp, v, Payload::Log { instance, log });
+        sigs.push(*vote.signature());
+        signers.insert(v);
+    }
+    let agg = AggregateSignature::aggregate(&sigs.iter().collect::<Vec<_>>())
+        .expect("three votes aggregate");
+    Payload::Certificate { instance, log, signers, agg }
 }
 
 /// A receiver store holding everything the message's wire frame does
@@ -90,8 +110,8 @@ proptest! {
     fn roundtrip_across_stores(spec in msg_spec()) {
         let tx_store = BlockStore::new();
         let msg = build_message(&spec, &tx_store);
-        let bytes = wire::encode_message(&msg, &tx_store);
-        prop_assert_eq!(bytes.len() as u64, wire::encoded_len(&msg, &tx_store));
+        let bytes = wire::encode_message(&msg, &tx_store).expect("encode");
+        prop_assert_eq!(bytes.len() as u64, wire::encoded_len(&msg, &tx_store).expect("len"));
 
         let rx_store = synced_receiver(&msg, &tx_store);
         let decoded = wire::decode_message(bytes, &rx_store).expect("well-formed");
@@ -112,7 +132,7 @@ proptest! {
     fn cold_receiver_errors_are_actionable(spec in msg_spec()) {
         let tx_store = BlockStore::new();
         let msg = build_message(&spec, &tx_store);
-        let bytes = wire::encode_message(&msg, &tx_store);
+        let bytes = wire::encode_message(&msg, &tx_store).expect("encode");
         let cold = BlockStore::new();
         match wire::decode_message(bytes, &cold) {
             Ok(decoded) => prop_assert_eq!(decoded.payload(), msg.payload()),
@@ -132,7 +152,7 @@ proptest! {
     fn truncation_always_fails(spec in msg_spec(), cut_frac in 0.0f64..1.0) {
         let store = BlockStore::new();
         let msg = build_message(&spec, &store);
-        let bytes = wire::encode_message(&msg, &store);
+        let bytes = wire::encode_message(&msg, &store).expect("encode");
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
         let rx = synced_receiver(&msg, &store);
         prop_assert!(wire::decode_message(bytes.slice(..cut), &rx).is_err());
@@ -146,7 +166,7 @@ proptest! {
     fn single_byte_flips_never_verify(spec in msg_spec(), pos_frac in 0.0f64..1.0) {
         let store = BlockStore::new();
         let msg = build_message(&spec, &store);
-        let mut bytes = wire::encode_message(&msg, &store).to_vec();
+        let mut bytes = wire::encode_message(&msg, &store).expect("encode").to_vec();
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= 0x01;
         let rx = synced_receiver(&msg, &store);
@@ -164,9 +184,9 @@ proptest! {
 
     /// Fuzz smoke: arbitrary byte-mutation storms (flips, truncations,
     /// garbage suffixes) over encodings of every payload variant —
-    /// announcements and both fetch payloads — must never panic the
-    /// decoder: it returns `Ok` or `Err`, nothing else. (`tag` in the
-    /// spec ranges over all 7 variants.)
+    /// announcements, both fetch payloads and quorum certificates —
+    /// must never panic the decoder: it returns `Ok` or `Err`, nothing
+    /// else. (`tag` in the spec ranges over all 8 variants.)
     #[test]
     fn decode_never_panics_on_mutated_bytes(
         spec in msg_spec(),
@@ -176,7 +196,7 @@ proptest! {
     ) {
         let store = BlockStore::new();
         let msg = build_message(&spec, &store);
-        let mut bytes = wire::encode_message(&msg, &store).to_vec();
+        let mut bytes = wire::encode_message(&msg, &store).expect("encode").to_vec();
         match action {
             0 => {
                 for (pos, val) in &flips {
@@ -227,12 +247,13 @@ fn every_variant_roundtrips_and_rejects_truncation() {
         Payload::FinalityVote { epoch: 9, log },
         Payload::BlockRequest { tip: log.tip(), from_height: 2 },
         Payload::BlockResponse { tip: log.tip(), from_height: 1, count: log.len() - 1 },
+        certificate_over(InstanceId(9), log, 0),
     ];
     let kp = Keypair::from_seed(sender.key_seed());
     for payload in payloads {
         let msg = SignedMessage::sign(&kp, sender, payload);
-        let bytes = wire::encode_message(&msg, &store);
-        assert_eq!(bytes.len() as u64, wire::encoded_len(&msg, &store));
+        let bytes = wire::encode_message(&msg, &store).expect("encode");
+        assert_eq!(bytes.len() as u64, wire::encoded_len(&msg, &store).expect("len"));
 
         let rx = synced_receiver(&msg, &store);
         let decoded = wire::decode_message(bytes.clone(), &rx)
@@ -275,7 +296,7 @@ fn announcement_then_fetch_then_replay_converges_stores() {
         sender,
         Payload::Log { instance: InstanceId(6), log },
     );
-    let frame = wire::encode_message(&announcement, &store);
+    let frame = wire::encode_message(&announcement, &store).expect("encode");
 
     let rx = BlockStore::new();
     let Err(wire::WireError::MissingBlocks { missing, from_height }) =
@@ -295,7 +316,7 @@ fn announcement_then_fetch_then_replay_converges_stores() {
             count: store.height(missing).unwrap() - from_height + 1,
         },
     );
-    let resp_frame = wire::encode_message(&response, &store);
+    let resp_frame = wire::encode_message(&response, &store).expect("encode");
     wire::decode_message(resp_frame, &rx).expect("response decodes into the cold store");
 
     // Replaying the parked announcement now succeeds.
@@ -315,7 +336,7 @@ fn decoder_enforces_limits() {
         &MsgSpec { sender: 0, tag: 0, instance: 1, blocks: vec![] },
         &store,
     );
-    let mut bytes = wire::encode_message(&msg, &store).to_vec();
+    let mut bytes = wire::encode_message(&msg, &store).expect("encode").to_vec();
     // Layout: version(1) + sender(4) + tag(1) + instance(8) + len(8).
     let len_off = 1 + 4 + 1 + 8;
     bytes[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_be_bytes());
