@@ -63,13 +63,15 @@ pub fn classify(rel_path: &str) -> PolicyClass {
 ///
 /// This is the policy map documented in the README: panic-path and
 /// unchecked-index rules bind the protocol core (`core`/`types`/
-/// `crypto`); the determinism rules bind every deterministic crate and
+/// `crypto`/`storage` — a corrupt WAL record must degrade, not
+/// abort); the determinism rules bind every deterministic crate and
 /// the tooling; wire-tag coverage is a workspace-level rule handled by
 /// the engine directly.
 pub fn rule_applies(rule: &str, class: PolicyClass, rel_path: &str) -> bool {
     let protocol_core = rel_path.starts_with("crates/core/")
         || rel_path.starts_with("crates/types/")
-        || rel_path.starts_with("crates/crypto/");
+        || rel_path.starts_with("crates/crypto/")
+        || rel_path.starts_with("crates/storage/");
     match rule {
         "no-nondeterministic-iteration" | "no-ambient-nondeterminism" => {
             matches!(class, PolicyClass::Deterministic | PolicyClass::Tooling)
@@ -104,6 +106,8 @@ mod tests {
     #[test]
     fn scope_map() {
         assert!(rule_applies("no-panic-path", PolicyClass::Deterministic, "crates/types/src/wire.rs"));
+        assert!(rule_applies("no-panic-path", PolicyClass::Deterministic, "crates/storage/src/wal.rs"));
+        assert!(rule_applies("no-unchecked-index", PolicyClass::Deterministic, "crates/storage/src/codec.rs"));
         assert!(!rule_applies("no-panic-path", PolicyClass::Deterministic, "crates/sim/src/engine.rs"));
         assert!(!rule_applies("no-panic-path", PolicyClass::Tooling, "crates/audit/src/main.rs"));
         assert!(rule_applies("no-nondeterministic-iteration", PolicyClass::Tooling, "crates/audit/src/engine.rs"));

@@ -1,0 +1,210 @@
+//! Durable-storage plane costs: WAL append+fsync per decided block,
+//! recovery (load + replay) time as a function of log length, and the
+//! snapshot-cadence tradeoff.
+//!
+//! The write path mirrors the validator's `persist_decided` hook: per
+//! decided block, one `Block` record plus one `Decided` marker are
+//! appended and the batch is synced — so the measured cost is exactly
+//! what one decision charges the storage plane. The recovery path is
+//! the real restart path: `DurableStore::load` (CRC-checked frame
+//! decode, torn-tail truncation) followed by `replay_into` on a fresh
+//! `BlockStore`. Headline numbers land in `BENCH_wal.json`.
+//!
+//! Run: `cargo bench -p tobsvd-bench --bench wal_recovery`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tobsvd_storage::{
+    replay_into, BlockRecord, DurableStore, FileDurable, MemDurable, Snapshot, WalRecord,
+};
+use tobsvd_types::{BlockStore, Transaction, ValidatorId, View};
+
+const TX_BYTES: usize = 128;
+const N_VALIDATORS: u32 = 16;
+
+/// A synthetic decided chain of `len` blocks beyond genesis,
+/// parent-first, with one 128 B transaction per block — the WAL image
+/// a validator deciding `len` views would persist.
+fn chain_records(len: u64) -> Vec<BlockRecord> {
+    let store = BlockStore::new();
+    let mut parent = store.genesis();
+    let mut records = Vec::with_capacity(len as usize);
+    for i in 0..len {
+        let proposer = ValidatorId::new((i as u32) % N_VALIDATORS);
+        let view = View::new(i);
+        let txs = vec![Transaction::synthetic(i, TX_BYTES)];
+        let id = store
+            .append(parent, proposer, view, txs.clone())
+            .expect("synthetic chain extends");
+        records.push(BlockRecord { parent, expected_id: id, proposer, view, txs });
+        parent = id;
+    }
+    records
+}
+
+/// Writes `records` the way the validator does — per decided block one
+/// `Block` + one `Decided` append and a sync — installing a full-chain
+/// snapshot every `snapshot_every` decided blocks (0 = WAL only).
+/// Returns (append+sync wall seconds, snapshots installed).
+fn write_decided(
+    backend: &mut dyn DurableStore,
+    records: &[BlockRecord],
+    snapshot_every: u64,
+) -> (f64, u64) {
+    let mut snapshots = 0u64;
+    let t0 = Instant::now();
+    for (i, rec) in records.iter().enumerate() {
+        let len = i as u64 + 2; // decided length including genesis
+        backend.append(&WalRecord::Block(rec.clone())).expect("append");
+        backend
+            .append(&WalRecord::Decided { tip: rec.expected_id, len })
+            .expect("append marker");
+        backend.sync().expect("sync");
+        if snapshot_every > 0 && (i as u64 + 1) % snapshot_every == 0 {
+            let snapshot = Snapshot {
+                tip: rec.expected_id,
+                len,
+                blocks: records[..=i].to_vec(),
+            };
+            backend.install_snapshot(&snapshot).expect("snapshot");
+            snapshots += 1;
+        }
+    }
+    (t0.elapsed().as_secs_f64(), snapshots)
+}
+
+/// Loads and replays a durable image into a fresh store, asserting the
+/// recovery reconstructs the full decided prefix. Returns wall seconds.
+fn recover(backend: &mut dyn DurableStore, expect_len: u64) -> f64 {
+    let t0 = Instant::now();
+    let recovered = backend.load().expect("clean image loads");
+    let store = BlockStore::new();
+    let replayed = replay_into(&store, &recovered);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(replayed.decided_len, expect_len + 1, "full prefix must recover");
+    assert_eq!(replayed.skipped, 0, "clean image must replay without skips");
+    assert!(replayed.beyond.is_none(), "nothing should be left to fetch");
+    wall
+}
+
+fn bench_wal_recovery(c: &mut Criterion) {
+    let tmp = std::env::temp_dir().join(format!("tobsvd-wal-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // Sampled micro-benchmarks: the per-decided-block append+fsync hit
+    // on the file backend, and a 256-block recovery.
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(10);
+    let small = chain_records(64);
+    group.bench_function(BenchmarkId::new("append_fsync", "64_blocks"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let dir = tmp.join(format!("sampled-{i}"));
+            i += 1;
+            let mut backend = FileDurable::open(&dir).expect("open");
+            write_decided(&mut backend, &small, 0)
+        })
+    });
+    let recovery_records = chain_records(256);
+    let recovery_dir = tmp.join("sampled-recovery");
+    let mut recovery_backend = FileDurable::open(&recovery_dir).expect("open");
+    write_decided(&mut recovery_backend, &recovery_records, 0);
+    group.bench_function(BenchmarkId::new("load_replay", "256_blocks"), |b| {
+        b.iter(|| recover(&mut recovery_backend, 256))
+    });
+    group.finish();
+
+    // Headline one-shot measurements for BENCH_wal.json.
+    // (a) append/fsync cost and recovery time vs log length, WAL only.
+    for len in [256u64, 1024, 4096] {
+        let records = chain_records(len);
+        let dir = tmp.join(format!("headline-{len}"));
+        let mut backend = FileDurable::open(&dir).expect("open");
+        let (write_s, _) = write_decided(&mut backend, &records, 0);
+        let wal_bytes = std::fs::metadata(dir.join("wal.log")).map(|m| m.len()).unwrap_or(0);
+        let recover_s = recover(&mut backend, len);
+        println!(
+            "wal_recovery length: blocks={len} wal_bytes={wal_bytes} \
+             append_fsync_us_per_block={:.1} recovery_ms={:.2} \
+             recovery_us_per_block={:.2}",
+            write_s * 1e6 / len as f64,
+            recover_s * 1e3,
+            recover_s * 1e6 / len as f64,
+        );
+    }
+
+    // (b) snapshot-cadence tradeoff at 4096 decided blocks: cadence
+    // bounds the live WAL (truncated at each checkpoint) at the price
+    // of rewriting the full chain snapshot.
+    let records = chain_records(4096);
+    for every in [0u64, 64, 512] {
+        let dir = tmp.join(format!("cadence-{every}"));
+        let mut backend = FileDurable::open(&dir).expect("open");
+        let (write_s, snapshots) = write_decided(&mut backend, &records, every);
+        let wal_bytes = std::fs::metadata(dir.join("wal.log")).map(|m| m.len()).unwrap_or(0);
+        let snap_bytes =
+            std::fs::metadata(dir.join("snapshot.bin")).map(|m| m.len()).unwrap_or(0);
+        let recover_s = recover(&mut backend, 4096);
+        if every > 0 {
+            assert!(snapshots > 0, "cadence {every} must checkpoint");
+            assert!(
+                wal_bytes < 4096 / every * 2 * 1024 * 1024,
+                "checkpoints must bound the live WAL"
+            );
+        }
+        println!(
+            "wal_recovery cadence: blocks=4096 snapshot_every={every} snapshots={snapshots} \
+             wal_bytes={wal_bytes} snapshot_bytes={snap_bytes} \
+             write_us_per_block={:.1} recovery_ms={:.2}",
+            write_s * 1e6 / 4096.0,
+            recover_s * 1e3,
+        );
+    }
+
+    // (c) corruption corpus: torn tails and flipped bits must come back
+    // as recoverable degradation — never a panic, never a failed load.
+    let records = chain_records(128);
+    {
+        // Torn tail (WAL only): the final frame dies, the prefix holds.
+        let mut backend = MemDurable::new();
+        write_decided(&mut backend, &records, 0);
+        backend.tear_wal_tail(7);
+        let recovered = backend.load().expect("torn image still loads");
+        assert!(recovered.torn_bytes > 0);
+        let replayed = replay_into(&BlockStore::new(), &recovered);
+        assert!(replayed.decided_len >= 128, "only the torn frame may be lost");
+    }
+    {
+        // Bit flip mid-WAL (WAL only): decode stops at the bad frame,
+        // the clean prefix replays.
+        let mut backend = MemDurable::new();
+        write_decided(&mut backend, &records, 0);
+        let middle = backend.wal_bytes() / 2;
+        backend.corrupt_wal_bit(middle, 3);
+        let recovered = backend.load().expect("flipped image still loads");
+        let replayed = replay_into(&BlockStore::new(), &recovered);
+        assert!(
+            replayed.decided_len >= 2 && replayed.decided_len < 129,
+            "a clean strict prefix must survive the flip (got {})",
+            replayed.decided_len
+        );
+    }
+    {
+        // Bit flip in the snapshot: the checkpoint is discarded and
+        // recovery degrades to the WAL suffix plus the fetch plane.
+        let mut backend = MemDurable::new();
+        write_decided(&mut backend, &records, 32);
+        backend.corrupt_snapshot_bit(backend.snapshot_bytes() / 2, 5);
+        let recovered = backend.load().expect("corrupt snapshot still loads");
+        assert!(recovered.torn_bytes > 0, "the discarded checkpoint is accounted");
+        let replayed = replay_into(&BlockStore::new(), &recovered);
+        assert!(replayed.decided_len >= 1, "replay never fails outright");
+    }
+    println!("wal_recovery corruption: torn/bit-flip corpus recovered without panics");
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+criterion_group!(benches, bench_wal_recovery);
+criterion_main!(benches);

@@ -200,10 +200,95 @@ impl NoStalledFetch {
     }
 }
 
+/// Crash re-convergence: a validator killed and restarted from its
+/// durable store (snapshot + WAL suffix, remainder fetched over the
+/// delta-sync plane) must end the run re-converged onto the common
+/// decided anchor — provided enough horizon remains after the restart.
+///
+/// The grace period is 12Δ: a restart lands mid-view, the first view
+/// the validator fully participates in starts up to 4Δ later, and that
+/// view's block decides 6Δ after its proposal — plus margin for the
+/// catch-up fetch round trips. The scenario's longest declared sleep
+/// and fetch-fault windows are added on top (while either lasts, the
+/// network may legitimately withhold the catch-up traffic). Restarts
+/// closer to the horizon than the grace period are not judged. The
+/// tolerance of two blocks absorbs the decisions still in flight at
+/// the end of the run.
+///
+/// Like [`NoStalledFetch`] this is an end-of-run check over the
+/// per-validator report (the engine cannot see node internals),
+/// appended by [`CheckScenario::run_report`]: inside the model a
+/// failure is a storage/recovery bug; past the corruption bound it is
+/// the expected finding.
+#[derive(Clone, Debug)]
+pub struct CrashReconvergence {
+    /// `(validator, restart_at)` for every scheduled restart.
+    pub restarts: Vec<(u32, u64)>,
+    /// Ticks after a restart before the bound applies.
+    pub grace_ticks: u64,
+}
+
+impl CrashReconvergence {
+    /// Stable violation name.
+    pub const NAME: &'static str = "crash-reconvergence";
+
+    /// The re-convergence bound for a concrete scenario.
+    pub fn for_scenario(scenario: &CheckScenario) -> Self {
+        let fault_w =
+            scenario.fetch_faults.iter().map(|f| f.until - f.from).max().unwrap_or(0);
+        let sleep_w = scenario.sleeps.iter().map(|w| w.until - w.from).max().unwrap_or(0);
+        // Saturating: shrinker-explored scenarios may carry extreme
+        // deltas or windows, and a wrapped grace would judge restarts
+        // that never had time to recover.
+        let grace_ticks = scenario
+            .delta
+            .saturating_mul(12)
+            .saturating_add(fault_w)
+            .saturating_add(sleep_w);
+        CrashReconvergence {
+            restarts: scenario.crashes.iter().map(|c| (c.validator, c.restart_at)).collect(),
+            grace_ticks,
+        }
+    }
+
+    /// Evaluates the check against a finished run's report.
+    pub fn check(&self, report: &TobReport) -> Vec<InvariantViolation> {
+        let end = report.report.final_time;
+        let max_len = report.max_decided_len();
+        let mut violations = Vec::new();
+        for (v, restart_at) in &self.restarts {
+            if restart_at.saturating_add(self.grace_ticks) > end.ticks() {
+                continue; // not enough horizon left to judge recovery
+            }
+            // A validator still down at run end (or Byzantine) reports
+            // no stats; re-convergence is then not judgeable.
+            let Some(stats) =
+                report.validators.get(*v as usize).and_then(|s| s.as_ref())
+            else {
+                continue;
+            };
+            if stats.decided_len.saturating_add(2) < max_len {
+                violations.push(InvariantViolation {
+                    invariant: Self::NAME,
+                    at: end,
+                    detail: format!(
+                        "{} restarted at t={} but ended at decided length {} \
+                         of {} (grace {} ticks)",
+                        stats.validator, restart_at, stats.decided_len, max_len, self.grace_ticks
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{CheckScenario, FetchFault, FetchFaultKind, SleepWindow, SyncMode};
+    use crate::scenario::{
+        CheckScenario, CrashRestart, FetchFault, FetchFaultKind, SleepWindow, SyncMode,
+    };
 
     #[test]
     fn good_case_bound_is_tight_and_holds() {
@@ -280,5 +365,55 @@ mod tests {
         // The scenario bound absorbs the declared fault window, so the
         // run_report-appended check stayed quiet for this schedule.
         assert!(NoStalledFetch::for_scenario(&scenario).check(&report).is_empty());
+    }
+
+    /// The re-convergence grace saturates like the stall bound: extreme
+    /// deltas must clamp to "never judged", not wrap small.
+    #[test]
+    fn reconvergence_grace_saturates_at_extreme_delta() {
+        let scenario = CheckScenario {
+            crashes: vec![CrashRestart { validator: 0, at: 0, restart_at: 1 }],
+            ..CheckScenario::fault_free(4, u64::MAX / 4, 5, 3)
+        };
+        let inv = CrashReconvergence::for_scenario(&scenario);
+        assert_eq!(inv.grace_ticks, u64::MAX, "12Δ must clamp, not wrap");
+        assert_eq!(inv.restarts, vec![(0, 1)]);
+    }
+
+    /// A validator that genuinely ends the run behind the common anchor
+    /// (a napper whose fetch traffic is dead forever) must be flagged
+    /// when treated as a restart with an elapsed grace — and spared
+    /// when the grace has not elapsed. Proves the check measures the
+    /// decided-length gap and the grace gate both ways.
+    #[test]
+    fn reconvergence_flags_a_laggard_and_respects_grace() {
+        let delta = 4u64;
+        let scenario = CheckScenario {
+            sleeps: vec![SleepWindow { validator: 0, from: 3 * delta, until: 24 * delta }],
+            sync: SyncMode::DropRecover,
+            fetch_faults: vec![FetchFault {
+                validator: 0,
+                from: 24 * delta,
+                until: 1_000_000,
+                kind: FetchFaultKind::Drop,
+            }],
+            ..CheckScenario::fault_free(6, delta, 12, 3)
+        };
+        let report = scenario.run_report();
+        let napper = report.validators[0].expect("napper is honest");
+        assert!(
+            napper.decided_len + 2 < report.max_decided_len(),
+            "the dead fetch plane must leave the napper behind"
+        );
+        let judged = CrashReconvergence { restarts: vec![(0, 0)], grace_ticks: 0 };
+        let flagged = judged.check(&report);
+        assert_eq!(flagged.len(), 1, "an elapsed grace must flag the laggard");
+        assert_eq!(flagged[0].invariant, CrashReconvergence::NAME);
+        let spared = CrashReconvergence { restarts: vec![(0, 0)], grace_ticks: u64::MAX };
+        assert!(spared.check(&report).is_empty(), "an unelapsed grace judges nothing");
+        // Out-of-range and Byzantine validators report no stats and are
+        // skipped rather than judged.
+        let oob = CrashReconvergence { restarts: vec![(99, 0)], grace_ticks: 0 };
+        assert!(oob.check(&report).is_empty());
     }
 }

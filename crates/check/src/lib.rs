@@ -20,7 +20,11 @@
 //!   practical drop+recover semantics and gain *fetch corruptions*
 //!   (drop/delay windows over the delta-sync `BlockRequest` /
 //!   `BlockResponse` traffic), with the end-of-run [`NoStalledFetch`]
-//!   check guarding the catch-up machinery's liveness.
+//!   check guarding the catch-up machinery's liveness. Samples may
+//!   also schedule *kill/restart faults* ([`CrashRestart`]): the
+//!   validator loses all volatile state and is rebuilt from its
+//!   durable store (snapshot + WAL), with the end-of-run
+//!   [`CrashReconvergence`] check guarding recovery.
 //! * [`checker::run`] explores on `tobsvd-sweep`'s scoped-thread
 //!   work-stealing runner — one derived RNG per execution, so reports
 //!   (and their fingerprints) are bit-identical for any thread count.
@@ -74,10 +78,10 @@ mod shrink;
 
 pub use checker::{derive_seed, scenario_at, CheckConfig, CheckReport, Failure};
 pub use faults::{FetchFaultDelay, FetchFaultFilter};
-pub use invariants::{BoundedDecisionLatency, ChainGrowth, NoStalledFetch};
+pub use invariants::{BoundedDecisionLatency, ChainGrowth, CrashReconvergence, NoStalledFetch};
 pub use repro::{Reproducer, REPRO_VERSION};
 pub use scenario::{
-    ByzStrategy, CheckScenario, Corruption, DelayKind, ExecutionVerdict, FetchFault,
+    ByzStrategy, CheckScenario, Corruption, CrashRestart, DelayKind, ExecutionVerdict, FetchFault,
     FetchFaultKind, ScenarioSpace, SleepWindow, SyncMode, OBSERVER_SAFETY,
 };
 pub use shrink::{shrink, ShrinkResult};

@@ -17,8 +17,8 @@
 use std::fmt::Write as _;
 
 use crate::scenario::{
-    ByzStrategy, CheckScenario, Corruption, DelayKind, FetchFault, FetchFaultKind, SleepWindow,
-    SyncMode,
+    ByzStrategy, CheckScenario, Corruption, CrashRestart, DelayKind, FetchFault, FetchFaultKind,
+    SleepWindow, SyncMode,
 };
 
 /// Current artifact format version.
@@ -110,6 +110,18 @@ impl Reproducer {
                 f.kind.tag()
             );
         }
+        let _ = writeln!(out, "],");
+        let _ = write!(out, "    \"crashes\": [");
+        for (i, c) in s.crashes.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"validator\": {}, \"at\": {}, \"restart_at\": {}}}",
+                c.validator, c.at, c.restart_at
+            );
+        }
         let _ = writeln!(out, "]");
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "}}");
@@ -190,6 +202,19 @@ impl Reproducer {
                 });
             }
         }
+        // Crash faults are likewise optional (artifacts predating the
+        // durable storage plane have none).
+        let mut crashes = Vec::new();
+        if let Some(arr) = s.opt("crashes") {
+            for item in arr.as_arr("crashes")? {
+                let o = item.as_obj("crash fault")?;
+                crashes.push(CrashRestart {
+                    validator: o.req("validator")?.as_u32("crash validator")?,
+                    at: o.req("at")?.as_u64("crash at")?,
+                    restart_at: o.req("restart_at")?.as_u64("crash restart_at")?,
+                });
+            }
+        }
 
         Ok(Reproducer {
             scenario: CheckScenario {
@@ -204,6 +229,7 @@ impl Reproducer {
                 corruptions,
                 sync,
                 fetch_faults,
+                crashes,
             },
             invariants,
         })
@@ -474,6 +500,7 @@ mod tests {
                     until: 14,
                     kind: FetchFaultKind::Drop,
                 }],
+                crashes: vec![CrashRestart { validator: 0, at: 6, restart_at: 11 }],
             },
             invariants: vec!["prefix-agreement".into(), "no-conflicting-anchor".into()],
         }
@@ -517,20 +544,26 @@ mod tests {
 
     #[test]
     fn pre_delta_sync_artifacts_still_parse() {
-        // An artifact emitted before the sync fields existed: the
-        // optional fields default to the buffered model with no faults,
-        // and re-emission upgrades it to the canonical new form.
+        // An artifact emitted before the sync and storage fields
+        // existed: the optional fields default to the buffered model
+        // with no faults and no crashes, and re-emission upgrades it to
+        // the canonical new form.
         let json = sample().to_json();
         let legacy = json
             .replace("    \"sync\": \"drop-recover\",\n", "")
             .replace(
                 ",\n    \"fetch_faults\": [{\"validator\": 1, \"from\": 9, \"until\": 14, \"kind\": \"drop\"}]",
                 "",
+            )
+            .replace(
+                ",\n    \"crashes\": [{\"validator\": 0, \"at\": 6, \"restart_at\": 11}]",
+                "",
             );
         assert_ne!(legacy, json, "test must actually strip the new fields");
         let parsed = Reproducer::from_json(&legacy).expect("legacy artifact parses");
         assert_eq!(parsed.scenario.sync, SyncMode::Buffered);
         assert!(parsed.scenario.fetch_faults.is_empty());
+        assert!(parsed.scenario.crashes.is_empty());
         assert!(parsed.to_json().contains("\"sync\": \"buffered\""));
     }
 

@@ -20,7 +20,7 @@ use tobsvd_sim::{
 use tobsvd_types::{Delta, Time, ValidatorId, View};
 
 use crate::faults::{FetchFaultDelay, FetchFaultFilter};
-use crate::invariants::{BoundedDecisionLatency, ChainGrowth, NoStalledFetch};
+use crate::invariants::{BoundedDecisionLatency, ChainGrowth, CrashReconvergence, NoStalledFetch};
 
 /// Byzantine node strategy for a from-genesis corrupted validator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,6 +123,21 @@ pub struct Corruption {
     pub validator: u32,
     /// Effective corruption tick.
     pub at: u64,
+}
+
+/// One kill/restart fault: `validator` loses its entire volatile state
+/// at tick `at` and is rebuilt at `restart_at` from its durable store
+/// (snapshot + WAL suffix), finishing catch-up through the §2 recovery
+/// broadcast and the delta-sync fetch plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashRestart {
+    /// The crashed validator.
+    pub validator: u32,
+    /// Crash tick (volatile state destroyed, deliveries dropped).
+    pub at: u64,
+    /// Restart tick (must be after `at`); a restart past the horizon
+    /// leaves the validator down for the rest of the run.
+    pub restart_at: u64,
 }
 
 /// Sleep semantics + catch-up machinery of a scenario.
@@ -228,6 +243,8 @@ pub struct CheckScenario {
     pub sync: SyncMode,
     /// Fetch-subprotocol corruptions (drop/delay windows).
     pub fetch_faults: Vec<FetchFault>,
+    /// Kill/restart faults (durable-storage crash recovery).
+    pub crashes: Vec<CrashRestart>,
 }
 
 /// The checker's summary of one executed scenario.
@@ -298,6 +315,7 @@ impl CheckScenario {
             corruptions: Vec::new(),
             sync: SyncMode::Buffered,
             fetch_faults: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -314,18 +332,26 @@ impl CheckScenario {
             && self.sleeps.iter().all(|w| w.validator < n && w.from < w.until)
             && self.corruptions.iter().all(|c| c.validator < n)
             && self.fetch_faults.iter().all(|f| f.validator < n && f.from < f.until)
+            && self.crashes.iter().all(|c| c.validator < n && c.at < c.restart_at)
     }
 
     /// Total number of adversarial/churn ingredients — the size metric
     /// shrinking minimizes (after views).
     pub fn complexity(&self) -> usize {
-        self.byz.len() + self.sleeps.len() + self.corruptions.len() + self.fetch_faults.len()
+        self.byz.len()
+            + self.sleeps.len()
+            + self.corruptions.len()
+            + self.fetch_faults.len()
+            + self.crashes.len()
     }
 
     /// Whether nothing adversarial is scheduled (enables the
     /// good-leader latency-bound invariant).
     pub fn is_fault_free(&self) -> bool {
-        self.byz.is_empty() && self.sleeps.is_empty() && self.corruptions.is_empty()
+        self.byz.is_empty()
+            && self.sleeps.is_empty()
+            && self.corruptions.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Whether the Byzantine cast exceeds the `⌊(n−1)/2⌋` corruption
@@ -471,6 +497,14 @@ impl CheckScenario {
                 .byzantine_replacements(Box::new(|_, _| Box::new(SilentNode)));
         }
 
+        for c in &self.crashes {
+            builder = builder.crash_restart(
+                ValidatorId::new(c.validator),
+                Time::new(c.at),
+                Time::new(c.restart_at),
+            );
+        }
+
         for inv in standard_invariants() {
             builder = builder.invariant(inv);
         }
@@ -490,6 +524,13 @@ impl CheckScenario {
             .report
             .invariant_violations
             .extend(NoStalledFetch::for_scenario(self).check(&report));
+        // End-of-run crash-recovery check: every validator restarted
+        // with enough remaining horizon must have re-converged onto the
+        // common decided anchor through its snapshot + WAL + delta-sync.
+        report
+            .report
+            .invariant_violations
+            .extend(CrashReconvergence::for_scenario(self).check(&report));
         report
     }
 
@@ -539,6 +580,9 @@ pub struct ScenarioSpace {
     /// Max fetch-corruption windows per scenario (only sampled for
     /// drop+recover scenarios).
     pub max_fetch_faults: u32,
+    /// Max kill/restart faults per scenario (each forces the practical
+    /// drop+recover semantics — the machinery restarts recover through).
+    pub max_crashes: u32,
 }
 
 impl Default for ScenarioSpace {
@@ -553,6 +597,7 @@ impl Default for ScenarioSpace {
             overload: false,
             fetch_attack: true,
             max_fetch_faults: 2,
+            max_crashes: 1,
         }
     }
 }
@@ -561,10 +606,17 @@ impl ScenarioSpace {
     /// A space of model-breaking scenarios: more than `⌊(n−1)/2⌋`
     /// split-brain equivocators, guaranteed to eventually produce real
     /// safety violations — the shrinking demo's hunting ground.
-    /// (`fetch_attack` stays off: the hunt targets vote equivocation,
-    /// and the pinned shrink fixture predates the sync plane.)
+    /// (`fetch_attack` and `max_crashes` stay off: the hunt targets
+    /// vote equivocation, and the pinned shrink fixture predates the
+    /// sync and storage planes — crash sampling would shift its RNG
+    /// stream.)
     pub fn hostile() -> Self {
-        ScenarioSpace { overload: true, fetch_attack: false, ..ScenarioSpace::default() }
+        ScenarioSpace {
+            overload: true,
+            fetch_attack: false,
+            max_crashes: 0,
+            ..ScenarioSpace::default()
+        }
     }
 
     /// Samples one scenario. Pure function of the RNG state — the
@@ -666,6 +718,33 @@ impl ScenarioSpace {
             }
         }
 
+        // Kill/restart faults come from the same misbehavior pool, each
+        // on a validator no other lever touches (so the re-convergence
+        // bound is attributable), and force the practical drop+recover
+        // semantics: a restarted validator reconverges through the §2
+        // recovery broadcast and the delta-sync fetch plane.
+        let mut crashes: Vec<CrashRestart> = Vec::new();
+        if self.max_crashes > 0 && !rest.is_empty() {
+            let n_crashes = rng.gen_range(0..=self.max_crashes);
+            for _ in 0..n_crashes {
+                let v = rest[rng.gen_range(0..rest.len())];
+                if crashes.iter().any(|c| c.validator == v)
+                    || sleeps.iter().any(|w| w.validator == v)
+                    || corruptions.iter().any(|c| c.validator == v)
+                    || fetch_faults.iter().any(|f| f.validator == v)
+                {
+                    continue; // keep each lever on its own validator
+                }
+                let at = rng.gen_range(0..horizon.max(1));
+                let down = rng.gen_range(1..=(4 * delta).max(2));
+                crashes.push(CrashRestart { validator: v, at, restart_at: at + down });
+            }
+            crashes.sort_by_key(|c: &CrashRestart| (c.validator, c.at));
+            if !crashes.is_empty() {
+                sync = SyncMode::DropRecover;
+            }
+        }
+
         CheckScenario {
             n,
             delta,
@@ -678,6 +757,7 @@ impl ScenarioSpace {
             corruptions,
             sync,
             fetch_faults,
+            crashes,
         }
     }
 }
@@ -713,6 +793,7 @@ mod tests {
                 until: 56,
                 kind: FetchFaultKind::Drop,
             }],
+            crashes: vec![CrashRestart { validator: 1, at: 50, restart_at: 70 }],
         };
         let a = scenario.run();
         let b = scenario.run();
@@ -753,6 +834,7 @@ mod tests {
                     kind: FetchFaultKind::Delay,
                 },
             ],
+            crashes: Vec::new(),
         };
         let report = scenario.run_report();
         let verdict = ExecutionVerdict {
@@ -773,6 +855,60 @@ mod tests {
             napper.sync
         );
         assert_eq!(napper.sync.pending, 0, "all parked messages must resolve by run end");
+    }
+
+    #[test]
+    fn crash_restart_scenario_recovers_and_reconverges() {
+        // Kill a validator mid-view and restart it three views later:
+        // it must rebuild from its snapshot + WAL, close the remaining
+        // gap over the delta-sync fetch plane, and end the run on the
+        // common decided anchor — with prefix agreement and the
+        // re-convergence check both holding.
+        let delta = 4u64;
+        let view = 4 * delta;
+        let scenario = CheckScenario {
+            sync: SyncMode::DropRecover,
+            crashes: vec![CrashRestart {
+                validator: 1,
+                at: 5 * view + 3,
+                restart_at: 8 * view,
+            }],
+            ..CheckScenario::fault_free(5, delta, 14, 6)
+        };
+        assert!(!scenario.is_fault_free(), "a crash is a fault");
+        let report = scenario.run_report();
+        let verdict = ExecutionVerdict {
+            violations: report.report.invariant_violations.clone(),
+            observer_safe: report.report.safe,
+            decided_blocks: report.decided_blocks(),
+            executed_ticks: report.report.metrics.executed_ticks,
+        };
+        assert!(verdict.passed(), "violations: {:?}", verdict.violations);
+        assert_eq!(report.report.metrics.crashes, 1, "the kill fault must fire");
+        let restarted = report.validators[1].expect("restarted validator reports stats");
+        assert!(
+            restarted.persisted_len > 1,
+            "decisions must have reached the durable store before the crash"
+        );
+        assert_eq!(restarted.wal_errors, 0);
+        assert!(
+            restarted.decided_len + 2 >= report.max_decided_len(),
+            "restarted validator stuck at {} of {}",
+            restarted.decided_len,
+            report.max_decided_len()
+        );
+    }
+
+    #[test]
+    fn invalid_crashes_are_rejected() {
+        let mut scenario = CheckScenario::fault_free(4, 4, 5, 1);
+        scenario.crashes = vec![CrashRestart { validator: 9, at: 3, restart_at: 8 }];
+        assert!(!scenario.is_valid(), "out-of-range crash validator");
+        scenario.crashes = vec![CrashRestart { validator: 0, at: 8, restart_at: 8 }];
+        assert!(!scenario.is_valid(), "restart must come after the crash");
+        scenario.crashes = vec![CrashRestart { validator: 0, at: 3, restart_at: 8 }];
+        assert!(scenario.is_valid());
+        assert_eq!(scenario.complexity(), 1);
     }
 
     #[test]
@@ -798,7 +934,7 @@ mod tests {
     fn default_space_samples_valid_model_compliant_scenarios() {
         let space = ScenarioSpace::default();
         let mut rng = StdRng::seed_from_u64(1);
-        let (mut drop_recover, mut with_faults) = (0, 0);
+        let (mut drop_recover, mut with_faults, mut with_crashes) = (0, 0, 0);
         for _ in 0..200 {
             let s = space.sample(&mut rng);
             assert!(s.is_valid(), "invalid sample: {s:?}");
@@ -807,6 +943,7 @@ mod tests {
             misbehaving.extend(s.sleeps.iter().map(|w| w.validator));
             misbehaving.extend(s.corruptions.iter().map(|c| c.validator));
             misbehaving.extend(s.fetch_faults.iter().map(|f| f.validator));
+            misbehaving.extend(s.crashes.iter().map(|c| c.validator));
             misbehaving.sort_unstable();
             misbehaving.dedup();
             assert!(
@@ -820,10 +957,23 @@ mod tests {
                 with_faults += 1;
                 assert_eq!(s.sync, SyncMode::DropRecover, "faults only make sense with fetches");
             }
+            if !s.crashes.is_empty() {
+                with_crashes += 1;
+                assert_eq!(s.sync, SyncMode::DropRecover, "restarts recover over the sync plane");
+                for c in &s.crashes {
+                    assert!(
+                        !s.sleeps.iter().any(|w| w.validator == c.validator)
+                            && !s.corruptions.iter().any(|x| x.validator == c.validator)
+                            && !s.fetch_faults.iter().any(|f| f.validator == c.validator),
+                        "crash validator shares a lever in {s:?}"
+                    );
+                }
+            }
         }
         // The space genuinely attacks the sync plane (not vacuous).
         assert!(drop_recover >= 20, "only {drop_recover} drop-recover samples");
         assert!(with_faults >= 10, "only {with_faults} fetch-fault samples");
+        assert!(with_crashes >= 10, "only {with_crashes} crash samples");
     }
 
     #[test]

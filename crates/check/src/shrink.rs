@@ -4,9 +4,10 @@
 //! for a smaller scenario that still violates one of the *same*
 //! invariants: it shortens the horizon, drops Byzantine cast members,
 //! delta-debugs the churn event list (dropping halves before
-//! singletons), removes mid-run corruptions and fetch-corruption
-//! windows (falling back to the buffered sync mode when the fetch
-//! dimension is not load-bearing), strips the workload, shrinks Δ,
+//! singletons), removes mid-run corruptions, fetch-corruption
+//! windows and kill/restart faults (falling back to the buffered sync
+//! mode when neither the fetch nor the crash dimension is
+//! load-bearing), strips the workload, shrinks Δ,
 //! compacts validator ids and shrinks `n`, and canonicalizes the delay
 //! policy and seed.
 //! Candidates are re-executed to confirm the failure survives; the
@@ -178,7 +179,20 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
                 c.fetch_faults.drain(a..b);
             },
         );
+        // 4c. Drop kill/restart faults. Only a crash-free scenario may
+        //     fall back to the buffered model: a restart's recovery
+        //     runs over the drop+recover sync plane, so clearing the
+        //     mode first would silently change what the crashes test.
+        progressed |= ddmin_list(
+            &mut search,
+            &mut current,
+            |c| c.crashes.len(),
+            |c, a, b| {
+                c.crashes.drain(a..b);
+            },
+        );
         if current.sync != SyncMode::Buffered
+            && current.crashes.is_empty()
             && search.attempt(&mut current, |c| {
                 c.sync = SyncMode::Buffered;
                 c.fetch_faults.clear();
@@ -212,6 +226,7 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
             .chain(current.sleeps.iter().map(|w| w.validator))
             .chain(current.corruptions.iter().map(|c| c.validator))
             .chain(current.fetch_faults.iter().map(|f| f.validator))
+            .chain(current.crashes.iter().map(|c| c.validator))
             .collect();
         referenced.sort_unstable();
         referenced.dedup();
@@ -230,6 +245,9 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
                 }
                 for f in &mut c.fetch_faults {
                     f.validator = rank(f.validator);
+                }
+                for cr in &mut c.crashes {
+                    cr.validator = rank(cr.validator);
                 }
             }) {
                 progressed = true;

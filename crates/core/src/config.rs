@@ -24,6 +24,11 @@ pub struct TobConfig {
     /// collapsing per-view traffic from O(n³) to O(n²) deliveries.
     /// Disable to reproduce the per-vote baseline (Table 1's cubic fit).
     pub certificates: bool,
+    /// Snapshot cadence of the durable storage plane: a checkpoint is
+    /// written every time the decided log has grown by this many blocks
+    /// since the last one. Only consulted when a durable backend is
+    /// attached.
+    pub snapshot_every: u64,
 }
 
 impl TobConfig {
@@ -36,6 +41,7 @@ impl TobConfig {
             recovery: false,
             recovery_response_cap: 1024,
             certificates: true,
+            snapshot_every: 8,
         }
     }
 
@@ -60,6 +66,13 @@ impl TobConfig {
     /// Enables or disables the quorum-certificate aggregation plane.
     pub fn with_certificates(mut self, certificates: bool) -> Self {
         self.certificates = certificates;
+        self
+    }
+
+    /// Sets the durable-storage snapshot cadence (decided blocks
+    /// between checkpoints); 0 disables snapshots (WAL only).
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
         self
     }
 }

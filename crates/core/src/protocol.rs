@@ -4,9 +4,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tobsvd_sim::{
     AdvanceMode, AdversaryController, ByzantineFactory, CorruptionSchedule, DecisionRecord,
-    DelayPolicy, DeliveryFilter, Invariant, Node, ParticipationSchedule, SimConfig, SimReport,
-    Simulation,
+    DelayPolicy, DeliveryFilter, IdleNode, Invariant, Node, ParticipationSchedule, SimConfig,
+    SimReport, Simulation,
 };
+use tobsvd_storage::{shared, MemDurable, SharedDurable};
 use tobsvd_types::{
     BlockStore, Delta, Time, Transaction, ValidatorId, View,
 };
@@ -79,6 +80,8 @@ pub struct TobSimulationBuilder {
     drop_while_asleep: bool,
     advance: AdvanceMode,
     invariants: Vec<Box<dyn Invariant>>,
+    crashes: Vec<(ValidatorId, Time, Time)>,
+    snapshot_every: u64,
 }
 
 /// Errors from [`TobSimulationBuilder::run`].
@@ -90,6 +93,9 @@ pub enum TobError {
     NoViews,
     /// A Byzantine slot index is out of range.
     BadByzantineSlot(ValidatorId),
+    /// A crash/restart fault is malformed: the validator is out of
+    /// range or the restart does not come after the kill.
+    BadCrash(ValidatorId),
 }
 
 impl std::fmt::Display for TobError {
@@ -98,6 +104,7 @@ impl std::fmt::Display for TobError {
             TobError::NoValidators => write!(f, "n must be at least 1"),
             TobError::NoViews => write!(f, "must simulate at least one view"),
             TobError::BadByzantineSlot(v) => write!(f, "byzantine slot {v} out of range"),
+            TobError::BadCrash(v) => write!(f, "malformed crash/restart fault for {v}"),
         }
     }
 }
@@ -126,7 +133,26 @@ impl TobSimulationBuilder {
             drop_while_asleep: false,
             advance: AdvanceMode::default(),
             invariants: Vec::new(),
+            crashes: Vec::new(),
+            snapshot_every: 8,
         }
+    }
+
+    /// Schedules a kill/restart fault: validator `v` crashes at `at`
+    /// (all volatile state lost; deliveries dropped while down) and
+    /// restarts at `restart_at`, rebuilt from its durable storage
+    /// plane — a [`MemDurable`] WAL + snapshot backend is attached to
+    /// every crash target automatically.
+    pub fn crash_restart(mut self, v: ValidatorId, at: Time, restart_at: Time) -> Self {
+        self.crashes.push((v, at, restart_at));
+        self
+    }
+
+    /// Snapshot checkpoint cadence of the durable storage plane, in
+    /// decided blocks (8 by default; 0 = WAL only).
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
     }
 
     /// Installs a run-time [`Invariant`] on the underlying engine,
@@ -259,13 +285,19 @@ impl TobSimulationBuilder {
                 return Err(TobError::BadByzantineSlot(*v));
             }
         }
+        for (v, at, restart_at) in &self.crashes {
+            if v.index() >= self.n || restart_at <= at {
+                return Err(TobError::BadCrash(*v));
+            }
+        }
 
         let cfg = SimConfig::new(self.n).with_delta(self.delta).with_seed(self.seed);
         let tob_cfg = TobConfig::new(self.n)
             .with_delta(self.delta)
             .with_max_txs(self.max_txs_per_block)
             .with_recovery(self.recovery)
-            .with_certificates(self.certificates);
+            .with_certificates(self.certificates)
+            .with_snapshot_every(self.snapshot_every);
         let sched = ViewSchedule::new(self.delta);
         let mut builder = Simulation::builder(cfg)
             .drop_while_asleep(self.drop_while_asleep)
@@ -310,13 +342,44 @@ impl TobSimulationBuilder {
             }
             byz_map.insert(v.index(), f);
         }
+        // Every crash target gets an in-memory durable backend shared
+        // between its incarnations: the pre-crash validator writes the
+        // WAL + snapshots, the restart factory recovers from them.
+        let mut durables: std::collections::BTreeMap<usize, SharedDurable> =
+            std::collections::BTreeMap::new();
+        for (v, _, _) in &self.crashes {
+            durables.entry(v.index()).or_insert_with(|| shared(MemDurable::new()));
+        }
         for v in ValidatorId::all(self.n) {
             if let Some(f) = byz_map.remove(&v.index()) {
                 builder = builder.byzantine_node(v, f(&store));
             } else {
-                let val = Validator::new(v, tob_cfg.clone(), &store);
+                let mut val = Validator::new(v, tob_cfg.clone(), &store);
+                if let Some(handle) = durables.get(&v.index()) {
+                    val = val.with_durable(handle.clone());
+                }
                 builder = builder.node(v, Box::new(val));
             }
+        }
+        if !self.crashes.is_empty() {
+            let factory_cfg = tob_cfg.clone();
+            let factory_store = store.clone();
+            let factory_durables = durables.clone();
+            builder = builder.crashes(self.crashes.clone()).restart_factory(Box::new(
+                move |v, _t| -> Box<dyn Node> {
+                    match factory_durables.get(&v.index()) {
+                        Some(handle) => Box::new(Validator::recovered(
+                            v,
+                            factory_cfg.clone(),
+                            &factory_store,
+                            handle.clone(),
+                        )),
+                        // Unreachable (only crash targets restart), but
+                        // degrade to an inert node rather than panic.
+                        None => Box::new(IdleNode),
+                    }
+                },
+            ));
         }
         if let Some(p) = self.participation {
             builder = builder.participation(p);
@@ -363,6 +426,8 @@ impl TobSimulationBuilder {
                 votes_cast: val.votes_cast(),
                 proposals_made: val.proposals_made(),
                 decisions_made: val.decisions_made(),
+                wal_errors: val.wal_errors(),
+                persisted_len: val.persisted_len(),
                 crypto: CryptoStats {
                     sig_verifies: val.sig_verifies(),
                     sig_verify_skips: val.sig_verify_skips(),
@@ -421,6 +486,11 @@ pub struct ValidatorStats {
     pub proposals_made: u64,
     /// Decide-phase outputs reported.
     pub decisions_made: u64,
+    /// Durable-storage operations that failed (0 without a storage
+    /// plane attached; faults degrade durability, never safety).
+    pub wal_errors: u64,
+    /// Decided log length durably persisted (1 without a storage plane).
+    pub persisted_len: u64,
     /// Verification fast-path statistics.
     pub crypto: CryptoStats,
     /// Delta-sync statistics.
@@ -646,6 +716,52 @@ mod tests {
             // later (small slack for the tick discretization).
             assert!(lat <= 7.0, "latency {lat}Δ too high for fault-free run");
         }
+    }
+
+    #[test]
+    fn crash_restart_recovers_durably_and_reconverges() {
+        // Validator 2 is killed mid-view-5 and restarted at view 8's
+        // start. Its restart incarnation recovers from the MemDurable
+        // snapshot + WAL, catches the rest up over §2 recovery and the
+        // delta-sync fetch plane, and re-converges with the network.
+        let v = ValidatorId::new(2);
+        let report = TobSimulationBuilder::new(5)
+            .views(14)
+            .seed(6)
+            .recovery(true)
+            .drop_while_asleep(true)
+            .snapshot_every(4)
+            .crash_restart(v, Time::new(5 * 32 + 3), Time::new(8 * 32))
+            .run()
+            .expect("runs");
+        report.assert_safety();
+        assert_eq!(report.report.metrics.crashes, 1);
+        let restarted = report.validators[2].as_ref().expect("restarted slot reports stats");
+        assert_eq!(restarted.wal_errors, 0);
+        assert!(
+            restarted.persisted_len > 1,
+            "the durable plane must have persisted decisions across the restart"
+        );
+        let max = report.max_decided_len();
+        assert!(
+            restarted.decided_len + 2 >= max,
+            "restarted validator re-converged to {} of {max}",
+            restarted.decided_len
+        );
+    }
+
+    #[test]
+    fn crash_validation() {
+        let err = TobSimulationBuilder::new(3)
+            .crash_restart(ValidatorId::new(9), Time::new(1), Time::new(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TobError::BadCrash(_)));
+        let err = TobSimulationBuilder::new(3)
+            .crash_restart(ValidatorId::new(1), Time::new(5), Time::new(5))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TobError::BadCrash(_)));
     }
 
     #[test]

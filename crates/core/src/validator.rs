@@ -6,6 +6,7 @@ use tobsvd_crypto::{AggregateSignature, Digest, KeyCache, Keypair, PublicKey, Si
 use tobsvd_ga::Ga3;
 use tobsvd_sim::gossip::{GossipState, VerifiedSet};
 use tobsvd_sim::{Context, Node};
+use tobsvd_storage::{replay_into, BlockRecord, SharedDurable, Snapshot, WalError, WalRecord};
 use tobsvd_types::{
     wire, BlockId, BlockStore, InstanceId, Log, Payload, SignedMessage, SignerSet, ValidatorId,
     View,
@@ -161,6 +162,22 @@ pub struct Validator {
     verified: VerifiedSet,
     /// Whether the node has started (first wake consumed).
     started: bool,
+    /// Durable storage backend (WAL + snapshot checkpoints), when
+    /// attached. Decisions are persisted; restart replays them back.
+    durable: Option<SharedDurable>,
+    /// Decided log length through which block contents and the head
+    /// marker are durably synced.
+    persisted_len: u64,
+    /// Decided length at the last snapshot checkpoint.
+    last_snapshot_len: u64,
+    /// Durable operations that failed. Storage faults degrade
+    /// durability (the suffix retries on the next decision), never
+    /// safety or liveness — and never panic.
+    wal_errors: u64,
+    /// A durably recorded decided head whose block contents could not
+    /// be reconstructed locally on restart; fetched over the delta-sync
+    /// plane at the first phase boundary.
+    recover_fetch: Option<BlockId>,
     /// Instrumentation: original `LOG` broadcasts (votes) made.
     votes_cast: u64,
     /// Instrumentation: proposals made.
@@ -200,6 +217,11 @@ impl Validator {
             prop_relays: BTreeMap::new(),
             verified: VerifiedSet::new(),
             started: false,
+            durable: None,
+            persisted_len: 1,
+            last_snapshot_len: 1,
+            wal_errors: 0,
+            recover_fetch: None,
             votes_cast: 0,
             proposals_made: 0,
             decisions_made: 0,
@@ -213,9 +235,71 @@ impl Validator {
         }
     }
 
+    /// Attaches a durable backend: every decided-log extension is
+    /// appended to the WAL and fsynced, with a snapshot checkpoint
+    /// every [`TobConfig::snapshot_every`] decided blocks.
+    pub fn with_durable(mut self, durable: SharedDurable) -> Self {
+        self.durable = Some(durable);
+        self
+    }
+
+    /// Recreates a validator from its durable state after a crash:
+    /// load the latest valid snapshot, replay the WAL suffix into the
+    /// store, and adopt the furthest decided head that reconstructs.
+    /// A head recorded durably but not locally reconstructible is
+    /// fetched over the delta-sync plane once the validator is back on
+    /// the phase clock. When `cfg.recovery` is on, the first
+    /// post-restart wake also broadcasts the §2 `RECOVERY` request,
+    /// exactly as a woken sleeper would.
+    pub fn recovered(
+        me: tobsvd_types::ValidatorId,
+        cfg: TobConfig,
+        store: &BlockStore,
+        durable: SharedDurable,
+    ) -> Self {
+        let mut val = Validator::new(me, cfg, store);
+        // Not a first activation: restart is semantically a wake-up.
+        val.started = true;
+        let loaded = durable.lock().load();
+        match loaded {
+            Ok(recovered) => {
+                let replayed = replay_into(store, &recovered);
+                for id in &replayed.known {
+                    val.sync.mark_own(*id);
+                }
+                if let Some(log) = Log::from_parts(store, replayed.decided_tip, replayed.decided_len)
+                {
+                    val.decided = log;
+                    val.persisted_len = replayed.decided_len;
+                }
+                val.last_snapshot_len =
+                    recovered.snapshot.as_ref().map_or(1, |s| s.len).max(1);
+                val.wal_errors = val.wal_errors.saturating_add(replayed.skipped);
+                val.recover_fetch = replayed.beyond.map(|(tip, _)| tip);
+            }
+            Err(_) => {
+                // Unreadable durable state: start from genesis and let
+                // the recovery + fetch planes rebuild, counting the loss.
+                val.wal_errors = val.wal_errors.saturating_add(1);
+            }
+        }
+        val.durable = Some(durable);
+        val
+    }
+
     /// The validator's identity.
     pub fn id(&self) -> tobsvd_types::ValidatorId {
         self.me
+    }
+
+    /// Durable operations that failed (storage degradation counter).
+    pub fn wal_errors(&self) -> u64 {
+        self.wal_errors
+    }
+
+    /// Decided log length through which durable persistence has synced.
+    pub fn persisted_len(&self) -> u64 {
+        self.persisted_len
     }
 
     /// The highest log this validator has decided.
@@ -403,6 +487,62 @@ impl Validator {
         ctx.decide(d);
         if d.len() > self.decided.len() {
             self.decided = d;
+            self.persist_decided(ctx);
+        }
+    }
+
+    /// Persists the newly decided suffix: block contents for every
+    /// height not yet durable, the decided head marker, then one fsync
+    /// (one write+fsync per decision batch, not per record). On
+    /// failure `persisted_len` stays put so the next decision retries
+    /// the whole suffix — storage faults degrade durability, never
+    /// safety, and never panic. A snapshot checkpoint of the full
+    /// decided chain replaces the WAL every
+    /// [`TobConfig::snapshot_every`] decided blocks.
+    fn persist_decided(&mut self, ctx: &mut Context) {
+        let Some(handle) = self.durable.clone() else {
+            return;
+        };
+        let d = self.decided;
+        if d.len() <= self.persisted_len {
+            return;
+        }
+        let Some(suffix) = ctx.store.chain_range(d.tip(), self.persisted_len) else {
+            self.wal_errors = self.wal_errors.saturating_add(1);
+            return;
+        };
+        let mut durable = handle.lock();
+        let store = &ctx.store;
+        let mut write = || -> Result<(), WalError> {
+            for id in &suffix {
+                let Some(record) = block_record(store, *id) else {
+                    continue; // genesis (or vanished): nothing to log
+                };
+                durable.append(&WalRecord::Block(record))?;
+            }
+            durable.append(&WalRecord::Decided { tip: d.tip(), len: d.len() })?;
+            durable.sync()
+        };
+        if write().is_err() {
+            self.wal_errors = self.wal_errors.saturating_add(1);
+            return;
+        }
+        self.persisted_len = d.len();
+        if self.cfg.snapshot_every == 0
+            || d.len().saturating_sub(self.last_snapshot_len) < self.cfg.snapshot_every
+        {
+            return;
+        }
+        let Some(chain) = ctx.store.chain_range(d.tip(), 1) else {
+            self.wal_errors = self.wal_errors.saturating_add(1);
+            return;
+        };
+        let blocks: Vec<BlockRecord> =
+            chain.iter().filter_map(|id| block_record(store, *id)).collect();
+        let snapshot = Snapshot { tip: d.tip(), len: d.len(), blocks };
+        match durable.install_snapshot(&snapshot) {
+            Ok(()) => self.last_snapshot_len = d.len(),
+            Err(_) => self.wal_errors = self.wal_errors.saturating_add(1),
         }
     }
 
@@ -777,6 +917,20 @@ impl Validator {
     }
 }
 
+/// The durable [`BlockRecord`] for a stored block, `None` for genesis
+/// (whose content is implicit) or an unknown id.
+fn block_record(store: &BlockStore, id: BlockId) -> Option<BlockRecord> {
+    let block = store.get(id)?;
+    let proposer = block.proposer()?;
+    Some(BlockRecord {
+        parent: block.parent(),
+        expected_id: block.id(),
+        proposer,
+        view: block.view(),
+        txs: block.txs().to_vec(),
+    })
+}
+
 impl Node for Validator {
     fn on_wake(&mut self, ctx: &mut Context) {
         if !self.started {
@@ -802,6 +956,15 @@ impl Node for Validator {
 
     fn on_phase(&mut self, ctx: &mut Context) {
         let (v, phase) = self.sched.phase_at(ctx.time);
+        // A durably recorded decided head the restart could not rebuild
+        // locally: close the gap over the delta-sync plane (broadcast,
+        // so any honest awake peer can serve it).
+        if let Some(missing) = self.recover_fetch.take() {
+            if !self.sync.knows(missing) && self.sync.should_fetch(missing) {
+                self.request_blocks(missing, None, ctx);
+                self.sync.note_requested(missing, ctx.time);
+            }
+        }
         // Retry unanswered fetches first (as broadcasts, so any honest
         // awake peer can answer a request whose original target dropped
         // it, slept, or turned Byzantine).

@@ -39,6 +39,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use tobsvd_core::{TobConfig, Validator};
 use tobsvd_crypto::KeyCache;
+use tobsvd_storage::{shared, FileDurable};
 use tobsvd_sim::{Context, Mempool, Node as SimNode, Outgoing};
 use tobsvd_types::{
     wire, BlockId, BlockStore, Delta, Log, Payload, SignedMessage, Time, Transaction, ValidatorId,
@@ -63,6 +64,11 @@ pub struct NodeConfig {
     pub run_ticks: u64,
     /// Transactions to seed into this node's pool at start.
     pub seed_txs: Vec<Transaction>,
+    /// Disk-backed mode: directory for the node's WAL + snapshot files.
+    /// When set, the validator persists every decided batch through a
+    /// [`tobsvd_storage::FileDurable`] and starts by recovering from
+    /// whatever the directory already holds (empty on first boot).
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 /// Per-kind wire-byte accounting of one node's run (both directions),
@@ -131,6 +137,11 @@ pub struct NodeOutcomeInner {
     /// Blocks this node learned through fetch responses
     /// (protocol-layer).
     pub blocks_fetched: u64,
+    /// Decided log length durably persisted (1 without a data dir).
+    pub persisted_len: u64,
+    /// Durable-storage operations that failed (0 without a data dir;
+    /// faults degrade durability, never safety).
+    pub wal_errors: u64,
 }
 
 /// Handle to a running node (join to get its outcome).
@@ -223,7 +234,17 @@ fn run_node(
         mempool.submit(tx.clone(), Time::ZERO);
     }
     let tob_cfg = TobConfig::new(cfg.n).with_delta(cfg.delta);
-    let mut validator = Validator::new(cfg.me, tob_cfg, &store);
+    let mut validator = match &cfg.data_dir {
+        Some(dir) => {
+            // A node that cannot open its durable directory is
+            // misconfigured; failing loudly beats running a node the
+            // operator believes is crash-safe but is not.
+            let backend = FileDurable::open(dir)
+                .unwrap_or_else(|e| panic!("open durable store at {}: {e:?}", dir.display()));
+            Validator::recovered(cfg.me, tob_cfg, &store, shared(backend))
+        }
+        None => Validator::new(cfg.me, tob_cfg, &store),
+    };
     let keypair = KeyCache::keypair(cfg.me.key_seed());
 
     // Inbox fed by reader threads (and by our own loopback).
@@ -415,6 +436,8 @@ fn run_node(
         me: cfg.me,
         decided: validator.decided(),
         blocks_fetched: validator.sync().blocks_fetched(),
+        persisted_len: validator.persisted_len(),
+        wal_errors: validator.wal_errors(),
         store,
         votes_cast: validator.votes_cast(),
         frames_received,

@@ -66,6 +66,12 @@ use crate::schedule::{CorruptionSchedule, ParticipationSchedule};
 /// is corrupted mid-run.
 pub type ByzantineFactory = Box<dyn FnMut(ValidatorId, Time) -> Box<dyn Node> + Send>;
 
+/// Factory that rebuilds a validator's node after a kill/restart fault.
+/// Unlike a wake-up, a crash destroys all volatile state: the factory is
+/// expected to reconstruct the node from durable storage (or from
+/// nothing, for protocols without a storage plane).
+pub type RestartFactory = Box<dyn FnMut(ValidatorId, Time) -> Box<dyn Node> + Send>;
+
 /// How [`Simulation::run_until`] advances time between ticks.
 ///
 /// Both modes execute the same ticks' contents in the same order and are
@@ -88,6 +94,14 @@ enum EventKind {
     Sleep = 1,
     Corrupt = 2,
     Deliver = 3,
+    /// Kill fault: the process dies at this tick. Deliveries scheduled
+    /// for the same tick land first (and are dropped — the dying
+    /// process never saw them durably), matching the ordering of the
+    /// other state transitions.
+    Crash = 4,
+    /// The killed process comes back, rebuilt by the restart factory
+    /// from durable state only.
+    Restart = 5,
 }
 
 /// One broadcast's shared delivery payload: the `Arc`'d message plus
@@ -141,6 +155,9 @@ struct Slot {
     node: Box<dyn Node>,
     awake: bool,
     byzantine: bool,
+    /// Killed and not yet restarted: volatile state (node, buffer) is
+    /// gone and deliveries are dropped regardless of the sleep mode.
+    crashed: bool,
     /// Whether the builder installed this slot's Byzantine node directly
     /// (in which case corruption events never swap it for the factory's).
     explicit_byzantine: bool,
@@ -162,6 +179,8 @@ pub struct SimulationBuilder {
     filter: Option<Box<dyn DeliveryFilter>>,
     controller: Box<dyn AdversaryController>,
     byz_factory: ByzantineFactory,
+    restart_factory: RestartFactory,
+    crashes: Vec<(ValidatorId, Time, Time)>,
     drop_while_asleep: bool,
     max_delay_factor: u64,
     advance: AdvanceMode,
@@ -181,6 +200,8 @@ impl SimulationBuilder {
             filter: None,
             controller: Box::new(NullController),
             byz_factory: Box::new(|_, _| Box::new(IdleNode)),
+            restart_factory: Box::new(|_, _| Box::new(IdleNode)),
+            crashes: Vec::new(),
             store: BlockStore::new(),
             mempool: Mempool::new(),
             nodes: (0..n).map(|_| None).collect(),
@@ -306,6 +327,30 @@ impl SimulationBuilder {
         self
     }
 
+    /// Schedules kill/restart faults: each `(v, at, restart_at)` kills
+    /// validator `v` at `at` (volatile state destroyed, deliveries
+    /// dropped while down) and restarts it at `restart_at` via the
+    /// [`SimulationBuilder::restart_factory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault's restart time is not after its kill time.
+    pub fn crashes(mut self, crashes: Vec<(ValidatorId, Time, Time)>) -> Self {
+        for (v, at, restart_at) in &crashes {
+            assert!(restart_at > at, "{v}: restart {restart_at} must follow crash {at}");
+        }
+        self.crashes = crashes;
+        self
+    }
+
+    /// Sets the factory rebuilding a node after a kill/restart fault
+    /// ([`IdleNode`] by default — a crash with no storage plane loses
+    /// the validator for the rest of the run).
+    pub fn restart_factory(mut self, f: RestartFactory) -> Self {
+        self.restart_factory = f;
+        self
+    }
+
     /// Finalizes the simulation.
     ///
     /// # Panics
@@ -320,6 +365,7 @@ impl SimulationBuilder {
                 node,
                 awake: false,
                 byzantine: false,
+                crashed: false,
                 explicit_byzantine: self.byz_at_start[i],
                 buffer: Vec::new(),
                 transitions: Vec::new(),
@@ -363,6 +409,8 @@ impl SimulationBuilder {
             filter: self.filter,
             controller: self.controller,
             byz_factory: self.byz_factory,
+            restart_factory: self.restart_factory,
+            crashes: self.crashes,
         };
         sim.schedule_initial_events();
         sim
@@ -384,6 +432,9 @@ pub struct Simulation {
     filter: Option<Box<dyn DeliveryFilter>>,
     controller: Box<dyn AdversaryController>,
     byz_factory: ByzantineFactory,
+    restart_factory: RestartFactory,
+    /// Scheduled kill/restart faults, `(validator, at, restart_at)`.
+    crashes: Vec<(ValidatorId, Time, Time)>,
     metrics: Metrics,
     observer: DecisionObserver,
     rng: StdRng,
@@ -430,6 +481,12 @@ impl Simulation {
                 self.push_event(eff, EventKind::Corrupt, v, None);
             }
         }
+        let faults = std::mem::take(&mut self.crashes);
+        for (v, at, restart_at) in &faults {
+            self.push_event(*at, EventKind::Crash, *v, None);
+            self.push_event(*restart_at, EventKind::Restart, *v, None);
+        }
+        self.crashes = faults;
     }
 
     fn push_event(
@@ -471,6 +528,12 @@ impl Simulation {
     /// Whether `v` is currently awake.
     pub fn is_awake(&self, v: ValidatorId) -> bool {
         self.slots[v.index()].awake
+    }
+
+    /// Whether `v` is currently down from a kill fault (crashed, not
+    /// yet restarted).
+    pub fn is_crashed(&self, v: ValidatorId) -> bool {
+        self.slots[v.index()].crashed
     }
 
     /// Accumulated metrics.
@@ -605,7 +668,9 @@ impl Simulation {
         let idx = ev.target.index();
         match ev.kind {
             EventKind::Wake => {
-                if self.slots[idx].awake {
+                // A crashed process cannot wake: only a Restart (which
+                // rebuilds it from durable state) brings it back.
+                if self.slots[idx].awake || self.slots[idx].crashed {
                     return;
                 }
                 self.slots[idx].awake = true;
@@ -632,6 +697,9 @@ impl Simulation {
                     return;
                 }
                 self.slots[idx].byzantine = true;
+                // Corruption of a downed validator supplants the
+                // restart: the adversary's replacement is a new process.
+                self.slots[idx].crashed = false;
                 // Replace the honest node with the Byzantine strategy,
                 // unless the builder installed this slot's Byzantine node
                 // directly.
@@ -664,7 +732,11 @@ impl Simulation {
                     delivery.wire_len,
                     delivery.inline_len,
                 );
-                if self.slots[idx].awake {
+                if self.slots[idx].crashed {
+                    // A dead process receives nothing, and nothing
+                    // buffers for it — regardless of the sleep mode.
+                    self.metrics.dropped += 1;
+                } else if self.slots[idx].awake {
                     self.call_node(idx, |node, ctx| node.on_message(&msg, ctx));
                 } else if self.drop_while_asleep {
                     // The practical setting of §2: nobody buffers for
@@ -674,6 +746,38 @@ impl Simulation {
                     self.metrics.buffered += 1;
                     self.slots[idx].buffer.push(msg);
                 }
+            }
+            EventKind::Crash => {
+                if self.slots[idx].byzantine || self.slots[idx].crashed {
+                    return;
+                }
+                self.slots[idx].crashed = true;
+                self.metrics.crashes += 1;
+                if self.slots[idx].awake {
+                    self.slots[idx].awake = false;
+                    let t = self.time;
+                    self.slots[idx].transitions.push((t, false));
+                }
+                // Volatile state dies with the process: the node's
+                // in-memory protocol state and anything the engine
+                // buffered on its behalf.
+                self.slots[idx].buffer.clear();
+                self.slots[idx].node = Box::new(IdleNode);
+            }
+            EventKind::Restart => {
+                if self.slots[idx].byzantine || !self.slots[idx].crashed {
+                    return;
+                }
+                self.slots[idx].crashed = false;
+                let replacement = (self.restart_factory)(ev.target, self.time);
+                self.slots[idx].node = replacement;
+                self.slots[idx].awake = true;
+                let t = self.time;
+                self.slots[idx].transitions.push((t, true));
+                // Restart is semantically a wake-up with amnesia: no
+                // buffered deliveries exist, so the node goes straight
+                // to on_wake (where the §2 recovery broadcast fires).
+                self.call_node(idx, |node, ctx| node.on_wake(ctx));
             }
         }
     }
@@ -1164,6 +1268,34 @@ mod tests {
         // Node was replaced by IdleNode.
         assert!(sim.node(ValidatorId::new(1)).as_any().downcast_ref::<IdleNode>().is_some());
         assert_eq!(sim.node(ValidatorId::new(1)).label(), "idle");
+    }
+
+    #[test]
+    fn crash_destroys_volatile_state_and_restart_rebuilds() {
+        let n = 2;
+        let cfg = SimConfig::new(n).with_seed(7);
+        let mut b = Simulation::builder(cfg)
+            .crashes(vec![(ValidatorId::new(1), Time::new(4), Time::new(12))])
+            .restart_factory(Box::new(|v, _| Box::new(PingNode::new(v))));
+        for v in ValidatorId::all(n) {
+            b = b.node(v, Box::new(PingNode::new(v)));
+        }
+        let mut sim = b.build();
+        sim.run_until(Time::new(30));
+        assert!(!sim.is_crashed(ValidatorId::new(1)));
+        assert!(sim.is_awake(ValidatorId::new(1)));
+        assert_eq!(sim.metrics().crashes, 1);
+        // Everything the pre-crash incarnation received died with it;
+        // the restarted node only holds post-restart deliveries (its
+        // own re-broadcast at the first post-restart phase).
+        let recv = ping_received(&sim, ValidatorId::new(1));
+        assert!(recv.iter().all(|(t, _)| t.ticks() >= 12), "pre-crash state leaked: {recv:?}");
+        assert_eq!(recv.len(), 1, "only the fresh incarnation's own LOG remains: {recv:?}");
+        // The downtime window shows up as an asleep interval in the
+        // effective participation (compliance accounting sees crashes).
+        let eff = sim.effective_participation();
+        assert!(!eff.is_awake(ValidatorId::new(1), Time::new(8)));
+        assert!(eff.is_awake(ValidatorId::new(1), Time::new(13)));
     }
 
     #[test]

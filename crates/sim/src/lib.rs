@@ -68,7 +68,9 @@ mod schedule;
 
 pub use config::SimConfig;
 pub use controller::{AdversaryCommand, AdversaryController, NullController, TickView};
-pub use engine::{AdvanceMode, ByzantineFactory, SimReport, Simulation, SimulationBuilder};
+pub use engine::{
+    AdvanceMode, ByzantineFactory, RestartFactory, SimReport, Simulation, SimulationBuilder,
+};
 pub use invariant::{
     standard_invariants, DecisionEvent, DecisionMonotonicity, Invariant, InvariantViolation,
     NoConflictingAnchor, PrefixAgreement,

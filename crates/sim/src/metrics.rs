@@ -118,6 +118,10 @@ pub struct Metrics {
     /// drop-while-asleep mode — the practical setting the §2 recovery
     /// protocol exists for).
     pub dropped: u64,
+    /// Kill/restart faults applied (process crashes, not sleeps:
+    /// volatile state is lost and only durable storage survives).
+    #[serde(default)]
+    pub crashes: u64,
     /// Message copies suppressed by an installed
     /// [`crate::DeliveryFilter`] (fetch-corruption experiments).
     pub filtered: u64,

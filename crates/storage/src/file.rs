@@ -1,0 +1,235 @@
+//! File-backed durable backend for the TCP runtime and benches: an
+//! append-only WAL file plus an atomically-replaced snapshot file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{decode_snapshot, decode_wal, encode_record, encode_snapshot};
+use crate::{DurableStore, Recovered, Snapshot, WalError, WalRecord};
+
+const WAL_FILE: &str = "wal.log";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+fn io_err(e: std::io::Error) -> WalError {
+    WalError::Io(e.to_string())
+}
+
+/// A [`DurableStore`] over a directory holding `wal.log` and
+/// `snapshot.bin`.
+///
+/// * appends buffer in memory and hit the file (plus `fsync`) on
+///   [`DurableStore::sync`] — one write+fsync per decided batch, not
+///   per record;
+/// * snapshots are written to a temp file, fsynced, then renamed over
+///   the live checkpoint (atomic on POSIX), after which the WAL is
+///   truncated;
+/// * on load, a torn WAL tail is truncated *in the file*, so the
+///   next open starts from a clean prefix.
+#[derive(Debug)]
+pub struct FileDurable {
+    dir: PathBuf,
+    wal: Option<File>,
+    buffered: Vec<u8>,
+}
+
+impl FileDurable {
+    /// Opens (creating if needed) the durable directory.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the directory or WAL file cannot be
+    /// created/opened.
+    pub fn open(dir: &Path) -> Result<FileDurable, WalError> {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(dir.join(WAL_FILE))
+            .map_err(io_err)?;
+        Ok(FileDurable { dir: dir.to_path_buf(), wal: Some(wal), buffered: Vec::new() })
+    }
+
+    fn wal_handle(&mut self) -> Result<&mut File, WalError> {
+        if self.wal.is_none() {
+            let wal = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .read(true)
+                .open(self.dir.join(WAL_FILE))
+                .map_err(io_err)?;
+            self.wal = Some(wal);
+        }
+        self.wal.as_mut().ok_or(WalError::Io("wal handle unavailable".to_string()))
+    }
+}
+
+impl DurableStore for FileDurable {
+    fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        encode_record(&mut self.buffered, record)
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let buffered = std::mem::take(&mut self.buffered);
+        let wal = self.wal_handle()?;
+        if let Err(e) = wal.write_all(&buffered) {
+            // Nothing was durably acknowledged: keep the buffer so a
+            // later sync can retry.
+            self.buffered = buffered;
+            return Err(io_err(e));
+        }
+        wal.sync_all().map_err(io_err)
+    }
+
+    fn install_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), WalError> {
+        let image = encode_snapshot(snapshot)?;
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let live = self.dir.join(SNAPSHOT_FILE);
+        let mut f = File::create(&tmp).map_err(io_err)?;
+        f.write_all(&image).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+        drop(f);
+        std::fs::rename(&tmp, &live).map_err(io_err)?;
+        // The snapshot subsumes the WAL: truncate through a fresh
+        // handle (append-mode offsets follow the new length).
+        self.wal = None;
+        let wal = self.wal_handle()?;
+        wal.set_len(0).map_err(io_err)?;
+        wal.sync_all().map_err(io_err)?;
+        self.buffered.clear();
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Recovered, WalError> {
+        let mut torn = 0u64;
+        let snapshot = match std::fs::read(self.dir.join(SNAPSHOT_FILE)) {
+            Err(_) => None,
+            Ok(image) => match decode_snapshot(&image) {
+                Ok(snap) => Some(snap),
+                Err(_) => {
+                    torn = torn.saturating_add(image.len() as u64);
+                    None
+                }
+            },
+        };
+        let mut image = Vec::new();
+        {
+            // An append-mode handle reads from wherever the cursor
+            // landed; a fresh byte-offset read needs the whole file.
+            let mut reader = File::open(self.dir.join(WAL_FILE)).map_err(io_err)?;
+            reader.read_to_end(&mut image).map_err(io_err)?;
+        }
+        let (_, torn_tail) = decode_wal(&image);
+        if torn_tail > 0 {
+            // Torn-tail truncation on open.
+            let keep = (image.len() as u64).saturating_sub(torn_tail);
+            let wal = self.wal_handle()?;
+            wal.set_len(keep).map_err(io_err)?;
+            wal.sync_all().map_err(io_err)?;
+            image.truncate(keep as usize);
+            torn = torn.saturating_add(torn_tail);
+        }
+        let (wal_records, _) = decode_wal(&image);
+        Ok(Recovered { snapshot, wal: wal_records, torn_bytes: torn })
+    }
+
+    fn crash(&mut self) {
+        self.buffered.clear();
+        self.wal = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_crypto::Digest;
+    use tobsvd_types::BlockId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("tobsvd-storage-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn decided(len: u64) -> WalRecord {
+        WalRecord::Decided { tip: BlockId(Digest::from_bytes([len as u8; 32])), len }
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut f = FileDurable::open(&dir).unwrap();
+            for len in 2..7 {
+                f.append(&decided(len)).unwrap();
+            }
+            f.sync().unwrap();
+            f.crash();
+        }
+        let mut f = FileDurable::open(&dir).unwrap();
+        let rec = f.load().unwrap();
+        assert_eq!(rec.wal.len(), 5);
+        assert_eq!(rec.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_in_the_file() {
+        let dir = temp_dir("torn");
+        {
+            let mut f = FileDurable::open(&dir).unwrap();
+            for len in 2..5 {
+                f.append(&decided(len)).unwrap();
+            }
+            f.sync().unwrap();
+        }
+        // Tear the file mid-record, as an interrupted write would.
+        let path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let mut f = FileDurable::open(&dir).unwrap();
+        let rec = f.load().unwrap();
+        assert_eq!(rec.wal.len(), 2);
+        assert!(rec.torn_bytes > 0);
+        assert!(std::fs::metadata(&path).unwrap().len() < bytes.len() as u64);
+        // Appending after truncation keeps the log decodable.
+        f.append(&decided(4)).unwrap();
+        f.sync().unwrap();
+        let rec = f.load().unwrap();
+        assert_eq!(rec.wal.len(), 3);
+        assert_eq!(rec.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_replaces_wal_atomically() {
+        let dir = temp_dir("snap");
+        let mut f = FileDurable::open(&dir).unwrap();
+        for len in 2..5 {
+            f.append(&decided(len)).unwrap();
+        }
+        f.sync().unwrap();
+        f.install_snapshot(&Snapshot {
+            tip: BlockId(Digest::from_bytes([4; 32])),
+            len: 4,
+            blocks: vec![],
+        })
+        .unwrap();
+        f.append(&decided(5)).unwrap();
+        f.sync().unwrap();
+        f.crash();
+
+        let mut f = FileDurable::open(&dir).unwrap();
+        let rec = f.load().unwrap();
+        assert_eq!(rec.snapshot.as_ref().map(|s| s.len), Some(4));
+        assert_eq!(rec.wal, vec![decided(5)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

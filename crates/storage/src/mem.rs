@@ -1,0 +1,178 @@
+//! Deterministic in-memory durable backend for the simulator and model
+//! checker, with faithful crash semantics.
+
+use crate::record::{decode_snapshot, decode_wal, encode_record, encode_snapshot};
+use crate::{DurableStore, Recovered, Snapshot, WalError, WalRecord};
+
+/// An in-memory [`DurableStore`]: "disk" is a byte vector, `sync` moves
+/// buffered appends into it, `crash` drops whatever was not synced.
+///
+/// Everything is a pure function of the append sequence — no clocks, no
+/// entropy — so checker runs with crash faults stay byte-replayable.
+#[derive(Debug, Default)]
+pub struct MemDurable {
+    /// Durable WAL bytes (survive crash).
+    synced: Vec<u8>,
+    /// Appended but not yet synced (lost on crash).
+    buffered: Vec<u8>,
+    /// Durable snapshot image, if one was installed.
+    snapshot: Option<Vec<u8>>,
+}
+
+impl MemDurable {
+    /// An empty backend.
+    pub fn new() -> Self {
+        MemDurable::default()
+    }
+
+    /// Durable WAL size in bytes (excludes the unsynced buffer).
+    pub fn wal_bytes(&self) -> usize {
+        self.synced.len()
+    }
+
+    /// Durable snapshot size in bytes, 0 when none is installed.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snapshot.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Flips one bit of the durable WAL image (fault injection for the
+    /// corruption corpus: recovery must degrade, never panic).
+    pub fn corrupt_wal_bit(&mut self, byte: usize, bit: u32) {
+        if let Some(b) = self.synced.get_mut(byte) {
+            *b ^= 1u8 << (bit % 8);
+        }
+    }
+
+    /// Drops the last `n` durable WAL bytes (a torn tail).
+    pub fn tear_wal_tail(&mut self, n: usize) {
+        let keep = self.synced.len().saturating_sub(n);
+        self.synced.truncate(keep);
+    }
+
+    /// Flips one bit of the durable snapshot image.
+    pub fn corrupt_snapshot_bit(&mut self, byte: usize, bit: u32) {
+        if let Some(snap) = self.snapshot.as_mut() {
+            if let Some(b) = snap.get_mut(byte) {
+                *b ^= 1u8 << (bit % 8);
+            }
+        }
+    }
+}
+
+impl DurableStore for MemDurable {
+    fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        encode_record(&mut self.buffered, record)
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.synced.append(&mut self.buffered);
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), WalError> {
+        let image = encode_snapshot(snapshot)?;
+        self.snapshot = Some(image);
+        // The snapshot subsumes the log it checkpoints.
+        self.synced.clear();
+        self.buffered.clear();
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Recovered, WalError> {
+        let mut torn = 0u64;
+        let snapshot = match &self.snapshot {
+            None => None,
+            Some(image) => match decode_snapshot(image) {
+                Ok(snap) => Some(snap),
+                Err(_) => {
+                    // An undecodable checkpoint is discarded; recovery
+                    // falls back to the WAL and the fetch plane.
+                    torn = torn.saturating_add(image.len() as u64);
+                    self.snapshot = None;
+                    None
+                }
+            },
+        };
+        let (wal, torn_tail) = decode_wal(&self.synced);
+        torn = torn.saturating_add(torn_tail);
+        // Torn-tail truncation on open: the discarded suffix never
+        // resurrects on a later load.
+        let keep = self.synced.len().saturating_sub(torn_tail as usize);
+        self.synced.truncate(keep);
+        Ok(Recovered { snapshot, wal, torn_bytes: torn })
+    }
+
+    fn crash(&mut self) {
+        self.buffered.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_crypto::Digest;
+    use tobsvd_types::BlockId;
+
+    fn decided(len: u64) -> WalRecord {
+        WalRecord::Decided { tip: BlockId(Digest::from_bytes([len as u8; 32])), len }
+    }
+
+    #[test]
+    fn corrupting_any_bit_degrades_to_truncation() {
+        let mut mem = MemDurable::new();
+        for len in 2..6 {
+            mem.append(&decided(len)).unwrap();
+        }
+        mem.sync().unwrap();
+        let full = mem.load().unwrap().wal.len();
+        assert_eq!(full, 4);
+        let total = mem.wal_bytes();
+        for byte in 0..total {
+            for bit in 0..8 {
+                let mut copy = MemDurable::new();
+                for len in 2..6 {
+                    copy.append(&decided(len)).unwrap();
+                }
+                copy.sync().unwrap();
+                copy.corrupt_wal_bit(byte, bit);
+                let rec = copy.load().unwrap();
+                assert!(rec.wal.len() < full, "flip {byte}.{bit} must cost records");
+                assert!(rec.torn_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_gone_after_reload() {
+        let mut mem = MemDurable::new();
+        for len in 2..5 {
+            mem.append(&decided(len)).unwrap();
+        }
+        mem.sync().unwrap();
+        mem.tear_wal_tail(3);
+        let first = mem.load().unwrap();
+        assert_eq!(first.wal.len(), 2);
+        assert!(first.torn_bytes > 0);
+        let second = mem.load().unwrap();
+        assert_eq!(second.wal.len(), 2);
+        assert_eq!(second.torn_bytes, 0, "truncation must persist");
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_wal() {
+        let mut mem = MemDurable::new();
+        mem.install_snapshot(&Snapshot {
+            tip: BlockId(Digest::from_bytes([1; 32])),
+            len: 2,
+            blocks: vec![],
+        })
+        .unwrap();
+        mem.append(&decided(3)).unwrap();
+        mem.sync().unwrap();
+        mem.corrupt_snapshot_bit(10, 2);
+        let rec = mem.load().unwrap();
+        assert!(rec.snapshot.is_none(), "corrupt checkpoint must be dropped");
+        assert_eq!(rec.wal.len(), 1, "wal suffix still recovers");
+        assert!(rec.torn_bytes > 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic replay of a recovered durable image into a
+//! [`BlockStore`].
+
+use tobsvd_types::{BlockId, BlockStore};
+
+use crate::record::{BlockRecord, Recovered, WalRecord};
+
+/// What replay reconstructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Replayed {
+    /// Reconstructed decided tip (genesis when nothing recovered).
+    pub decided_tip: BlockId,
+    /// Reconstructed decided length.
+    pub decided_len: u64,
+    /// Block ids whose content was replayed into the store, in
+    /// persistence order — exactly what the validator provably holds,
+    /// to seed its delta-sync knowledge set.
+    pub known: Vec<BlockId>,
+    /// A decided head recorded durably but *not* locally
+    /// reconstructible (its block content is missing): the delta-sync
+    /// fetch plane closes this gap after restart.
+    pub beyond: Option<(BlockId, u64)>,
+    /// Records that failed to apply (content-hash mismatch or missing
+    /// parent) and were skipped — graceful degradation, never a panic.
+    pub skipped: u64,
+}
+
+/// Whether `(tip, len)` resolves as a stored chain head.
+fn resolves(store: &BlockStore, tip: BlockId, len: u64) -> bool {
+    store.height(tip).and_then(|h| h.checked_add(1)) == Some(len)
+}
+
+fn apply(store: &BlockStore, rec: &BlockRecord, known: &mut Vec<BlockId>, skipped: &mut u64) {
+    match store.append(rec.parent, rec.proposer, rec.view, rec.txs.clone()) {
+        Ok(id) if id == rec.expected_id => known.push(id),
+        // A hash mismatch or unknown parent marks the record
+        // unusable; later records may still apply (shared-store
+        // replays are idempotent), so skip rather than abort.
+        Ok(_) | Err(_) => *skipped = skipped.saturating_add(1),
+    }
+}
+
+/// Replays `recovered` into `store`: snapshot blocks first, then the
+/// WAL suffix, adopting the furthest decided head that resolves
+/// locally. Never fails: unusable records are counted in
+/// [`Replayed::skipped`] and an unresolvable decided head is surfaced
+/// through [`Replayed::beyond`] for the fetch plane.
+pub fn replay_into(store: &BlockStore, recovered: &Recovered) -> Replayed {
+    let mut known = Vec::new();
+    let mut skipped = 0u64;
+    let mut decided_tip = store.genesis();
+    let mut decided_len = 1u64;
+    let mut beyond: Option<(BlockId, u64)> = None;
+
+    if let Some(snap) = &recovered.snapshot {
+        for rec in &snap.blocks {
+            apply(store, rec, &mut known, &mut skipped);
+        }
+        if resolves(store, snap.tip, snap.len) {
+            decided_tip = snap.tip;
+            decided_len = snap.len;
+        } else if snap.len > decided_len {
+            beyond = Some((snap.tip, snap.len));
+        }
+    }
+
+    for rec in &recovered.wal {
+        match rec {
+            WalRecord::Block(b) => apply(store, b, &mut known, &mut skipped),
+            WalRecord::Decided { tip, len } => {
+                if *len <= decided_len {
+                    continue;
+                }
+                if resolves(store, *tip, *len) {
+                    decided_tip = *tip;
+                    decided_len = *len;
+                } else {
+                    beyond = Some((*tip, *len));
+                }
+            }
+        }
+    }
+
+    // A claimed head the reconstruction caught up to is no gap.
+    if beyond.is_some_and(|(_, len)| len <= decided_len) {
+        beyond = None;
+    }
+
+    Replayed { decided_tip, decided_len, known, beyond, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tobsvd_crypto::Digest;
+    use tobsvd_types::{Log, Transaction, ValidatorId, View};
+
+    #[test]
+    fn hash_mismatch_is_skipped_not_fatal() {
+        let store = BlockStore::new();
+        let log = Log::genesis(&store);
+        let next = log.extend(&store, ValidatorId::new(0), View::new(1), vec![]);
+        let rec = Recovered {
+            snapshot: None,
+            wal: vec![
+                WalRecord::Block(BlockRecord {
+                    parent: log.tip(),
+                    expected_id: BlockId(Digest::from_bytes([9; 32])), // wrong
+                    proposer: ValidatorId::new(0),
+                    view: View::new(1),
+                    txs: vec![],
+                }),
+                WalRecord::Block(BlockRecord {
+                    parent: next.tip(),
+                    expected_id: next
+                        .extend(&store, ValidatorId::new(1), View::new(2), vec![
+                            Transaction::synthetic(1, 16),
+                        ])
+                        .tip(),
+                    proposer: ValidatorId::new(1),
+                    view: View::new(2),
+                    txs: vec![Transaction::synthetic(1, 16)],
+                }),
+            ],
+            torn_bytes: 0,
+        };
+        let fresh = store.clone();
+        let replayed = replay_into(&fresh, &rec);
+        assert_eq!(replayed.skipped, 1);
+        assert_eq!(replayed.known.len(), 1, "the valid record still applies");
+    }
+
+    #[test]
+    fn stale_decided_markers_never_regress_the_head() {
+        let store = BlockStore::new();
+        let log = Log::genesis(&store);
+        let a = log.extend(&store, ValidatorId::new(0), View::new(1), vec![]);
+        let b = a.extend(&store, ValidatorId::new(1), View::new(2), vec![]);
+        let rec = Recovered {
+            snapshot: None,
+            wal: vec![
+                WalRecord::Decided { tip: b.tip(), len: b.len() },
+                WalRecord::Decided { tip: a.tip(), len: a.len() }, // stale
+            ],
+            torn_bytes: 0,
+        };
+        let replayed = replay_into(&store, &rec);
+        assert_eq!(replayed.decided_tip, b.tip());
+        assert_eq!(replayed.decided_len, b.len());
+        assert_eq!(replayed.beyond, None);
+    }
+}

@@ -153,6 +153,23 @@ impl Block {
     pub fn id_is_valid(&self) -> bool {
         self.compute_id() == self.id
     }
+
+    /// Test-only: forges the linkage metadata and re-stamps the content
+    /// id, producing a block that passes `id_is_valid` so the store's
+    /// linkage validation is what must reject it.
+    #[cfg(test)]
+    pub(crate) fn with_forged_linkage(
+        mut self,
+        height: u64,
+        size: u64,
+        cumulative_size: u64,
+    ) -> Block {
+        self.height = height;
+        self.size = size;
+        self.cumulative_size = cumulative_size;
+        self.id = self.compute_id();
+        self
+    }
 }
 
 impl PartialEq for Block {

@@ -127,8 +127,12 @@ impl BlockStore {
             .get(&block.parent())
             .cloned()
             .ok_or(StoreError::UnknownParent(block.parent()))?;
-        if block.height() != parent.height() + 1
-            || block.cumulative_size() != parent.cumulative_size() + block.size()
+        // Checked: adversarial blocks can claim heights / cumulative
+        // sizes near u64::MAX, and a wrapping comparison here would
+        // admit them as consistent linkage.
+        if parent.height().checked_add(1) != Some(block.height())
+            || parent.cumulative_size().checked_add(block.size())
+                != Some(block.cumulative_size())
         {
             return Err(StoreError::InconsistentLinkage(block.id()));
         }
@@ -218,7 +222,11 @@ impl BlockStore {
         if from_height > cur.height() {
             return Some(Vec::new());
         }
-        let mut out = Vec::with_capacity((cur.height() - from_height + 1) as usize);
+        // Capacity is only a hint: on 32-bit targets a range longer
+        // than usize::MAX must degrade to grow-as-needed, not silently
+        // truncate through an `as` cast.
+        let hint = usize::try_from((cur.height() - from_height).saturating_add(1)).unwrap_or(0);
+        let mut out = Vec::with_capacity(hint);
         loop {
             out.push(cur.id());
             if cur.height() == from_height {
@@ -250,9 +258,18 @@ impl BlockStore {
                 None => return Vec::new(),
             }
         }
+        // First inclusion wins: a tx a Byzantine proposer re-batches at
+        // a later height must not appear twice in the executed
+        // sequence. BTreeSet (not Hash) keeps the membership structure
+        // deterministic like every other protocol-path collection.
+        let mut seen = std::collections::BTreeSet::new();
         let mut out = Vec::new();
         for b in per_block.into_iter().rev() {
-            out.extend(b.txs().iter().cloned());
+            for tx in b.txs() {
+                if seen.insert(tx.id()) {
+                    out.push(tx.clone());
+                }
+            }
         }
         out
     }
@@ -359,6 +376,73 @@ mod tests {
         let b2 = store.append(b1, ValidatorId::new(1), View::new(2), vec![t2.clone()]).unwrap();
         let txs = store.transactions_on_chain(b2);
         assert_eq!(txs, vec![t1, t2]);
+    }
+
+    /// Regression (issue 8): a tx re-included at two heights (Byzantine
+    /// re-batching) must appear once in the executed sequence, at its
+    /// first inclusion.
+    #[test]
+    fn transactions_on_chain_dedup_by_first_inclusion() {
+        let store = BlockStore::new();
+        let t1 = Transaction::new(vec![1]);
+        let t2 = Transaction::new(vec![2]);
+        let b1 = store
+            .append(store.genesis(), ValidatorId::new(0), View::new(1), vec![t1.clone()])
+            .unwrap();
+        // A Byzantine proposer re-batches t1 alongside fresh t2.
+        let b2 = store
+            .append(b1, ValidatorId::new(1), View::new(2), vec![t1.clone(), t2.clone()])
+            .unwrap();
+        let txs = store.transactions_on_chain(b2);
+        assert_eq!(txs, vec![t1.clone(), t2.clone()], "first inclusion wins, order preserved");
+        // Re-inclusion in a third block changes nothing either.
+        let b3 = store.append(b2, ValidatorId::new(2), View::new(3), vec![t2.clone()]).unwrap();
+        assert_eq!(store.transactions_on_chain(b3), vec![t1, t2]);
+    }
+
+    /// Regression (issue 8): `chain_range`'s capacity computation must
+    /// be a hint, never an `as`-cast that truncates huge ranges on
+    /// 32-bit targets. Exercised here via a range whose length is
+    /// representable — correctness of the output is what's pinned; the
+    /// try_from fallback is type-level.
+    #[test]
+    fn chain_range_full_span_and_single_block() {
+        let store = BlockStore::new();
+        let ids = chain(&store, store.genesis(), 6, 0);
+        let full = store.chain_range(ids[6], 0).expect("range");
+        assert_eq!(full, ids);
+        let single = store.chain_range(ids[6], 6).expect("range");
+        assert_eq!(single, vec![ids[6]]);
+        let empty = store.chain_range(ids[3], 5).expect("past-tip start is empty");
+        assert!(empty.is_empty());
+    }
+
+    /// Regression (issue 8): forged linkage metadata near u64::MAX must
+    /// be rejected as `InconsistentLinkage`, not wrap through unchecked
+    /// `+` into an accepted block.
+    #[test]
+    fn insert_rejects_overflowing_linkage() {
+        let store = BlockStore::new();
+        let other = BlockStore::new();
+        let id = other.append(other.genesis(), ValidatorId::new(0), View::new(1), vec![]).unwrap();
+        let block = other.get(id).unwrap().as_ref().clone();
+        // `parent.cumulative_size() + block.size()` wraps to exactly the
+        // forged cumulative size: 96 + u64::MAX ≡ 95 (mod 2^64). The
+        // unchecked `+` accepted this block in release builds (and
+        // panicked in debug); `checked_add` rejects it.
+        let genesis_size = store.get(store.genesis()).unwrap().cumulative_size();
+        let forged_wrap = block
+            .clone()
+            .with_forged_linkage(1, u64::MAX, genesis_size.wrapping_add(u64::MAX));
+        assert!(
+            matches!(store.insert(forged_wrap), Err(StoreError::InconsistentLinkage(_))),
+            "wrapping cumulative size must not be accepted as consistent"
+        );
+        let forged_height = block.clone().with_forged_linkage(u64::MAX, block.size(), u64::MAX);
+        assert!(
+            matches!(store.insert(forged_height), Err(StoreError::InconsistentLinkage(_))),
+            "height u64::MAX over a height-0 parent must be rejected"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`analysis`] | `tobsvd-analysis` | statistics and table rendering |
 //! | [`runtime`] | `tobsvd-runtime` | real TCP multi-node deployment |
 //! | [`finality`] | `tobsvd-finality` | ebb-and-flow finality gadget (paper intro) |
+//! | [`storage`] | `tobsvd-storage` | durable WAL + snapshot checkpoints + crash recovery |
 //! | [`sweep`] | `tobsvd-sweep` | declarative scenario matrices + parallel sweep runner |
 //! | [`check`] | `tobsvd-check` | randomized schedule-exploration model checker + shrinker |
 //! | [`audit`] | `tobsvd-audit` | determinism & panic-safety lint pass over the workspace itself |
@@ -56,5 +57,6 @@ pub use tobsvd_ga as ga;
 #[cfg(feature = "runtime")]
 pub use tobsvd_runtime as runtime;
 pub use tobsvd_sim as sim;
+pub use tobsvd_storage as storage;
 pub use tobsvd_sweep as sweep;
 pub use tobsvd_types as types;
