@@ -64,21 +64,27 @@ pub fn classify(rel_path: &str) -> PolicyClass {
 /// This is the policy map documented in the README: panic-path and
 /// unchecked-index rules bind the protocol core (`core`/`types`/
 /// `crypto`/`storage` — a corrupt WAL record must degrade, not
-/// abort); the determinism rules bind every deterministic crate and
-/// the tooling; wire-tag coverage is a workspace-level rule handled by
-/// the engine directly.
+/// abort) and the ingest front door (`runtime`'s `ingest`/`client`
+/// modules — byte streams from untrusted client sockets must never
+/// panic a node, even though the rest of the runtime is WallClock
+/// territory); the determinism rules bind every deterministic crate
+/// and the tooling; wire-tag coverage is a workspace-level rule
+/// handled by the engine directly.
 pub fn rule_applies(rule: &str, class: PolicyClass, rel_path: &str) -> bool {
     let protocol_core = rel_path.starts_with("crates/core/")
         || rel_path.starts_with("crates/types/")
         || rel_path.starts_with("crates/crypto/")
         || rel_path.starts_with("crates/storage/");
+    let ingest_frontdoor = rel_path.starts_with("crates/runtime/src/ingest")
+        || rel_path.starts_with("crates/runtime/src/client");
     match rule {
         "no-nondeterministic-iteration" | "no-ambient-nondeterminism" => {
             matches!(class, PolicyClass::Deterministic | PolicyClass::Tooling)
         }
         "checked-delta-arithmetic" => matches!(class, PolicyClass::Deterministic),
         "no-panic-path" | "no-unchecked-index" => {
-            matches!(class, PolicyClass::Deterministic) && protocol_core
+            (matches!(class, PolicyClass::Deterministic) && protocol_core)
+                || (matches!(class, PolicyClass::WallClock) && ingest_frontdoor)
         }
         // wire-tag-coverage is evaluated once per workspace, not per file.
         _ => false,
@@ -110,6 +116,11 @@ mod tests {
         assert!(rule_applies("no-unchecked-index", PolicyClass::Deterministic, "crates/storage/src/codec.rs"));
         assert!(!rule_applies("no-panic-path", PolicyClass::Deterministic, "crates/sim/src/engine.rs"));
         assert!(!rule_applies("no-panic-path", PolicyClass::Tooling, "crates/audit/src/main.rs"));
+        // The ingest front door is panic-scoped even though runtime is
+        // WallClock: client sockets feed it untrusted bytes.
+        assert!(rule_applies("no-panic-path", PolicyClass::WallClock, "crates/runtime/src/ingest.rs"));
+        assert!(rule_applies("no-unchecked-index", PolicyClass::WallClock, "crates/runtime/src/client.rs"));
+        assert!(!rule_applies("no-panic-path", PolicyClass::WallClock, "crates/runtime/src/node.rs"));
         assert!(rule_applies("no-nondeterministic-iteration", PolicyClass::Tooling, "crates/audit/src/engine.rs"));
         assert!(rule_applies("checked-delta-arithmetic", PolicyClass::Deterministic, "crates/sweep/src/matrix.rs"));
         assert!(!rule_applies("checked-delta-arithmetic", PolicyClass::WallClock, "crates/runtime/src/node.rs"));

@@ -41,7 +41,7 @@ mod validator;
 
 pub use config::TobConfig;
 pub use leader::ProposalTracker;
-pub use protocol::{CryptoStats, SyncStats, TobReport, TobSimulationBuilder, TxWorkload};
+pub use protocol::{CryptoStats, LatencyStats, SyncStats, TobReport, TobSimulationBuilder, TxWorkload};
 pub use schedule::ViewSchedule;
 pub use sync::{Resolution, SyncState};
 pub use validator::Validator;

@@ -1,0 +1,176 @@
+//! Client-side connection to a node's ingest plane.
+//!
+//! [`ClientConn`] wraps one nonblocking socket speaking the client wire
+//! protocol (`tobsvd_types::client`): length-prefixed `Submit` frames
+//! out, `SubmitAck` frames back. It never blocks — submissions queue in
+//! an internal out-buffer and [`ClientConn::pump`] moves bytes in both
+//! directions as far as the socket allows — so one driver thread can
+//! multiplex hundreds of connections, which is exactly how the ingest
+//! bench models large client populations without a thread per user.
+
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+
+use tobsvd_types::client::{
+    decode_client_frame, encode_client_frame, submit_transaction, AckStatus, ClientFrame,
+    MAX_SUBMIT_FRAME_BYTES,
+};
+use tobsvd_types::TxId;
+
+/// One received acknowledgment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Content-addressed id of the acknowledged transaction.
+    pub tx: TxId,
+    /// The node's admission verdict.
+    pub status: AckStatus,
+}
+
+/// A nonblocking client connection to a node's listener.
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: std::net::TcpStream,
+    client: u64,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    closed: bool,
+}
+
+impl ClientConn {
+    /// Connects to `addr` as logical client `client` (the identity the
+    /// node's per-client rate caps key on) and switches the socket to
+    /// nonblocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/socket errors.
+    pub fn connect(addr: SocketAddr, client: u64) -> std::io::Result<ClientConn> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(ClientConn {
+            stream,
+            client,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            closed: false,
+        })
+    }
+
+    /// The logical client identity.
+    pub fn client(&self) -> u64 {
+        self.client
+    }
+
+    /// Whether the node closed the connection (slow-client shed or
+    /// protocol error).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Bytes queued but not yet accepted by the socket.
+    pub fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+
+    /// Queues one submission and returns the content-addressed id its
+    /// ack will carry. Call [`ClientConn::pump`] to move bytes.
+    pub fn submit(&mut self, fee: u64, payload: Vec<u8>) -> TxId {
+        let id = submit_transaction(payload.clone()).id();
+        let frame =
+            encode_client_frame(&ClientFrame::Submit { client: self.client, fee, payload });
+        let len = frame.len() as u32;
+        self.outbuf.extend_from_slice(&len.to_be_bytes());
+        self.outbuf.extend_from_slice(&frame);
+        id
+    }
+
+    /// Writes queued submissions and reads available acks, without
+    /// blocking. Returns the acks received this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected socket errors (`WouldBlock` is not an
+    /// error; EOF marks the connection closed and returns normally).
+    pub fn pump(&mut self) -> std::io::Result<Vec<Ack>> {
+        self.pump_writes()?;
+        self.pump_reads()
+    }
+
+    fn pump_writes(&mut self) -> std::io::Result<()> {
+        while self.out_pos < self.outbuf.len() {
+            let Some(pending) = self.outbuf.get(self.out_pos..) else {
+                break;
+            };
+            match self.stream.write(pending) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::BrokenPipe
+                        || e.kind() == std::io::ErrorKind::ConnectionReset =>
+                {
+                    self.closed = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.outbuf.len() && self.out_pos > 0 {
+            self.outbuf.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    fn pump_reads(&mut self) -> std::io::Result<Vec<Ack>> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    if let Some(data) = chunk.get(..n) {
+                        self.inbuf.extend_from_slice(data);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::BrokenPipe
+                        || e.kind() == std::io::ErrorKind::ConnectionReset =>
+                {
+                    self.closed = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut acks = Vec::new();
+        while let Some(prefix) = self.inbuf.get(..4) {
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(prefix);
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            if len == 0 || len > MAX_SUBMIT_FRAME_BYTES {
+                // Garbled stream: nothing sane can follow.
+                self.closed = true;
+                break;
+            }
+            let Some(payload) = self.inbuf.get(4..4 + len) else { break };
+            let frame = bytes::Bytes::copy_from_slice(payload);
+            self.inbuf.drain(..4 + len);
+            if let Ok(ClientFrame::SubmitAck { tx, status }) = decode_client_frame(frame) {
+                acks.push(Ack { tx, status });
+            }
+        }
+        Ok(acks)
+    }
+}

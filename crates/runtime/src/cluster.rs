@@ -2,14 +2,16 @@
 //! ports, run for a fixed number of views, collect and cross-check
 //! their decisions.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
-use tobsvd_types::{Delta, Transaction, ValidatorId};
+use tobsvd_sim::{AdmissionPolicy, AdmissionStats};
+use tobsvd_types::{Delta, Transaction, TxId, ValidatorId};
 
 use crate::clock::TickClock;
-use crate::node::{spawn_node, NodeConfig, NodeOutcomeInner};
+use crate::ingest::IngestStats;
+use crate::node::{spawn_node, NodeConfig, NodeHandle, NodeOutcomeInner};
 
 /// Cluster configuration.
 #[derive(Clone, Debug)]
@@ -28,6 +30,14 @@ pub struct ClusterConfig {
     /// snapshots under `<data_root>/node-<i>` and recovers from that
     /// directory at start.
     pub data_root: Option<std::path::PathBuf>,
+    /// Mempool admission policy of every node's ingest plane
+    /// ([`AdmissionPolicy::default`] if `None`).
+    pub admission: Option<AdmissionPolicy>,
+    /// Extra delay before tick 0. Listeners accept during warm-up, so
+    /// benches can connect large client fleets before the run clock
+    /// starts (a connect storm that outlives a short run would find
+    /// the listeners already closed).
+    pub warmup: Duration,
 }
 
 impl ClusterConfig {
@@ -40,6 +50,8 @@ impl ClusterConfig {
             tick: Duration::from_millis(10),
             seed_txs: 4,
             data_root: None,
+            admission: None,
+            warmup: Duration::ZERO,
         }
     }
 
@@ -60,6 +72,18 @@ impl ClusterConfig {
         self.data_root = Some(root.into());
         self
     }
+
+    /// Sets every node's mempool admission policy.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Extends the pre-run warm-up window (see [`ClusterConfig::warmup`]).
+    pub fn warmup(mut self, warmup: Duration) -> Self {
+        self.warmup = warmup;
+        self
+    }
 }
 
 /// Errors from [`LocalCluster::run`].
@@ -67,8 +91,12 @@ impl ClusterConfig {
 pub enum ClusterError {
     /// Could not bind a listener.
     Bind(std::io::Error),
+    /// Could not spawn a node thread.
+    Spawn(std::io::Error),
     /// A node thread panicked.
     NodePanic(String),
+    /// A node aborted before running (e.g. unopenable durable dir).
+    NodeFatal(String),
     /// Configuration invalid.
     BadConfig(&'static str),
 }
@@ -77,7 +105,9 @@ impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClusterError::Bind(e) => write!(f, "bind failed: {e}"),
+            ClusterError::Spawn(e) => write!(f, "spawn failed: {e}"),
             ClusterError::NodePanic(m) => write!(f, "node panicked: {m}"),
+            ClusterError::NodeFatal(m) => write!(f, "node aborted: {m}"),
             ClusterError::BadConfig(m) => write!(f, "bad configuration: {m}"),
         }
     }
@@ -106,6 +136,10 @@ pub struct NodeOutcome {
     pub persisted_len: u64,
     /// Durable-storage operations that failed.
     pub wal_errors: u64,
+    /// Ingest-plane counters (sessions, submits, acks, backpressure).
+    pub ingest: IngestStats,
+    /// Mempool admission counters.
+    pub admission: AdmissionStats,
 }
 
 /// Report of a cluster run.
@@ -129,8 +163,34 @@ impl ClusterReport {
                 blocks_fetched: o.blocks_fetched,
                 persisted_len: o.persisted_len,
                 wal_errors: o.wal_errors,
+                ingest: o.ingest,
+                admission: o.admission,
             })
             .collect()
+    }
+
+    /// Joins node `me`'s decision stream against transaction ids: for
+    /// every transaction in its decided log, the node-loop tick at
+    /// which the decision containing it first landed. The ingest bench
+    /// subtracts client submission ticks from these to get
+    /// submitted→decided latency.
+    pub fn decided_tx_ticks(&self, me: ValidatorId) -> BTreeMap<TxId, u64> {
+        let mut out = BTreeMap::new();
+        let Some(o) = self.outcomes.iter().find(|o| o.me == me) else {
+            return out;
+        };
+        let mut prev_len = 1u64;
+        for ev in &o.decided_events {
+            for id in o.store.chain_range(ev.tip, prev_len).unwrap_or_default() {
+                if let Some(block) = o.store.get(id) {
+                    for tx in block.txs() {
+                        out.entry(tx.id()).or_insert(ev.tick);
+                    }
+                }
+            }
+            prev_len = ev.len;
+        }
+        out
     }
 
     /// Shortest decided log length across nodes.
@@ -172,16 +232,65 @@ impl ClusterReport {
     }
 }
 
+/// A cluster whose nodes are running: the handle clients (benches,
+/// tests) use to connect mid-run, then [`RunningCluster::join`].
+pub struct RunningCluster {
+    handles: Vec<NodeHandle>,
+    addrs: HashMap<ValidatorId, SocketAddr>,
+    clock: TickClock,
+    run_ticks: u64,
+}
+
+impl RunningCluster {
+    /// The listen address of node `v` (clients submit here).
+    pub fn addr_of(&self, v: ValidatorId) -> Option<SocketAddr> {
+        self.addrs.get(&v).copied()
+    }
+
+    /// All node listen addresses.
+    pub fn addrs(&self) -> &HashMap<ValidatorId, SocketAddr> {
+        &self.addrs
+    }
+
+    /// The shared epoch clock.
+    pub fn clock(&self) -> TickClock {
+        self.clock
+    }
+
+    /// Total ticks the run covers.
+    pub fn run_ticks(&self) -> u64 {
+        self.run_ticks
+    }
+
+    /// Waits for every node and assembles the report.
+    ///
+    /// # Errors
+    ///
+    /// Node panics and pre-run aborts.
+    pub fn join(self) -> Result<ClusterReport, ClusterError> {
+        let mut outcomes = Vec::with_capacity(self.handles.len());
+        for h in self.handles {
+            let outcome = h.join().map_err(ClusterError::NodePanic)?;
+            if let Some(reason) = outcome.fatal {
+                return Err(ClusterError::NodeFatal(reason));
+            }
+            outcomes.push(outcome);
+        }
+        Ok(ClusterReport { outcomes })
+    }
+}
+
 /// Orchestrates local clusters.
 pub struct LocalCluster;
 
 impl LocalCluster {
-    /// Runs a cluster to completion.
+    /// Spawns a cluster and returns while it runs, so callers can drive
+    /// client traffic against the nodes' listeners.
     ///
     /// # Errors
     ///
-    /// Socket/bind failures and node panics.
-    pub fn run(cfg: ClusterConfig) -> Result<ClusterReport, ClusterError> {
+    /// Socket/bind and thread-spawn failures.
+    pub fn spawn(cfg: ClusterConfig) -> Result<RunningCluster, ClusterError> {
         if cfg.n == 0 {
             return Err(ClusterError::BadConfig("n must be ≥ 1"));
         }
@@ -201,8 +310,9 @@ impl LocalCluster {
         let txs: Vec<Transaction> =
             (0..cfg.seed_txs).map(|i| Transaction::synthetic(i as u64, 48)).collect();
 
-        // Epoch slightly in the future so all nodes start at tick 0.
-        let epoch = Instant::now() + Duration::from_millis(150);
+        // Epoch slightly in the future so all nodes start at tick 0;
+        // callers extend the margin via `warmup` to pre-connect clients.
+        let epoch = Instant::now() + Duration::from_millis(150) + cfg.warmup;
         let clock = TickClock::new(epoch, cfg.tick);
         // Run length: `views` views of 4Δ plus the trailing 2Δ decide.
         let run_ticks = cfg.views * 4 * cfg.delta.ticks() + 2 * cfg.delta.ticks();
@@ -224,15 +334,22 @@ impl LocalCluster {
                     .data_root
                     .as_ref()
                     .map(|root| root.join(format!("node-{}", v.index()))),
+                admission: cfg.admission,
             };
-            handles.push(spawn_node(node_cfg, listener, peers, clock));
+            handles.push(
+                spawn_node(node_cfg, listener, peers, clock).map_err(ClusterError::Spawn)?,
+            );
         }
+        Ok(RunningCluster { handles, addrs, clock, run_ticks })
+    }
 
-        let mut outcomes = Vec::with_capacity(cfg.n);
-        for h in handles {
-            outcomes.push(h.join().map_err(ClusterError::NodePanic)?);
-        }
-        Ok(ClusterReport { outcomes })
+    /// Runs a cluster to completion.
+    ///
+    /// # Errors
+    ///
+    /// Socket/bind failures, spawn failures and node panics.
+    pub fn run(cfg: ClusterConfig) -> Result<ClusterReport, ClusterError> {
+        Self::spawn(cfg)?.join()
     }
 }
 

@@ -1,12 +1,20 @@
 //! Real multi-node TOB-SVD deployment over localhost TCP.
 //!
 //! The same sans-io [`tobsvd_core::Validator`] that runs under the
-//! discrete-event simulator runs here against a real network: one OS
-//! thread per node, a full TCP mesh with length-prefixed frames encoded
-//! by [`tobsvd_types::wire`] (content-addressed delta sync: hash
-//! announcements plus `BlockRequest`/`BlockResponse` fetches, so wire
-//! bytes per message are O(1) in chain length), and a shared-epoch tick
-//! clock standing in for the model's synchronized clocks.
+//! discrete-event simulator runs here against a real network: per node,
+//! one protocol thread plus one readiness-polled I/O thread (the
+//! [`IngestStats`]-instrumented event loop in `ingest`) that serves
+//! every inbound socket — peers *and* thousands of client sessions —
+//! without a thread per connection. The mesh speaks length-prefixed
+//! frames encoded by [`tobsvd_types::wire`] (content-addressed delta
+//! sync: hash announcements plus `BlockRequest`/`BlockResponse`
+//! fetches, so wire bytes per message are O(1) in chain length);
+//! clients speak the separate `tobsvd_types::client` protocol on the
+//! same listener (classified by the first payload byte) through
+//! [`client::ClientConn`]. A shared-epoch tick clock stands in for the
+//! model's synchronized clocks, and a bounded
+//! [`tobsvd_sim::AdmissionPolicy`] mempool acknowledges every
+//! submission with explicit backpressure instead of unbounded queueing.
 //!
 //! This crate is the "would a downstream user actually deploy this?"
 //! proof: no simulator types cross the boundary — only wire bytes.
@@ -22,12 +30,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 mod clock;
 mod cluster;
 mod codec;
+mod ingest;
 mod node;
 
+pub use client::{Ack, ClientConn};
 pub use clock::TickClock;
-pub use cluster::{ClusterConfig, ClusterError, ClusterReport, LocalCluster, NodeOutcome};
+pub use cluster::{
+    ClusterConfig, ClusterError, ClusterReport, LocalCluster, NodeOutcome, RunningCluster,
+};
 pub use codec::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-pub use node::{NodeConfig, NodeHandle, WireStats};
+pub use ingest::{IngestStats, CLIENT_OUTBUF_CAP};
+pub use node::{DecidedEvent, NodeConfig, NodeHandle, WireStats};

@@ -1,12 +1,21 @@
 //! A single TOB-SVD node over TCP.
 //!
-//! Thread layout per node:
+//! Thread layout per node (fixed — independent of connection count):
 //!
-//! * reader threads — one per inbound connection, decoding frames into a
-//!   crossbeam channel;
-//! * the node loop — wakes at every tick, drains the inbox into
-//!   [`Validator::on_message`], fires `on_phase` on Δ-boundaries, and
-//!   writes the collected outgoing messages to the peer mesh.
+//! * the **I/O loop** (`ingest` module) — one readiness-polled thread
+//!   serving the node's listener and every inbound socket: peer mesh
+//!   sessions are decoded into the node's inbox, client sessions get
+//!   their submissions admitted into the shared bounded mempool and
+//!   acknowledged inline;
+//! * the **node loop** (this module) — wakes at every tick, drains the
+//!   inbox into [`Validator::on_message`], fires `on_phase` on
+//!   Δ-boundaries, and writes the collected outgoing messages to the
+//!   peer mesh.
+//!
+//! The former layout (an acceptor thread sleep-polling `accept` plus
+//! one reader thread per inbound connection) scaled threads linearly
+//! with sockets; the ingest rewrite removes it so thousands of client
+//! connections fit in the two-thread budget above.
 //!
 //! Each node owns a private [`BlockStore`], and the message plane is
 //! **content-addressed delta sync**: log-carrying frames are hash
@@ -31,22 +40,24 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::{Buf, Bytes};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use tobsvd_core::{TobConfig, Validator};
 use tobsvd_crypto::KeyCache;
+use tobsvd_sim::{AdmissionPolicy, AdmissionStats, Context, Mempool, Node as SimNode, Outgoing};
 use tobsvd_storage::{shared, FileDurable};
-use tobsvd_sim::{Context, Mempool, Node as SimNode, Outgoing};
 use tobsvd_types::{
     wire, BlockId, BlockStore, Delta, Log, Payload, SignedMessage, Time, Transaction, ValidatorId,
 };
 
 use crate::clock::TickClock;
-use crate::codec::{read_frame, write_frame};
+use crate::codec::write_frame;
+use crate::ingest::{io_loop, Inbound, IngestConfig, IngestStats};
 
 /// Maximum frames parked at the session layer awaiting fetched blocks.
 const PARKED_FRAMES_CAP: usize = 256;
@@ -69,6 +80,9 @@ pub struct NodeConfig {
     /// [`tobsvd_storage::FileDurable`] and starts by recovering from
     /// whatever the directory already holds (empty on first boot).
     pub data_dir: Option<std::path::PathBuf>,
+    /// Mempool admission policy of the ingest plane
+    /// ([`AdmissionPolicy::default`] if `None`).
+    pub admission: Option<AdmissionPolicy>,
 }
 
 /// Per-kind wire-byte accounting of one node's run (both directions),
@@ -117,6 +131,20 @@ pub struct WireStats {
     pub certificates_emitted: u64,
 }
 
+/// One decision event of the node loop: at `tick`, the validator's
+/// decided log first reached `len` with tip `tip`. The submitted→decided
+/// latency accounting of the ingest bench joins these against client
+/// submission times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecidedEvent {
+    /// Node-loop tick of the decision.
+    pub tick: u64,
+    /// Tip of the newly decided log.
+    pub tip: BlockId,
+    /// Length of the newly decided log.
+    pub len: u64,
+}
+
 /// What a node reports after its run.
 #[derive(Clone, Debug)]
 pub struct NodeOutcomeInner {
@@ -142,6 +170,37 @@ pub struct NodeOutcomeInner {
     /// Durable-storage operations that failed (0 without a data dir;
     /// faults degrade durability, never safety).
     pub wal_errors: u64,
+    /// Ingest-plane counters (sessions, submits, acks, backpressure).
+    pub ingest: IngestStats,
+    /// Mempool admission counters.
+    pub admission: AdmissionStats,
+    /// Every decision event in node-loop order, for latency accounting.
+    pub decided_events: Vec<DecidedEvent>,
+    /// Set when the node aborted before running (e.g. its durable
+    /// directory could not be opened): the error, in place of a panic.
+    pub fatal: Option<String>,
+}
+
+impl NodeOutcomeInner {
+    /// An outcome representing a node that aborted before its run.
+    fn aborted(me: ValidatorId, store: BlockStore, reason: String) -> Self {
+        NodeOutcomeInner {
+            me,
+            decided: Log::genesis(&store),
+            store,
+            votes_cast: 0,
+            frames_received: 0,
+            frames_sent: 0,
+            wire: WireStats::default(),
+            blocks_fetched: 0,
+            persisted_len: 1,
+            wal_errors: 0,
+            ingest: IngestStats::default(),
+            admission: AdmissionStats::default(),
+            decided_events: Vec::new(),
+            fatal: Some(reason),
+        }
+    }
 }
 
 /// Handle to a running node (join to get its outcome).
@@ -156,17 +215,7 @@ impl NodeHandle {
     ///
     /// Returns `Err` if the node thread panicked.
     pub fn join(self) -> Result<NodeOutcomeInner, String> {
-        self.join.map_err_join()
-    }
-}
-
-trait JoinExt {
-    fn map_err_join(self) -> Result<NodeOutcomeInner, String>;
-}
-
-impl JoinExt for std::thread::JoinHandle<NodeOutcomeInner> {
-    fn map_err_join(self) -> Result<NodeOutcomeInner, String> {
-        self.join().map_err(|e| {
+        self.join.join().map_err(|e| {
             e.downcast_ref::<String>()
                 .cloned()
                 .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
@@ -182,44 +231,229 @@ struct ParkedFrame {
     raw: Bytes,
 }
 
-/// What a reader thread hands to the node loop.
-enum Inbound {
-    /// A fully decoded message (`bytes` = frame payload length).
-    Msg(SignedMessage, u64),
-    /// A well-formed frame referencing blocks the store lacks: park it,
-    /// fetch `missing` starting at `from_height` from `from`.
-    NeedBlocks {
-        raw: Bytes,
-        missing: BlockId,
-        from_height: u64,
-        from: Option<ValidatorId>,
-    },
-}
-
-/// Spawns a node: `listener` accepts inbound mesh connections; `peers`
-/// maps every other validator to its listen address; `clock` is the
-/// shared epoch clock.
+/// Spawns a node: `listener` accepts inbound mesh + client connections;
+/// `peers` maps every other validator to its listen address; `clock` is
+/// the shared epoch clock.
+///
+/// # Errors
+///
+/// Returns the OS error if the node thread cannot be spawned.
 pub fn spawn_node(
     cfg: NodeConfig,
     listener: TcpListener,
     peers: HashMap<ValidatorId, SocketAddr>,
     clock: TickClock,
-) -> NodeHandle {
+) -> std::io::Result<NodeHandle> {
     let join = std::thread::Builder::new()
         .name(format!("tobsvd-{}", cfg.me))
-        .spawn(move || run_node(cfg, listener, peers, clock))
-        .expect("spawn node thread");
-    NodeHandle { join }
+        .spawn(move || run_node(cfg, listener, peers, clock))?;
+    Ok(NodeHandle { join })
 }
 
-/// Claimed sender id of a wire frame (decodable even when the chain
-/// does not resolve yet: it sits at a fixed offset).
-fn frame_sender(frame: &Bytes) -> Option<ValidatorId> {
-    if frame.len() < 5 {
-        return None;
+/// The node loop's long-lived state, threaded through message handling,
+/// phase boundaries and the parked-frame retry path.
+struct NodeState {
+    me: ValidatorId,
+    delta: Delta,
+    store: BlockStore,
+    mempool: Mempool,
+    validator: Validator,
+    keypair: tobsvd_crypto::Keypair,
+    outbound: HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
+    loopback: Sender<Inbound>,
+    parked: VecDeque<ParkedFrame>,
+    frames_sent: u64,
+    frames_received: u64,
+    wire: WireStats,
+    decided_events: Vec<DecidedEvent>,
+    decided_len_seen: u64,
+}
+
+impl NodeState {
+    fn ctx(&self, now: Time) -> Context {
+        Context::new(now, self.me, self.delta, self.store.clone(), self.mempool.clone())
     }
-    let mut buf = frame.slice(1..5);
-    Some(ValidatorId::new(buf.get_u32()))
+
+    /// Records decision events a context collected and flushes its
+    /// outbox to the mesh.
+    fn absorb(&mut self, mut ctx: Context, tick: u64) {
+        for log in ctx.decisions() {
+            if log.len() > self.decided_len_seen {
+                self.decided_len_seen = log.len();
+                self.decided_events.push(DecidedEvent {
+                    tick,
+                    tip: log.tip(),
+                    len: log.len(),
+                });
+            }
+        }
+        self.flush(&mut ctx);
+    }
+
+    fn handle_inbound(&mut self, inbound: Inbound, now: Time) {
+        match inbound {
+            Inbound::Msg(msg, bytes) => {
+                self.frames_received += 1;
+                if msg.payload().is_sync() {
+                    self.wire.sync_bytes_in += bytes;
+                } else if matches!(msg.payload(), Payload::Certificate { .. }) {
+                    self.wire.certificate_bytes_in += bytes;
+                } else {
+                    self.wire.announce_bytes_in += bytes;
+                }
+                let was_response = matches!(msg.payload(), Payload::BlockResponse { .. });
+                let mut ctx = self.ctx(now);
+                self.validator.on_message(&msg, &mut ctx);
+                self.absorb(ctx, now.ticks());
+                if was_response {
+                    // New blocks may have landed: replay parked frames.
+                    self.retry_parked(now);
+                }
+            }
+            Inbound::NeedBlocks { raw, missing, from_height, from } => {
+                self.frames_received += 1;
+                if frame_is_sync(&raw) {
+                    self.wire.sync_bytes_in += raw.len() as u64;
+                } else if frame_is_certificate(&raw) {
+                    self.wire.certificate_bytes_in += raw.len() as u64;
+                } else {
+                    self.wire.announce_bytes_in += raw.len() as u64;
+                }
+                self.wire.frames_parked += 1;
+                if self.parked.len() >= PARKED_FRAMES_CAP {
+                    self.parked.pop_front();
+                }
+                self.parked.push_back(ParkedFrame { missing, from_height, raw });
+                // Ask the frame's sender for the gap (any peer can
+                // answer the phase-boundary re-broadcasts).
+                let req = SignedMessage::sign(
+                    &self.keypair,
+                    self.me,
+                    Payload::BlockRequest { tip: missing, from_height },
+                );
+                self.wire.session_fetches += 1;
+                self.send_direct(&req, from);
+            }
+        }
+    }
+
+    fn phase_boundary(&mut self, now: Time) {
+        // A parked frame's missing block may have landed through an
+        // announcement's inline window (not only a BlockResponse):
+        // re-decode before re-requesting, so the node never fetches
+        // blocks it already holds.
+        if !self.parked.is_empty() {
+            self.retry_parked(now);
+        }
+        // Re-broadcast session-layer fetches for still-parked frames,
+        // from each frame's latest decode-derived start hint (any peer
+        // can answer).
+        let mut requests: Vec<(BlockId, u64)> = Vec::new();
+        for frame in &self.parked {
+            if requests.iter().any(|(id, _)| *id == frame.missing) {
+                continue;
+            }
+            requests.push((frame.missing, frame.from_height));
+        }
+        for (missing, from_height) in requests {
+            let req = SignedMessage::sign(
+                &self.keypair,
+                self.me,
+                Payload::BlockRequest { tip: missing, from_height },
+            );
+            self.wire.session_fetches += 1;
+            self.send_direct(&req, None);
+        }
+        let mut ctx = self.ctx(now);
+        self.validator.on_phase(&mut ctx);
+        self.absorb(ctx, now.ticks());
+    }
+
+    /// Feeds re-decoded parked frames back through the validator. Frames
+    /// that still miss blocks keep (or refresh) their fetch coordinates
+    /// from the new decode error.
+    fn retry_parked(&mut self, now: Time) {
+        let mut pending = std::mem::take(&mut self.parked);
+        let mut keep: VecDeque<ParkedFrame> = VecDeque::with_capacity(pending.len());
+        while let Some(frame) = pending.pop_front() {
+            match wire::decode_message(frame.raw.clone(), &self.store) {
+                Ok(msg) => {
+                    let mut ctx = self.ctx(now);
+                    self.validator.on_message(&msg, &mut ctx);
+                    self.absorb(ctx, now.ticks());
+                }
+                Err(wire::WireError::MissingBlocks { missing, from_height }) => {
+                    keep.push_back(ParkedFrame { missing, from_height, raw: frame.raw });
+                }
+                Err(_) => { /* malformed beyond repair: drop it */ }
+            }
+        }
+        self.parked = keep;
+    }
+
+    /// Writes one message to a single peer (or all peers when `to` is
+    /// `None`).
+    fn send_direct(&mut self, msg: &SignedMessage, to: Option<ValidatorId>) {
+        let Ok(bytes) = wire::encode_message(msg, &self.store) else {
+            // Refusing the frame beats crashing the node; the counter
+            // makes the drop observable in the run report.
+            self.wire.encode_failures += 1;
+            return;
+        };
+        let targets: Vec<ValidatorId> = match to {
+            Some(t) => vec![t],
+            None => self.outbound.keys().copied().collect(),
+        };
+        for target in targets {
+            if let Some(stream) = self.outbound.get(&target) {
+                if write_frame(&mut *stream.lock(), &bytes).is_ok() {
+                    self.wire.sync_bytes_out += bytes.len() as u64;
+                    self.frames_sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Sends a context's collected actions over the mesh. Self-copies go
+    /// through the loopback channel.
+    fn flush(&mut self, ctx: &mut Context) {
+        for action in ctx.take_outbox() {
+            let (targets, msg): (Vec<ValidatorId>, SignedMessage) = match action {
+                Outgoing::Broadcast(m) => {
+                    (self.outbound.keys().copied().chain([self.me]).collect(), m)
+                }
+                // Forwards skip self: already processed.
+                Outgoing::Forward(m) => (self.outbound.keys().copied().collect(), m),
+                Outgoing::ForwardTo(t, m) | Outgoing::Multicast(t, m) => (t, m),
+            };
+            let Ok(bytes) = wire::encode_message(&msg, &self.store) else {
+                self.wire.encode_failures += 1;
+                continue;
+            };
+            let is_sync = msg.payload().is_sync();
+            let is_cert = matches!(msg.payload(), Payload::Certificate { .. });
+            for target in targets {
+                if target == self.me {
+                    // Self-copies never cross the network: charge 0
+                    // bytes so per-kind in/out stats reconcile.
+                    let _ = self.loopback.send(Inbound::Msg(msg, 0));
+                    continue;
+                }
+                if let Some(stream) = self.outbound.get(&target) {
+                    if write_frame(&mut *stream.lock(), &bytes).is_ok() {
+                        if is_sync {
+                            self.wire.sync_bytes_out += bytes.len() as u64;
+                        } else if is_cert {
+                            self.wire.certificate_bytes_out += bytes.len() as u64;
+                        } else {
+                            self.wire.announce_bytes_out += bytes.len() as u64;
+                        }
+                        self.frames_sent += 1;
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn run_node(
@@ -229,58 +463,57 @@ fn run_node(
     clock: TickClock,
 ) -> NodeOutcomeInner {
     let store = BlockStore::new();
-    let mempool = Mempool::new();
+    let mempool = Mempool::bounded(cfg.admission.unwrap_or_default());
     for tx in &cfg.seed_txs {
         mempool.submit(tx.clone(), Time::ZERO);
     }
     let tob_cfg = TobConfig::new(cfg.n).with_delta(cfg.delta);
-    let mut validator = match &cfg.data_dir {
+    let validator = match &cfg.data_dir {
         Some(dir) => {
             // A node that cannot open its durable directory is
-            // misconfigured; failing loudly beats running a node the
-            // operator believes is crash-safe but is not.
-            let backend = FileDurable::open(dir)
-                .unwrap_or_else(|e| panic!("open durable store at {}: {e:?}", dir.display()));
-            Validator::recovered(cfg.me, tob_cfg, &store, shared(backend))
+            // misconfigured; reporting a fatal outcome (instead of the
+            // former panic) lets the cluster surface a clean error.
+            match FileDurable::open(dir) {
+                Ok(backend) => {
+                    Validator::recovered(cfg.me, tob_cfg, &store, shared(backend))
+                }
+                Err(e) => {
+                    return NodeOutcomeInner::aborted(
+                        cfg.me,
+                        store,
+                        format!("open durable store at {}: {e:?}", dir.display()),
+                    );
+                }
+            }
         }
         None => Validator::new(cfg.me, tob_cfg, &store),
     };
     let keypair = KeyCache::keypair(cfg.me.key_seed());
 
-    // Inbox fed by reader threads (and by our own loopback).
+    // Inbox fed by the I/O loop (and by our own loopback).
     let (tx_in, rx_in): (Sender<Inbound>, Receiver<Inbound>) = unbounded();
 
-    // Acceptor thread: owns the listener for the whole run.
-    let acceptor_store = store.clone();
-    let acceptor_tx = tx_in.clone();
-    let deadline = clock.instant_of(cfg.run_ticks + 2);
-    listener.set_nonblocking(true).expect("nonblocking listener");
-    let accept_handle = std::thread::spawn(move || {
-        let mut readers = Vec::new();
-        while std::time::Instant::now() < deadline {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false).ok();
-                    stream
-                        .set_read_timeout(Some(Duration::from_millis(200)))
-                        .ok();
-                    let store = acceptor_store.clone();
-                    let tx = acceptor_tx.clone();
-                    let dl = deadline;
-                    readers.push(std::thread::spawn(move || {
-                        reader_loop(stream, store, tx, dl)
-                    }));
-                }
-                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => break,
-            }
+    // The I/O loop thread: owns the listener and every inbound session.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ingest_cfg = IngestConfig {
+        store: store.clone(),
+        mempool: mempool.clone(),
+        to_node: tx_in.clone(),
+        clock,
+        // Shed clients stay unread for about one Δ: long enough for TCP
+        // backpressure to bite, short enough to observe recovery.
+        throttle: clock.tick_duration().saturating_mul(cfg.delta.ticks().max(1) as u32),
+    };
+    let io_stop = Arc::clone(&stop);
+    let io_handle = match std::thread::Builder::new()
+        .name(format!("tobsvd-io-{}", cfg.me))
+        .spawn(move || io_loop(listener, ingest_cfg, io_stop))
+    {
+        Ok(h) => h,
+        Err(e) => {
+            return NodeOutcomeInner::aborted(cfg.me, store, format!("spawn io thread: {e}"));
         }
-        for r in readers {
-            let _ = r.join();
-        }
-    });
+    };
 
     // Outbound mesh: dial every peer.
     let mut outbound: HashMap<ValidatorId, Arc<Mutex<TcpStream>>> = HashMap::new();
@@ -291,193 +524,69 @@ fn run_node(
         }
     }
 
-    let mut frames_sent = 0u64;
-    let mut frames_received = 0u64;
-    let mut wire_stats = WireStats::default();
-    // Session-layer pending: parked raw frames keyed (in order) by the
-    // block id whose arrival unblocks them, plus the latest
-    // fetch-start hint (refreshed on every failed re-decode).
-    let mut parked: VecDeque<ParkedFrame> = VecDeque::new();
+    let mut state = NodeState {
+        me: cfg.me,
+        delta: cfg.delta,
+        store: store.clone(),
+        mempool: mempool.clone(),
+        validator,
+        keypair,
+        outbound,
+        loopback: tx_in,
+        parked: VecDeque::new(),
+        frames_sent: 0,
+        frames_received: 0,
+        wire: WireStats::default(),
+        decided_events: Vec::new(),
+        decided_len_seen: 1,
+    };
 
     // The node loop.
     for tick in 0..=cfg.run_ticks {
         clock.wait_for(tick);
         let now = Time::new(tick);
-
-        // Drain inbox.
         while let Ok(inbound) = rx_in.try_recv() {
-            match inbound {
-                Inbound::Msg(msg, bytes) => {
-                    frames_received += 1;
-                    if msg.payload().is_sync() {
-                        wire_stats.sync_bytes_in += bytes;
-                    } else if matches!(msg.payload(), Payload::Certificate { .. }) {
-                        wire_stats.certificate_bytes_in += bytes;
-                    } else {
-                        wire_stats.announce_bytes_in += bytes;
-                    }
-                    let was_response = matches!(msg.payload(), Payload::BlockResponse { .. });
-                    let mut ctx =
-                        Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
-                    validator.on_message(&msg, &mut ctx);
-                    frames_sent +=
-                        flush(&mut ctx, &store, &outbound, &tx_in, cfg.me, &mut wire_stats);
-                    if was_response {
-                        // New blocks may have landed: replay parked frames.
-                        retry_parked(
-                            &mut parked,
-                            &mut validator,
-                            &store,
-                            &mempool,
-                            now,
-                            cfg.me,
-                            cfg.delta,
-                            &outbound,
-                            &tx_in,
-                            &mut frames_sent,
-                            &mut wire_stats,
-                        );
-                    }
-                }
-                Inbound::NeedBlocks { raw, missing, from_height, from } => {
-                    frames_received += 1;
-                    if frame_is_sync(&raw) {
-                        wire_stats.sync_bytes_in += raw.len() as u64;
-                    } else if frame_is_certificate(&raw) {
-                        wire_stats.certificate_bytes_in += raw.len() as u64;
-                    } else {
-                        wire_stats.announce_bytes_in += raw.len() as u64;
-                    }
-                    wire_stats.frames_parked += 1;
-                    if parked.len() >= PARKED_FRAMES_CAP {
-                        parked.pop_front();
-                    }
-                    parked.push_back(ParkedFrame { missing, from_height, raw });
-                    // Ask the frame's sender for the gap (any peer can
-                    // answer the phase-boundary re-broadcasts below).
-                    let req = SignedMessage::sign(
-                        &keypair,
-                        cfg.me,
-                        Payload::BlockRequest { tip: missing, from_height },
-                    );
-                    wire_stats.session_fetches += 1;
-                    frames_sent += send_direct(
-                        &req,
-                        from,
-                        &store,
-                        &outbound,
-                        &mut wire_stats,
-                    );
-                }
-            }
+            state.handle_inbound(inbound, now);
         }
-
-        // Phase boundary.
         if now.is_phase_boundary(cfg.delta) {
-            // A parked frame's missing block may have landed through an
-            // announcement's inline window (not only a BlockResponse):
-            // re-decode before re-requesting, so the node never fetches
-            // blocks it already holds.
-            if !parked.is_empty() {
-                retry_parked(
-                    &mut parked,
-                    &mut validator,
-                    &store,
-                    &mempool,
-                    now,
-                    cfg.me,
-                    cfg.delta,
-                    &outbound,
-                    &tx_in,
-                    &mut frames_sent,
-                    &mut wire_stats,
-                );
-            }
-            // Re-broadcast session-layer fetches for still-parked
-            // frames, from each frame's latest decode-derived start
-            // hint (any peer can answer).
-            let mut asked: Vec<BlockId> = Vec::new();
-            for frame in &parked {
-                if asked.contains(&frame.missing) {
-                    continue;
-                }
-                asked.push(frame.missing);
-                let req = SignedMessage::sign(
-                    &keypair,
-                    cfg.me,
-                    Payload::BlockRequest { tip: frame.missing, from_height: frame.from_height },
-                );
-                wire_stats.session_fetches += 1;
-                frames_sent += send_direct(&req, None, &store, &outbound, &mut wire_stats);
-            }
-            let mut ctx = Context::new(now, cfg.me, cfg.delta, store.clone(), mempool.clone());
-            validator.on_phase(&mut ctx);
-            frames_sent += flush(&mut ctx, &store, &outbound, &tx_in, cfg.me, &mut wire_stats);
+            state.phase_boundary(now);
         }
     }
 
-    // Close outbound so peers' readers wind down.
-    for (_, s) in outbound {
+    // Close outbound so peers' sessions observe EOF, then stop the I/O
+    // loop and collect its stats.
+    for s in state.outbound.values() {
         let _ = s.lock().shutdown(std::net::Shutdown::Both);
     }
-    let _ = accept_handle.join();
+    stop.store(true, Ordering::Relaxed);
+    let ingest = io_handle.join().unwrap_or_default();
 
     // Crypto-op accounting comes straight off the validator: the node
     // loop shares its verification fast path with the simulator.
-    wire_stats.sig_verifies = validator.sig_verifies();
-    wire_stats.sig_verify_skips = validator.sig_verify_skips();
-    wire_stats.vrf_verifies = validator.vrf_verifies();
-    wire_stats.vrf_verify_skips = validator.vrf_verify_skips();
-    wire_stats.agg_verifies = validator.agg_verifies();
-    wire_stats.agg_verify_skips = validator.agg_verify_skips();
-    wire_stats.certificates_emitted = validator.certificates_emitted();
+    state.wire.sig_verifies = state.validator.sig_verifies();
+    state.wire.sig_verify_skips = state.validator.sig_verify_skips();
+    state.wire.vrf_verifies = state.validator.vrf_verifies();
+    state.wire.vrf_verify_skips = state.validator.vrf_verify_skips();
+    state.wire.agg_verifies = state.validator.agg_verifies();
+    state.wire.agg_verify_skips = state.validator.agg_verify_skips();
+    state.wire.certificates_emitted = state.validator.certificates_emitted();
 
     NodeOutcomeInner {
         me: cfg.me,
-        decided: validator.decided(),
-        blocks_fetched: validator.sync().blocks_fetched(),
-        persisted_len: validator.persisted_len(),
-        wal_errors: validator.wal_errors(),
+        decided: state.validator.decided(),
+        blocks_fetched: state.validator.sync().blocks_fetched(),
+        persisted_len: state.validator.persisted_len(),
+        wal_errors: state.validator.wal_errors(),
         store,
-        votes_cast: validator.votes_cast(),
-        frames_received,
-        frames_sent,
-        wire: wire_stats,
+        votes_cast: state.validator.votes_cast(),
+        frames_received: state.frames_received,
+        frames_sent: state.frames_sent,
+        wire: state.wire,
+        ingest,
+        admission: mempool.admission_stats(),
+        decided_events: state.decided_events,
+        fatal: None,
     }
-}
-
-/// Feeds one re-decoded parked frame batch back through the validator.
-/// Frames that still miss blocks keep (or refresh) their fetch
-/// coordinates from the new decode error.
-#[allow(clippy::too_many_arguments)]
-fn retry_parked(
-    parked: &mut VecDeque<ParkedFrame>,
-    validator: &mut Validator,
-    store: &BlockStore,
-    mempool: &Mempool,
-    now: Time,
-    me: ValidatorId,
-    delta: Delta,
-    outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
-    loopback: &Sender<Inbound>,
-    frames_sent: &mut u64,
-    wire_stats: &mut WireStats,
-) {
-    let mut keep: VecDeque<ParkedFrame> = VecDeque::with_capacity(parked.len());
-    while let Some(frame) = parked.pop_front() {
-        match wire::decode_message(frame.raw.clone(), store) {
-            Ok(msg) => {
-                let mut ctx = Context::new(now, me, delta, store.clone(), mempool.clone());
-                validator.on_message(&msg, &mut ctx);
-                *frames_sent += flush(&mut ctx, store, outbound, loopback, me, wire_stats);
-            }
-            Err(wire::WireError::MissingBlocks { missing, from_height }) => {
-                keep.push_back(ParkedFrame { missing, from_height, raw: frame.raw });
-            }
-            Err(_) => { /* malformed beyond repair: drop it */ }
-        }
-    }
-    *parked = keep;
 }
 
 /// Whether a raw frame carries a fetch-subprotocol payload (tag byte at
@@ -505,126 +614,4 @@ fn dial_with_retry(addr: SocketAddr, until: std::time::Instant) -> Option<TcpStr
             Err(_) => return None,
         }
     }
-}
-
-fn reader_loop(
-    mut stream: TcpStream,
-    store: BlockStore,
-    tx: Sender<Inbound>,
-    deadline: std::time::Instant,
-) {
-    loop {
-        match read_frame(&mut stream) {
-            Ok(bytes) => {
-                let n = bytes.len() as u64;
-                match wire::decode_message(bytes.clone(), &store) {
-                    Ok(msg) => {
-                        if tx.send(Inbound::Msg(msg, n)).is_err() {
-                            return;
-                        }
-                    }
-                    Err(wire::WireError::MissingBlocks { missing, from_height }) => {
-                        let inbound = Inbound::NeedBlocks {
-                            from: frame_sender(&bytes),
-                            raw: bytes,
-                            missing,
-                            from_height,
-                        };
-                        if tx.send(inbound).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => { /* malformed frame: drop it */ }
-                }
-            }
-            Err(crate::codec::FrameError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if std::time::Instant::now() >= deadline {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Writes one message to a single peer (or all peers when `to` is
-/// `None`); returns frames written.
-fn send_direct(
-    msg: &SignedMessage,
-    to: Option<ValidatorId>,
-    store: &BlockStore,
-    outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
-    wire_stats: &mut WireStats,
-) -> u64 {
-    let Ok(bytes) = wire::encode_message(msg, store) else {
-        // Refusing the frame beats crashing the node; the counter makes
-        // the drop observable in the run report.
-        wire_stats.encode_failures += 1;
-        return 0;
-    };
-    let mut sent = 0u64;
-    let targets: Vec<ValidatorId> = match to {
-        Some(t) => vec![t],
-        None => outbound.keys().copied().collect(),
-    };
-    for target in targets {
-        if let Some(stream) = outbound.get(&target) {
-            if write_frame(&mut *stream.lock(), &bytes).is_ok() {
-                wire_stats.sync_bytes_out += bytes.len() as u64;
-                sent += 1;
-            }
-        }
-    }
-    sent
-}
-
-/// Sends a context's collected actions over the mesh; returns frames
-/// written. Self-copies go through the loopback channel.
-fn flush(
-    ctx: &mut Context,
-    store: &BlockStore,
-    outbound: &HashMap<ValidatorId, Arc<Mutex<TcpStream>>>,
-    loopback: &Sender<Inbound>,
-    me: ValidatorId,
-    wire_stats: &mut WireStats,
-) -> u64 {
-    let mut sent = 0u64;
-    for action in ctx.take_outbox() {
-        let (targets, msg): (Vec<ValidatorId>, SignedMessage) = match action {
-            Outgoing::Broadcast(m) => (outbound.keys().copied().chain([me]).collect(), m),
-            // Forwards skip self: the node has already processed the message.
-            Outgoing::Forward(m) => (outbound.keys().copied().collect(), m),
-            Outgoing::ForwardTo(t, m) | Outgoing::Multicast(t, m) => (t, m),
-        };
-        let Ok(bytes) = wire::encode_message(&msg, store) else {
-            wire_stats.encode_failures += 1;
-            continue;
-        };
-        let is_sync = msg.payload().is_sync();
-        let is_cert = matches!(msg.payload(), Payload::Certificate { .. });
-        for target in targets {
-            if target == me {
-                // Self-copies never cross the network: charge 0 bytes
-                // so the per-kind in/out stats reconcile across nodes.
-                let _ = loopback.send(Inbound::Msg(msg, 0));
-                continue;
-            }
-            if let Some(stream) = outbound.get(&target) {
-                if write_frame(&mut *stream.lock(), &bytes).is_ok() {
-                    if is_sync {
-                        wire_stats.sync_bytes_out += bytes.len() as u64;
-                    } else if is_cert {
-                        wire_stats.certificate_bytes_out += bytes.len() as u64;
-                    } else {
-                        wire_stats.announce_bytes_out += bytes.len() as u64;
-                    }
-                    sent += 1;
-                }
-            }
-        }
-    }
-    sent
 }

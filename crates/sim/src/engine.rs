@@ -55,7 +55,7 @@ use tobsvd_types::{
 use crate::config::SimConfig;
 use crate::controller::{AdversaryCommand, AdversaryController, NullController, TickView};
 use crate::invariant::{DecisionEvent, Invariant, InvariantViolation};
-use crate::mempool::Mempool;
+use crate::mempool::{AdmissionStats, Mempool};
 use crate::metrics::{MessageKind, Metrics};
 use crate::network::{DelayPolicy, DeliveryFilter, UniformDelay};
 use crate::node::{Context, IdleNode, Node, Outgoing};
@@ -993,6 +993,7 @@ impl Simulation {
             confirmed: self.observer.confirmed().to_vec(),
             decisions: self.observer.history().to_vec(),
             invariant_violations: self.invariant_violations(),
+            admission: self.mempool.admission_stats(),
             store: self.store.clone(),
         }
     }
@@ -1033,6 +1034,9 @@ pub struct SimReport {
     pub decisions: Vec<DecisionRecord>,
     /// Violations of installed run-time invariants.
     pub invariant_violations: Vec<InvariantViolation>,
+    /// Mempool admission counters (all-zero unless a bounded
+    /// [`crate::AdmissionPolicy`] was installed and exercised).
+    pub admission: AdmissionStats,
     /// The shared block store (for post-hoc log walks).
     pub store: BlockStore,
 }
@@ -1707,6 +1711,7 @@ mod tests {
             confirmed: Vec::new(),
             decisions: fork_then_converge,
             invariant_violations: Vec::new(),
+            admission: AdmissionStats::default(),
             store,
         };
         let pairs = report.prefix_agreement_violations();

@@ -27,7 +27,9 @@
 //!
 //! Protocol logic plugs in through the sans-io [`Node`] trait; the
 //! engine ([`Simulation`]) owns the event loop, gossip bookkeeping
-//! helpers live in [`gossip`], workload generation in [`Mempool`], and
+//! helpers live in [`gossip`], transaction pooling (with bounded
+//! [`AdmissionPolicy`]-controlled admission) in [`Mempool`], open-loop
+//! client traffic generation in [`OpenLoopWorkload`], and
 //! measurement in [`Metrics`] and [`DecisionObserver`]. The network
 //! stores one `Arc`'d message per broadcast — delivery events carry the
 //! shared handle, not deep copies — and charges every delivered copy
@@ -65,6 +67,7 @@ mod network;
 mod node;
 mod observer;
 mod schedule;
+mod workload;
 
 pub use config::SimConfig;
 pub use controller::{AdversaryCommand, AdversaryController, NullController, TickView};
@@ -75,9 +78,10 @@ pub use invariant::{
     standard_invariants, DecisionEvent, DecisionMonotonicity, Invariant, InvariantViolation,
     NoConflictingAnchor, PrefixAgreement,
 };
-pub use mempool::{Mempool, TxRecord};
+pub use mempool::{Admission, AdmissionPolicy, AdmissionStats, Mempool, TxRecord};
 pub use metrics::{MessageKind, Metrics};
 pub use network::{BestCaseDelay, DelayPolicy, DeliveryFilter, UniformDelay, WorstCaseDelay};
 pub use node::{Context, CryptoOps, IdleNode, Node, Outgoing};
 pub use observer::{ConfirmedTx, DecisionObserver, DecisionRecord, SafetyViolation};
 pub use schedule::{CorruptionSchedule, ParticipationSchedule};
+pub use workload::{Arrival, OpenLoopSpec, OpenLoopWorkload};

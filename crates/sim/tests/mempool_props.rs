@@ -9,7 +9,7 @@
 //!   (sets stay relative to the base — pruned txs never resurface).
 
 use proptest::prelude::*;
-use tobsvd_sim::Mempool;
+use tobsvd_sim::{Admission, AdmissionPolicy, Mempool};
 use tobsvd_types::{BlockStore, Log, Time, Transaction, TxId, ValidatorId, View};
 
 /// Deterministically builds a chain of `blocks` blocks on top of `base`,
@@ -181,6 +181,166 @@ proptest! {
                 .pending_for(&tip, &store)
                 .iter()
                 .all(|t| t.id() != pruned_tx.id()));
+        }
+    }
+
+    /// Bounded admission under arbitrary fee sequences: the pool never
+    /// exceeds its hard capacity, and the whole verdict sequence —
+    /// including *which* transaction each acceptance evicts under fee
+    /// ties — is a pure function of the submission sequence (replaying
+    /// it yields identical verdicts and stats).
+    #[test]
+    fn bounded_admission_is_capacity_safe_and_deterministic(
+        capacity in 1usize..24,
+        fees in proptest::collection::vec(0u64..6, 1..160),
+    ) {
+        let policy = AdmissionPolicy { capacity, rate_cap: 0, rate_window: 64 };
+        let mut replays = Vec::new();
+        for _ in 0..2 {
+            let pool = Mempool::bounded(policy);
+            let mut verdicts = Vec::new();
+            for (i, &fee) in fees.iter().enumerate() {
+                let tx = Transaction::new(format!("adm{i}").into_bytes());
+                let verdict = pool.admit(tx, Time::new(i as u64), fee, Some(i as u64 % 5));
+                prop_assert!(
+                    pool.pending_len() <= capacity,
+                    "capacity breached: {} > {}",
+                    pool.pending_len(),
+                    capacity
+                );
+                verdicts.push(verdict);
+            }
+            prop_assert!(pool.admission_stats().pending_peak as usize <= capacity);
+            replays.push((verdicts, pool.admission_stats()));
+        }
+        prop_assert_eq!(&replays[0], &replays[1], "admission verdicts must be deterministic");
+    }
+
+    /// Admission-pressure eviction never touches the decided-anchor
+    /// machinery: with a tiny capacity forcing constant eviction, a
+    /// pruned (confirmed) transaction stays suppressed as a duplicate
+    /// and never resurfaces in a pending batch — eviction frees the
+    /// *pending* record, not the confirmed-id memory or the
+    /// eviction-exempt memo base.
+    #[test]
+    fn admission_churn_preserves_pruned_base(
+        churn in 1usize..160,
+        shape in any::<u64>(),
+    ) {
+        let store = BlockStore::new();
+        let pool = Mempool::bounded(AdmissionPolicy { capacity: 4, rate_cap: 0, rate_window: 64 });
+        let pruned_tx = Transaction::new(b"pruned-bounded".to_vec());
+        prop_assert!(pool.admit(pruned_tx.clone(), Time::ZERO, 1, None).is_accepted());
+        let base = Log::genesis(&store).extend(
+            &store,
+            ValidatorId::new(0),
+            View::new(1),
+            vec![pruned_tx.clone()],
+        );
+        pool.prune_confirmed(&base, &store);
+
+        for i in 0..churn {
+            let tx = Transaction::new(format!("churn{i}").into_bytes());
+            let _ = pool.admit(
+                tx,
+                Time::new(1 + i as u64),
+                (shape >> (i % 56)) & 7,
+                Some(i as u64),
+            );
+            prop_assert!(pool.pending_len() <= 4);
+        }
+
+        // Still remembered as confirmed, churn notwithstanding.
+        prop_assert_eq!(
+            pool.admit(pruned_tx.clone(), Time::new(9_999), u64::MAX, None),
+            Admission::Duplicate
+        );
+        prop_assert!(pool
+            .pending_for(&base, &store)
+            .iter()
+            .all(|t| t.id() != pruned_tx.id()));
+
+        // Evicted (not pruned) records, by contrast, may be resubmitted:
+        // find one eviction and replay it.
+        let stats = pool.admission_stats();
+        prop_assert_eq!(
+            stats.accepted + stats.duplicates + stats.busy + stats.rate_limited,
+            1 + churn as u64 + 1
+        );
+    }
+
+    /// The 1024-entry inclusion memo and the hard admission capacity are
+    /// independent bounds: growing a chain from a bounded pool keeps the
+    /// pending set under `capacity` and the memo under its cap, and no
+    /// pending batch ever offers an already-included transaction.
+    #[test]
+    fn memo_cap_and_capacity_bound_independently(
+        capacity in 1usize..16,
+        blocks in 1usize..40,
+        shape in any::<u64>(),
+    ) {
+        let store = BlockStore::new();
+        let pool =
+            Mempool::bounded(AdmissionPolicy { capacity, rate_cap: 0, rate_window: 64 });
+        let mut log = Log::genesis(&store);
+        let mut nonce = 0u64;
+        for i in 0..blocks {
+            // Over-submit relative to capacity, then include whatever
+            // the pool currently proposes for the tip.
+            for j in 0..(1 + (shape >> (i % 48)) % 4) {
+                let tx = Transaction::new(format!("m{i}:{j}:{nonce}").into_bytes());
+                nonce += 1;
+                let _ = pool.admit(tx, Time::new(i as u64), j, Some(j));
+                prop_assert!(pool.pending_len() <= capacity);
+            }
+            let batch = pool.pending_for(&log, &store);
+            for tx in &batch {
+                prop_assert!(
+                    !log.contains_tx(tx.id(), &store),
+                    "pending batch offered an included tx"
+                );
+            }
+            log = log.extend(
+                &store,
+                ValidatorId::new((i % 4) as u32),
+                View::new(1 + i as u64),
+                batch,
+            );
+            pool.prune_confirmed(&log, &store);
+            let _ = pool.included_set(log.tip(), &store);
+            prop_assert!(pool.inclusion_memo_len() <= Mempool::INCLUSION_MEMO_CAP);
+            prop_assert!(pool.pending_len() <= capacity);
+        }
+    }
+
+    /// Per-client rate caps: within any window, no client gets more
+    /// than `rate_cap` acceptances, regardless of fees or interleaving
+    /// with other clients.
+    #[test]
+    fn rate_cap_bounds_acceptances_per_client_window(
+        rate_cap in 1u32..6,
+        submissions in proptest::collection::vec((0u64..4, 0u64..8), 1..200),
+    ) {
+        let window = 16u64;
+        let pool = Mempool::bounded(AdmissionPolicy {
+            capacity: 10_000,
+            rate_cap,
+            rate_window: window,
+        });
+        let mut accepted_in_window: std::collections::BTreeMap<(u64, u64), u32> =
+            std::collections::BTreeMap::new();
+        for (i, &(client, fee)) in submissions.iter().enumerate() {
+            let now = Time::new(i as u64);
+            let tx = Transaction::new(format!("r{i}").into_bytes());
+            if pool.admit(tx, now, fee, Some(client)).is_accepted() {
+                let k = (client, now.ticks() / window);
+                let c = accepted_in_window.entry(k).or_insert(0);
+                *c += 1;
+                prop_assert!(
+                    *c <= rate_cap,
+                    "client {client} got {c} acceptances in one window (cap {rate_cap})"
+                );
+            }
         }
     }
 }

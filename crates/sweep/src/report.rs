@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use tobsvd_core::TobReport;
+use tobsvd_sim::AdmissionStats;
 
 use crate::matrix::Scenario;
 
@@ -34,6 +35,8 @@ pub struct ScenarioOutcome {
     /// Ticks the engine actually executed (≤ `ticks`; the gap is the
     /// event-driven engine's saving).
     pub executed_ticks: u64,
+    /// Mempool admission counters (all zero for unbounded scenarios).
+    pub admission: AdmissionStats,
     /// Wall-clock time of this scenario's run.
     pub wall: Duration,
 }
@@ -58,6 +61,7 @@ impl ScenarioOutcome {
             bytes_delivered: report.report.metrics.bytes_delivered,
             ticks: report.report.metrics.ticks,
             executed_ticks: report.report.metrics.executed_ticks,
+            admission: report.admission(),
             wall,
         }
     }
@@ -76,6 +80,7 @@ impl ScenarioOutcome {
             && self.bytes_delivered == other.bytes_delivered
             && self.ticks == other.ticks
             && self.executed_ticks == other.executed_ticks
+            && self.admission == other.admission
     }
 
     fn json(&self, out: &mut String) {
@@ -85,7 +90,8 @@ impl ScenarioOutcome {
             "{{\"label\":\"{}\",\"n\":{},\"delta\":{},\"views\":{},\"seed\":{},\
              \"safe\":{},\"decided_blocks\":{},\"good_leader_fraction\":{:.4},\
              \"confirmed_txs\":{},\"mean_latency_deltas\":{},\"deliveries\":{},\
-             \"bytes_delivered\":{},\"ticks\":{},\"executed_ticks\":{},\"wall_us\":{}}}",
+             \"bytes_delivered\":{},\"ticks\":{},\"executed_ticks\":{},\
+             \"admitted\":{},\"shed\":{},\"pending_peak\":{},\"wall_us\":{}}}",
             self.scenario.label(),
             self.scenario.n,
             self.scenario.delta,
@@ -101,6 +107,9 @@ impl ScenarioOutcome {
             self.bytes_delivered,
             self.ticks,
             self.executed_ticks,
+            self.admission.accepted,
+            self.admission.busy + self.admission.rate_limited + self.admission.evicted,
+            self.admission.pending_peak,
             self.wall.as_micros(),
         );
     }

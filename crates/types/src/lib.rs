@@ -47,6 +47,7 @@
 pub const ENVELOPE_NOMINAL_BYTES: u64 = 64;
 
 mod block;
+pub mod client;
 mod ids;
 mod log;
 mod message;

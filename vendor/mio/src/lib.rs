@@ -1,0 +1,701 @@
+//! Offline stand-in for the `mio` crate (API subset of 0.8).
+//!
+//! The build environment has no crates.io access and the workspace
+//! denies `unsafe`, so this stand-in cannot call epoll/kqueue directly.
+//! Instead it emulates *level-triggered* readiness on top of blocking-
+//! free std sockets:
+//!
+//! * [`net::TcpStream`] readability is probed with `TcpStream::peek`
+//!   (data buffered, EOF, or a socket error all count as readable;
+//!   `WouldBlock` means not ready);
+//! * [`net::TcpListener`] readability is probed by attempting a
+//!   nonblocking `accept` and queueing any accepted connection
+//!   internally, so the wrapper's own `accept` pops the queue;
+//! * [`Poll::poll`] scans every registered source, returns as soon as
+//!   any source is ready, and otherwise sleeps in sub-millisecond
+//!   increments until the timeout elapses.
+//!
+//! Differences from real mio, documented so callers don't rely on them:
+//!
+//! * readiness is level-triggered only (real mio is edge-triggered);
+//! * `Interest::WRITABLE` sources always report writable — callers must
+//!   treat `WouldBlock` from `write` as the ground truth;
+//! * the scan is O(registered sources) per wakeup rather than O(ready).
+//!
+//! The subset implemented is exactly what `tobsvd-runtime`'s ingest
+//! event loop uses: `Poll`, `Registry`, `Events`, `Event`, `Token`,
+//! `Interest`, `event::Source`, and `net::{TcpListener, TcpStream}`.
+//! To use the real crate, replace the workspace `path` dependency with
+//! `mio = { version = "0.8", features = ["os-poll", "net"] }`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Token identifying a registered event source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Interest set a source is registered with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable interest.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable interest.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Union of two interest sets (named after the real crate's API,
+    /// which predates the clippy lint).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether the set contains readable interest.
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether the set contains writable interest.
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Event sources and the registration trait.
+pub mod event {
+    use super::{Interest, Registry, Token};
+    use std::io;
+
+    /// A readiness event delivered by [`super::Poll::poll`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Event {
+        pub(crate) token: Token,
+        pub(crate) readable: bool,
+        pub(crate) writable: bool,
+    }
+
+    impl Event {
+        /// The token the source was registered with.
+        pub fn token(&self) -> Token {
+            self.token
+        }
+
+        /// Whether the source is ready to read.
+        pub fn is_readable(&self) -> bool {
+            self.readable
+        }
+
+        /// Whether the source is ready to write (always true for
+        /// writable-registered sources in this stand-in).
+        pub fn is_writable(&self) -> bool {
+            self.writable
+        }
+    }
+
+    /// An event source that can be registered with a [`Registry`].
+    pub trait Source {
+        /// Registers the source.
+        ///
+        /// # Errors
+        ///
+        /// Propagates socket-handle duplication failures.
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()>;
+
+        /// Updates the source's token and interest set.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the source was never registered.
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()>;
+
+        /// Removes the source from the registry.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the source was never registered.
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()>;
+    }
+}
+
+pub use event::Event;
+
+/// A collection of readiness events filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates an event buffer holding up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// What the registry holds per source: a cloned handle it can probe
+/// without borrowing the caller's wrapper.
+enum ProbeHandle {
+    Stream(std::net::TcpStream),
+    Listener {
+        inner: std::net::TcpListener,
+        queue: Arc<Mutex<VecDeque<(std::net::TcpStream, SocketAddr)>>>,
+    },
+}
+
+impl ProbeHandle {
+    /// Level-triggered readiness probe. Readable covers buffered data,
+    /// EOF and socket errors (so the owner observes the condition on
+    /// its next read). Writable is approximated as always-ready.
+    fn ready(&self) -> (bool, bool) {
+        match self {
+            ProbeHandle::Stream(s) => {
+                let mut probe = [0u8; 1];
+                match s.peek(&mut probe) {
+                    Ok(_) => (true, true),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => (false, true),
+                    Err(_) => (true, true),
+                }
+            }
+            ProbeHandle::Listener { inner, queue } => {
+                let mut q = lock(queue);
+                while let Ok(pair) = inner.accept() {
+                    q.push_back(pair);
+                }
+                (!q.is_empty(), false)
+            }
+        }
+    }
+}
+
+struct Slot {
+    token: Token,
+    interest: Interest,
+    probe: ProbeHandle,
+}
+
+/// Handle used to (de)register event sources with a [`Poll`].
+#[derive(Clone)]
+pub struct Registry {
+    slots: Arc<Mutex<Vec<Slot>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A poisoned registry lock only means another thread panicked while
+    // holding it; the slot list itself is still structurally valid.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Registry {
+    /// Registers `source` under `token` with the given interests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-handle duplication failures.
+    pub fn register<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        source.register(self, token, interests)
+    }
+
+    /// Updates the registration of `source`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source was never registered.
+    pub fn reregister<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        source.reregister(self, token, interests)
+    }
+
+    /// Removes `source` from the registry.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source was never registered.
+    pub fn deregister<S: event::Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        source.deregister(self)
+    }
+
+    fn add(&self, slot: Slot) {
+        lock(&self.slots).push(slot);
+    }
+
+    fn update(&self, old: Token, new: Token, interest: Interest) -> io::Result<()> {
+        let mut slots = lock(&self.slots);
+        for slot in slots.iter_mut() {
+            if slot.token == old {
+                slot.token = new;
+                slot.interest = interest;
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::NotFound, "source not registered"))
+    }
+
+    fn remove(&self, token: Token) -> io::Result<()> {
+        let mut slots = lock(&self.slots);
+        let before = slots.len();
+        slots.retain(|s| s.token != token);
+        if slots.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "source not registered"));
+        }
+        Ok(())
+    }
+}
+
+/// Readiness poller over registered sources.
+pub struct Poll {
+    registry: Registry,
+}
+
+/// Granularity of the emulated wait between readiness scans.
+const SCAN_PAUSE: Duration = Duration::from_micros(500);
+
+impl Poll {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in (signature kept for API parity).
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll { registry: Registry { slots: Arc::new(Mutex::new(Vec::new())) } })
+    }
+
+    /// The registry sources are registered with.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Waits for readiness events, filling `events`.
+    ///
+    /// Returns immediately once any registered source is ready, or when
+    /// `timeout` elapses (`None` blocks until something is ready).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in (signature kept for API parity).
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            events.clear();
+            {
+                let slots = lock(&self.registry.slots);
+                for slot in slots.iter() {
+                    if events.inner.len() >= events.capacity {
+                        break;
+                    }
+                    let (readable, writable) = slot.probe.ready();
+                    let readable = readable && slot.interest.is_readable();
+                    let writable = writable && slot.interest.is_writable();
+                    if readable || writable {
+                        events.inner.push(Event { token: slot.token, readable, writable });
+                    }
+                }
+            }
+            if !events.is_empty() {
+                return Ok(());
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(());
+                    }
+                    std::thread::sleep(SCAN_PAUSE.min(d - now));
+                }
+                None => std::thread::sleep(SCAN_PAUSE),
+            }
+        }
+    }
+}
+
+/// Nonblocking TCP types mirroring `mio::net`.
+pub mod net {
+    use super::{event, lock, Interest, ProbeHandle, Registry, Slot, Token};
+    use std::collections::VecDeque;
+    use std::io::{self, Read, Write};
+    use std::net::SocketAddr;
+    use std::sync::{Arc, Mutex};
+
+    /// A nonblocking TCP stream.
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+        registered: Option<Token>,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr` and switches the socket to nonblocking
+        /// mode. Unlike real mio this connect itself is blocking; the
+        /// returned stream behaves identically afterwards.
+        ///
+        /// # Errors
+        ///
+        /// Propagates connection failures.
+        pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            let s = std::net::TcpStream::connect(addr)?;
+            Self::from_std_checked(s)
+        }
+
+        /// Wraps an already-connected std stream, switching it to
+        /// nonblocking mode.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the socket mode cannot be changed (matches real
+        /// mio's `from_std`, which assumes a healthy socket; use
+        /// [`TcpStream::from_std_checked`] to handle the error).
+        pub fn from_std(s: std::net::TcpStream) -> TcpStream {
+            match Self::from_std_checked(s) {
+                Ok(stream) => stream,
+                Err(e) => panic!("from_std: cannot make socket nonblocking: {e}"),
+            }
+        }
+
+        /// Fallible [`TcpStream::from_std`].
+        ///
+        /// # Errors
+        ///
+        /// Propagates `set_nonblocking` failures.
+        pub fn from_std_checked(s: std::net::TcpStream) -> io::Result<TcpStream> {
+            s.set_nonblocking(true)?;
+            Ok(TcpStream { inner: s, registered: None })
+        }
+
+        /// The remote address.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// The local address.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Sets TCP_NODELAY.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        /// Shuts down the connection.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn shutdown(&self, how: std::net::Shutdown) -> io::Result<()> {
+            self.inner.shutdown(how)
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl event::Source for TcpStream {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            let probe = ProbeHandle::Stream(self.inner.try_clone()?);
+            registry.add(Slot { token, interest: interests, probe });
+            self.registered = Some(token);
+            Ok(())
+        }
+
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            match self.registered {
+                Some(old) => {
+                    registry.update(old, token, interests)?;
+                    self.registered = Some(token);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "not registered")),
+            }
+        }
+
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+            match self.registered.take() {
+                Some(token) => registry.remove(token),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "not registered")),
+            }
+        }
+    }
+
+    /// A nonblocking TCP listener.
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+        queue: Arc<Mutex<VecDeque<(std::net::TcpStream, SocketAddr)>>>,
+        registered: Option<Token>,
+    }
+
+    impl TcpListener {
+        /// Binds to `addr` in nonblocking mode.
+        ///
+        /// # Errors
+        ///
+        /// Propagates bind failures.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            let l = std::net::TcpListener::bind(addr)?;
+            Self::from_std_checked(l)
+        }
+
+        /// Wraps an already-bound std listener, switching it to
+        /// nonblocking mode.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the socket mode cannot be changed (matches real
+        /// mio's `from_std`; use [`TcpListener::from_std_checked`] to
+        /// handle the error).
+        pub fn from_std(l: std::net::TcpListener) -> TcpListener {
+            match Self::from_std_checked(l) {
+                Ok(listener) => listener,
+                Err(e) => panic!("from_std: cannot make listener nonblocking: {e}"),
+            }
+        }
+
+        /// Fallible [`TcpListener::from_std`].
+        ///
+        /// # Errors
+        ///
+        /// Propagates `set_nonblocking` failures.
+        pub fn from_std_checked(l: std::net::TcpListener) -> io::Result<TcpListener> {
+            l.set_nonblocking(true)?;
+            Ok(TcpListener {
+                inner: l,
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                registered: None,
+            })
+        }
+
+        /// Accepts a connection: pops one queued by the readiness probe,
+        /// else tries the socket directly.
+        ///
+        /// # Errors
+        ///
+        /// `WouldBlock` when no connection is pending, otherwise the
+        /// underlying accept error.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            if let Some((s, addr)) = lock(&self.queue).pop_front() {
+                return Ok((TcpStream::from_std_checked(s)?, addr));
+            }
+            let (s, addr) = self.inner.accept()?;
+            Ok((TcpStream::from_std_checked(s)?, addr))
+        }
+
+        /// The bound address.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl event::Source for TcpListener {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            let probe = ProbeHandle::Listener {
+                inner: self.inner.try_clone()?,
+                queue: Arc::clone(&self.queue),
+            };
+            registry.add(Slot { token, interest: interests, probe });
+            self.registered = Some(token);
+            Ok(())
+        }
+
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            match self.registered {
+                Some(old) => {
+                    registry.update(old, token, interests)?;
+                    self.registered = Some(token);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "not registered")),
+            }
+        }
+
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+            match self.registered.take() {
+                Some(token) => registry.remove(token),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "not registered")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+
+    #[test]
+    fn listener_and_stream_readiness_roundtrip() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let mut listener = net::TcpListener::bind(addr).unwrap();
+        let local = listener.local_addr().unwrap();
+        poll.registry().register(&mut listener, LISTENER, Interest::READABLE).unwrap();
+
+        // Nothing connected yet: a short poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+
+        // Connect; the listener becomes readable.
+        let mut client = std::net::TcpStream::connect(local).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == LISTENER && e.is_readable()));
+
+        let (mut server_side, _) = listener.accept().unwrap();
+        poll.registry().register(&mut server_side, CLIENT, Interest::READABLE).unwrap();
+
+        // No data yet: only quiet sockets remain.
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(!events.iter().any(|e| e.token() == CLIENT));
+
+        client.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == CLIENT && e.is_readable()));
+
+        let mut buf = [0u8; 4];
+        server_side.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // EOF also reads as readable (owner must observe the close).
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == CLIENT && e.is_readable()));
+        assert_eq!(server_side.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn deregister_removes_source() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let mut listener = net::TcpListener::bind(addr).unwrap();
+        let local = listener.local_addr().unwrap();
+        poll.registry().register(&mut listener, LISTENER, Interest::READABLE).unwrap();
+        let _client = std::net::TcpStream::connect(local).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(!events.is_empty());
+        poll.registry().deregister(&mut listener).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+        // Double-deregister fails cleanly.
+        assert!(poll.registry().deregister(&mut listener).is_err());
+    }
+
+    #[test]
+    fn interest_set_operations() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}
