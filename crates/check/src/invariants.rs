@@ -283,12 +283,103 @@ impl CrashReconvergence {
     }
 }
 
+/// State re-convergence: a validator whose state was corrupted mid-run
+/// (decided-log reset, counter skew, poisoned caches, sync amnesia —
+/// the [`tobsvd_sim::StateFault`] vocabulary) must end the run back
+/// within two blocks of the common decided anchor, repaired by its own
+/// per-phase local audits plus the §2 recovery broadcast and the
+/// delta-sync fetch plane — provided enough horizon remains after the
+/// corruption.
+///
+/// The grace period mirrors [`CrashReconvergence`]: 12Δ (the audit
+/// fires at the next phase boundary, a full re-sync needs the recovery
+/// round trip plus fetch round trips, and the first fully-participated
+/// view decides 6Δ after its proposal) plus the scenario's longest
+/// sleep and fetch-fault windows. Corruptions closer to the horizon
+/// than the grace period are not judged; the two-block tolerance
+/// absorbs decisions still in flight at run end.
+///
+/// Appended by [`CheckScenario::run_report`] like the other end-of-run
+/// checks: inside the model a failure is a stabilization bug (an audit
+/// missed or mis-repaired illegal state); past the corruption bound it
+/// is the expected finding.
+#[derive(Clone, Debug)]
+pub struct StateReconvergence {
+    /// `(validator, at)` for every scheduled state corruption.
+    pub corrupted: Vec<(u32, u64)>,
+    /// Ticks after a corruption before the bound applies.
+    pub grace_ticks: u64,
+}
+
+impl StateReconvergence {
+    /// Stable violation name.
+    pub const NAME: &'static str = "state-reconvergence";
+
+    /// The re-convergence bound for a concrete scenario.
+    pub fn for_scenario(scenario: &CheckScenario) -> Self {
+        let fault_w =
+            scenario.fetch_faults.iter().map(|f| f.until - f.from).max().unwrap_or(0);
+        let sleep_w = scenario.sleeps.iter().map(|w| w.until - w.from).max().unwrap_or(0);
+        // Saturating: shrinker-explored scenarios may carry extreme
+        // deltas or windows, and a wrapped grace would judge
+        // corruptions that never had time to heal.
+        let grace_ticks = scenario
+            .delta
+            .saturating_mul(12)
+            .saturating_add(fault_w)
+            .saturating_add(sleep_w);
+        StateReconvergence {
+            corrupted: scenario.state_faults.iter().map(|f| (f.validator, f.at)).collect(),
+            grace_ticks,
+        }
+    }
+
+    /// Evaluates the check against a finished run's report.
+    pub fn check(&self, report: &TobReport) -> Vec<InvariantViolation> {
+        let end = report.report.final_time;
+        let max_len = report.max_decided_len();
+        let mut violations = Vec::new();
+        for (v, at) in &self.corrupted {
+            if at.saturating_add(self.grace_ticks) > end.ticks() {
+                continue; // not enough horizon left to judge repair
+            }
+            // A validator down at run end (or Byzantine) reports no
+            // stats; re-convergence is then not judgeable.
+            let Some(stats) =
+                report.validators.get(*v as usize).and_then(|s| s.as_ref())
+            else {
+                continue;
+            };
+            if stats.decided_len.saturating_add(2) < max_len {
+                violations.push(InvariantViolation {
+                    invariant: Self::NAME,
+                    at: end,
+                    detail: format!(
+                        "{} was state-corrupted at t={} but ended at decided length {} \
+                         of {} after {} audits / {} repairs (grace {} ticks)",
+                        stats.validator,
+                        at,
+                        stats.decided_len,
+                        max_len,
+                        stats.audits_run,
+                        stats.audit_repairs,
+                        self.grace_ticks
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::{
-        CheckScenario, CrashRestart, FetchFault, FetchFaultKind, SleepWindow, SyncMode,
+        CheckScenario, CrashRestart, FetchFault, FetchFaultKind, SleepWindow, StateCorruption,
+        SyncMode,
     };
+    use tobsvd_sim::StateFault;
 
     #[test]
     fn good_case_bound_is_tight_and_holds() {
@@ -414,6 +505,51 @@ mod tests {
         // Out-of-range and Byzantine validators report no stats and are
         // skipped rather than judged.
         let oob = CrashReconvergence { restarts: vec![(99, 0)], grace_ticks: 0 };
+        assert!(oob.check(&report).is_empty());
+    }
+
+    /// The state-re-convergence grace saturates like the others:
+    /// extreme deltas clamp to "never judged", never wrap small.
+    #[test]
+    fn state_reconvergence_grace_saturates_at_extreme_delta() {
+        let scenario = CheckScenario {
+            state_faults: vec![StateCorruption {
+                validator: 0,
+                at: 3,
+                fault: StateFault::DecidedReset,
+            }],
+            ..CheckScenario::fault_free(4, u64::MAX / 4, 5, 3)
+        };
+        let inv = StateReconvergence::for_scenario(&scenario);
+        assert_eq!(inv.grace_ticks, u64::MAX, "12Δ must clamp, not wrap");
+        assert_eq!(inv.corrupted, vec![(0, 3)]);
+    }
+
+    /// A validator genuinely stranded behind the anchor (the dead-fetch
+    /// napper) must be flagged when judged as a state corruption with
+    /// elapsed grace — and spared when the grace has not elapsed.
+    #[test]
+    fn state_reconvergence_flags_a_laggard_and_respects_grace() {
+        let delta = 4u64;
+        let scenario = CheckScenario {
+            sleeps: vec![SleepWindow { validator: 0, from: 3 * delta, until: 24 * delta }],
+            sync: SyncMode::DropRecover,
+            fetch_faults: vec![FetchFault {
+                validator: 0,
+                from: 24 * delta,
+                until: 1_000_000,
+                kind: FetchFaultKind::Drop,
+            }],
+            ..CheckScenario::fault_free(6, delta, 12, 3)
+        };
+        let report = scenario.run_report();
+        let judged = StateReconvergence { corrupted: vec![(0, 0)], grace_ticks: 0 };
+        let flagged = judged.check(&report);
+        assert_eq!(flagged.len(), 1, "an elapsed grace must flag the laggard");
+        assert_eq!(flagged[0].invariant, StateReconvergence::NAME);
+        let spared = StateReconvergence { corrupted: vec![(0, 0)], grace_ticks: u64::MAX };
+        assert!(spared.check(&report).is_empty(), "an unelapsed grace judges nothing");
+        let oob = StateReconvergence { corrupted: vec![(99, 0)], grace_ticks: 0 };
         assert!(oob.check(&report).is_empty());
     }
 }

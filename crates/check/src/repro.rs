@@ -16,9 +16,11 @@
 
 use std::fmt::Write as _;
 
+use tobsvd_sim::StateFault;
+
 use crate::scenario::{
     ByzStrategy, CheckScenario, Corruption, CrashRestart, DelayKind, FetchFault, FetchFaultKind,
-    SleepWindow, SyncMode,
+    SleepWindow, StateCorruption, SyncMode,
 };
 
 /// Current artifact format version.
@@ -122,6 +124,23 @@ impl Reproducer {
                 c.validator, c.at, c.restart_at
             );
         }
+        let _ = writeln!(out, "],");
+        let _ = write!(out, "    \"state_faults\": [");
+        for (i, f) in s.state_faults.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let (a, b) = f.fault.params();
+            let _ = write!(
+                out,
+                "{{\"validator\": {}, \"at\": {}, \"fault\": \"{}\", \"a\": {}, \"b\": {}}}",
+                f.validator,
+                f.at,
+                f.fault.tag(),
+                a,
+                b
+            );
+        }
         let _ = writeln!(out, "]");
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "}}");
@@ -215,6 +234,24 @@ impl Reproducer {
                 });
             }
         }
+        // State-corruption faults are optional too (artifacts predating
+        // the self-stabilization plane have none).
+        let mut state_faults = Vec::new();
+        if let Some(arr) = s.opt("state_faults") {
+            for item in arr.as_arr("state_faults")? {
+                let o = item.as_obj("state fault")?;
+                let tag = o.req("fault")?.as_str("state fault kind")?;
+                let a = o.req("a")?.as_u64("state fault a")?;
+                let b = o.req("b")?.as_u64("state fault b")?;
+                let fault = StateFault::from_parts(tag, a, b)
+                    .ok_or_else(|| format!("unknown state fault {tag:?}"))?;
+                state_faults.push(StateCorruption {
+                    validator: o.req("validator")?.as_u32("state fault validator")?,
+                    at: o.req("at")?.as_u64("state fault at")?,
+                    fault,
+                });
+            }
+        }
 
         Ok(Reproducer {
             scenario: CheckScenario {
@@ -230,6 +267,7 @@ impl Reproducer {
                 sync,
                 fetch_faults,
                 crashes,
+                state_faults,
             },
             invariants,
         })
@@ -501,6 +539,11 @@ mod tests {
                     kind: FetchFaultKind::Drop,
                 }],
                 crashes: vec![CrashRestart { validator: 0, at: 6, restart_at: 11 }],
+                state_faults: vec![StateCorruption {
+                    validator: 2,
+                    at: 7,
+                    fault: StateFault::CounterSkew { skew: 12 },
+                }],
             },
             invariants: vec!["prefix-agreement".into(), "no-conflicting-anchor".into()],
         }
@@ -558,13 +601,41 @@ mod tests {
             .replace(
                 ",\n    \"crashes\": [{\"validator\": 0, \"at\": 6, \"restart_at\": 11}]",
                 "",
+            )
+            .replace(
+                ",\n    \"state_faults\": [{\"validator\": 2, \"at\": 7, \"fault\": \"counter-skew\", \"a\": 12, \"b\": 0}]",
+                "",
             );
         assert_ne!(legacy, json, "test must actually strip the new fields");
         let parsed = Reproducer::from_json(&legacy).expect("legacy artifact parses");
         assert_eq!(parsed.scenario.sync, SyncMode::Buffered);
         assert!(parsed.scenario.fetch_faults.is_empty());
         assert!(parsed.scenario.crashes.is_empty());
+        assert!(parsed.scenario.state_faults.is_empty());
         assert!(parsed.to_json().contains("\"sync\": \"buffered\""));
+    }
+
+    #[test]
+    fn every_state_fault_kind_round_trips_through_json() {
+        for kind in 0..StateFault::KINDS {
+            let repro = Reproducer {
+                scenario: CheckScenario {
+                    state_faults: vec![StateCorruption {
+                        validator: 1,
+                        at: 9,
+                        fault: StateFault::from_draws(kind, 0x5eed_f00d),
+                    }],
+                    ..CheckScenario::fault_free(4, 4, 5, 0)
+                },
+                invariants: vec!["state-reconvergence".into()],
+            };
+            let json = repro.to_json();
+            let parsed = Reproducer::from_json(&json).expect("parses");
+            assert_eq!(parsed, repro, "kind {kind}");
+            assert_eq!(parsed.to_json(), json, "kind {kind}");
+        }
+        let bad = sample().to_json().replace("counter-skew", "psychic-skew");
+        assert!(Reproducer::from_json(&bad).unwrap_err().contains("state fault"));
     }
 
     #[test]

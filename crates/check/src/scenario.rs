@@ -15,12 +15,14 @@ use tobsvd_adversary::{LateVoter, SilentNode, SplitBrainNode, SplitDelay};
 use tobsvd_core::{TobConfig, TobReport, TobSimulationBuilder, TxWorkload, ViewSchedule};
 use tobsvd_sim::{
     standard_invariants, BestCaseDelay, CorruptionSchedule, InvariantViolation,
-    ParticipationSchedule, UniformDelay, WorstCaseDelay,
+    ParticipationSchedule, StateFault, UniformDelay, WorstCaseDelay,
 };
 use tobsvd_types::{Delta, Time, ValidatorId, View};
 
 use crate::faults::{FetchFaultDelay, FetchFaultFilter};
-use crate::invariants::{BoundedDecisionLatency, ChainGrowth, CrashReconvergence, NoStalledFetch};
+use crate::invariants::{
+    BoundedDecisionLatency, ChainGrowth, CrashReconvergence, NoStalledFetch, StateReconvergence,
+};
 
 /// Byzantine node strategy for a from-genesis corrupted validator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,6 +142,23 @@ pub struct CrashRestart {
     pub restart_at: u64,
 }
 
+/// One scheduled state corruption: `validator`'s in-memory (or durable)
+/// state is mutated by `fault` at tick `at`. Unlike a [`Corruption`]
+/// (which *replaces* the node with a Byzantine one), the node stays
+/// honest — the self-stabilization plane's per-phase local audits must
+/// detect the illegal state and repair it through the §2 recovery
+/// broadcast and the delta-sync fetch plane, and the end-of-run
+/// [`StateReconvergence`] check bounds how long repair may take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateCorruption {
+    /// The corrupted validator.
+    pub validator: u32,
+    /// Corruption tick.
+    pub at: u64,
+    /// The state mutation applied.
+    pub fault: StateFault,
+}
+
 /// Sleep semantics + catch-up machinery of a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncMode {
@@ -245,6 +264,8 @@ pub struct CheckScenario {
     pub fetch_faults: Vec<FetchFault>,
     /// Kill/restart faults (durable-storage crash recovery).
     pub crashes: Vec<CrashRestart>,
+    /// State-corruption faults (self-stabilization plane).
+    pub state_faults: Vec<StateCorruption>,
 }
 
 /// The checker's summary of one executed scenario.
@@ -316,6 +337,7 @@ impl CheckScenario {
             sync: SyncMode::Buffered,
             fetch_faults: Vec::new(),
             crashes: Vec::new(),
+            state_faults: Vec::new(),
         }
     }
 
@@ -333,6 +355,7 @@ impl CheckScenario {
             && self.corruptions.iter().all(|c| c.validator < n)
             && self.fetch_faults.iter().all(|f| f.validator < n && f.from < f.until)
             && self.crashes.iter().all(|c| c.validator < n && c.at < c.restart_at)
+            && self.state_faults.iter().all(|f| f.validator < n)
     }
 
     /// Total number of adversarial/churn ingredients — the size metric
@@ -343,6 +366,7 @@ impl CheckScenario {
             + self.corruptions.len()
             + self.fetch_faults.len()
             + self.crashes.len()
+            + self.state_faults.len()
     }
 
     /// Whether nothing adversarial is scheduled (enables the
@@ -352,6 +376,7 @@ impl CheckScenario {
             && self.sleeps.is_empty()
             && self.corruptions.is_empty()
             && self.crashes.is_empty()
+            && self.state_faults.is_empty()
     }
 
     /// Whether the Byzantine cast exceeds the `⌊(n−1)/2⌋` corruption
@@ -505,6 +530,10 @@ impl CheckScenario {
             );
         }
 
+        for f in &self.state_faults {
+            builder = builder.state_fault(ValidatorId::new(f.validator), Time::new(f.at), f.fault);
+        }
+
         for inv in standard_invariants() {
             builder = builder.invariant(inv);
         }
@@ -531,6 +560,13 @@ impl CheckScenario {
             .report
             .invariant_violations
             .extend(CrashReconvergence::for_scenario(self).check(&report));
+        // End-of-run self-stabilization check: every validator whose
+        // state was corrupted with enough remaining horizon must have
+        // audited, repaired and re-converged onto the common anchor.
+        report
+            .report
+            .invariant_violations
+            .extend(StateReconvergence::for_scenario(self).check(&report));
         report
     }
 
@@ -583,6 +619,12 @@ pub struct ScenarioSpace {
     /// Max kill/restart faults per scenario (each forces the practical
     /// drop+recover semantics — the machinery restarts recover through).
     pub max_crashes: u32,
+    /// Max state-corruption faults per scenario (each forces the
+    /// practical drop+recover semantics — repair runs over the §2
+    /// recovery broadcast and the fetch plane). A zero budget draws
+    /// nothing from the RNG, keeping pre-existing sample streams (and
+    /// the pinned shrink fixture) byte-stable.
+    pub max_state_faults: u32,
 }
 
 impl Default for ScenarioSpace {
@@ -598,6 +640,7 @@ impl Default for ScenarioSpace {
             fetch_attack: true,
             max_fetch_faults: 2,
             max_crashes: 1,
+            max_state_faults: 1,
         }
     }
 }
@@ -606,15 +649,16 @@ impl ScenarioSpace {
     /// A space of model-breaking scenarios: more than `⌊(n−1)/2⌋`
     /// split-brain equivocators, guaranteed to eventually produce real
     /// safety violations — the shrinking demo's hunting ground.
-    /// (`fetch_attack` and `max_crashes` stay off: the hunt targets
-    /// vote equivocation, and the pinned shrink fixture predates the
-    /// sync and storage planes — crash sampling would shift its RNG
-    /// stream.)
+    /// (`fetch_attack`, `max_crashes` and `max_state_faults` stay off:
+    /// the hunt targets vote equivocation, and the pinned shrink
+    /// fixture predates the sync, storage and stabilization planes —
+    /// extra sampling would shift its RNG stream.)
     pub fn hostile() -> Self {
         ScenarioSpace {
             overload: true,
             fetch_attack: false,
             max_crashes: 0,
+            max_state_faults: 0,
             ..ScenarioSpace::default()
         }
     }
@@ -745,6 +789,42 @@ impl ScenarioSpace {
             }
         }
 
+        // State-corruption faults likewise take a validator no other
+        // lever touches (so the re-convergence bound is attributable)
+        // and force the practical drop+recover semantics: the local
+        // audits repair through the §2 recovery broadcast and the
+        // delta-sync fetch plane. Only volatile kinds are sampled here:
+        // a durable-image fault is invisible without a restart, and the
+        // crash lever lives on its own validator (the combined case is
+        // covered by the dedicated crash+corruption suites). A zero
+        // budget must not touch the RNG at all.
+        let mut state_faults: Vec<StateCorruption> = Vec::new();
+        if self.max_state_faults > 0 && !rest.is_empty() {
+            let n_faults = rng.gen_range(0..=self.max_state_faults);
+            for _ in 0..n_faults {
+                let v = rest[rng.gen_range(0..rest.len())];
+                if state_faults.iter().any(|f| f.validator == v)
+                    || sleeps.iter().any(|w| w.validator == v)
+                    || corruptions.iter().any(|c| c.validator == v)
+                    || fetch_faults.iter().any(|f| f.validator == v)
+                    || crashes.iter().any(|c| c.validator == v)
+                {
+                    continue; // keep each lever on its own validator
+                }
+                let kind = rng.gen_range(0..StateFault::MEMORY_KINDS);
+                let fault = StateFault::from_draws(kind, rng.gen::<u64>());
+                state_faults.push(StateCorruption {
+                    validator: v,
+                    at: rng.gen_range(0..horizon.max(1)),
+                    fault,
+                });
+            }
+            state_faults.sort_by_key(|f: &StateCorruption| (f.validator, f.at));
+            if !state_faults.is_empty() {
+                sync = SyncMode::DropRecover;
+            }
+        }
+
         CheckScenario {
             n,
             delta,
@@ -758,6 +838,7 @@ impl ScenarioSpace {
             sync,
             fetch_faults,
             crashes,
+            state_faults,
         }
     }
 }
@@ -794,6 +875,11 @@ mod tests {
                 kind: FetchFaultKind::Drop,
             }],
             crashes: vec![CrashRestart { validator: 1, at: 50, restart_at: 70 }],
+            state_faults: vec![StateCorruption {
+                validator: 0,
+                at: 44,
+                fault: StateFault::SyncAmnesia,
+            }],
         };
         let a = scenario.run();
         let b = scenario.run();
@@ -835,6 +921,7 @@ mod tests {
                 },
             ],
             crashes: Vec::new(),
+            state_faults: Vec::new(),
         };
         let report = scenario.run_report();
         let verdict = ExecutionVerdict {
@@ -934,7 +1021,8 @@ mod tests {
     fn default_space_samples_valid_model_compliant_scenarios() {
         let space = ScenarioSpace::default();
         let mut rng = StdRng::seed_from_u64(1);
-        let (mut drop_recover, mut with_faults, mut with_crashes) = (0, 0, 0);
+        let (mut drop_recover, mut with_faults, mut with_crashes, mut with_state_faults) =
+            (0, 0, 0, 0);
         for _ in 0..200 {
             let s = space.sample(&mut rng);
             assert!(s.is_valid(), "invalid sample: {s:?}");
@@ -944,6 +1032,7 @@ mod tests {
             misbehaving.extend(s.corruptions.iter().map(|c| c.validator));
             misbehaving.extend(s.fetch_faults.iter().map(|f| f.validator));
             misbehaving.extend(s.crashes.iter().map(|c| c.validator));
+            misbehaving.extend(s.state_faults.iter().map(|f| f.validator));
             misbehaving.sort_unstable();
             misbehaving.dedup();
             assert!(
@@ -969,11 +1058,34 @@ mod tests {
                     );
                 }
             }
+            if !s.state_faults.is_empty() {
+                with_state_faults += 1;
+                assert_eq!(s.sync, SyncMode::DropRecover, "repair runs over the sync plane");
+                for f in &s.state_faults {
+                    assert!(
+                        !s.sleeps.iter().any(|w| w.validator == f.validator)
+                            && !s.corruptions.iter().any(|x| x.validator == f.validator)
+                            && !s.fetch_faults.iter().any(|x| x.validator == f.validator)
+                            && !s.crashes.iter().any(|c| c.validator == f.validator),
+                        "state-fault validator shares a lever in {s:?}"
+                    );
+                    assert!(
+                        !matches!(
+                            f.fault,
+                            StateFault::SnapshotBitFlip { .. }
+                                | StateFault::WalBitFlip { .. }
+                                | StateFault::WalTear { .. }
+                        ),
+                        "sampled state faults must target volatile state: {s:?}"
+                    );
+                }
+            }
         }
         // The space genuinely attacks the sync plane (not vacuous).
         assert!(drop_recover >= 20, "only {drop_recover} drop-recover samples");
         assert!(with_faults >= 10, "only {with_faults} fetch-fault samples");
         assert!(with_crashes >= 10, "only {with_crashes} crash samples");
+        assert!(with_state_faults >= 10, "only {with_state_faults} state-fault samples");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! invariants: it shortens the horizon, drops Byzantine cast members,
 //! delta-debugs the churn event list (dropping halves before
 //! singletons), removes mid-run corruptions, fetch-corruption
-//! windows and kill/restart faults (falling back to the buffered sync
-//! mode when neither the fetch nor the crash dimension is
-//! load-bearing), strips the workload, shrinks Δ,
+//! windows, kill/restart faults and state-corruption faults (falling
+//! back to the buffered sync mode when none of the fetch, crash or
+//! stabilization dimensions is load-bearing), strips the workload,
+//! shrinks Δ,
 //! compacts validator ids and shrinks `n`, and canonicalizes the delay
 //! policy and seed.
 //! Candidates are re-executed to confirm the failure survives; the
@@ -191,8 +192,21 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
                 c.crashes.drain(a..b);
             },
         );
+        // 4d. Drop state-corruption faults. Like crashes, they keep the
+        //     scenario on the drop+recover plane: stabilization repairs
+        //     run over the recovery broadcast and the fetch plane, so
+        //     clearing the mode first would change what they test.
+        progressed |= ddmin_list(
+            &mut search,
+            &mut current,
+            |c| c.state_faults.len(),
+            |c, a, b| {
+                c.state_faults.drain(a..b);
+            },
+        );
         if current.sync != SyncMode::Buffered
             && current.crashes.is_empty()
+            && current.state_faults.is_empty()
             && search.attempt(&mut current, |c| {
                 c.sync = SyncMode::Buffered;
                 c.fetch_faults.clear();
@@ -227,6 +241,7 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
             .chain(current.corruptions.iter().map(|c| c.validator))
             .chain(current.fetch_faults.iter().map(|f| f.validator))
             .chain(current.crashes.iter().map(|c| c.validator))
+            .chain(current.state_faults.iter().map(|f| f.validator))
             .collect();
         referenced.sort_unstable();
         referenced.dedup();
@@ -248,6 +263,9 @@ pub fn shrink(failing: &CheckScenario) -> ShrinkResult {
                 }
                 for cr in &mut c.crashes {
                     cr.validator = rank(cr.validator);
+                }
+                for f in &mut c.state_faults {
+                    f.validator = rank(f.validator);
                 }
             }) {
                 progressed = true;

@@ -6,6 +6,7 @@ use tobsvd_sim::{
     AdmissionPolicy, AdmissionStats, AdvanceMode, AdversaryController, ByzantineFactory,
     CorruptionSchedule, DecisionRecord, DelayPolicy, DeliveryFilter, IdleNode, Invariant, Node,
     OpenLoopSpec, OpenLoopWorkload, ParticipationSchedule, SimConfig, SimReport, Simulation,
+    StateFault,
 };
 use tobsvd_storage::{shared, MemDurable, SharedDurable};
 use tobsvd_types::{
@@ -102,6 +103,7 @@ pub struct TobSimulationBuilder {
     advance: AdvanceMode,
     invariants: Vec<Box<dyn Invariant>>,
     crashes: Vec<(ValidatorId, Time, Time)>,
+    state_faults: Vec<(ValidatorId, Time, StateFault)>,
     snapshot_every: u64,
     admission: Option<AdmissionPolicy>,
 }
@@ -118,6 +120,8 @@ pub enum TobError {
     /// A crash/restart fault is malformed: the validator is out of
     /// range or the restart does not come after the kill.
     BadCrash(ValidatorId),
+    /// A state-corruption fault targets a validator out of range.
+    BadStateFault(ValidatorId),
 }
 
 impl std::fmt::Display for TobError {
@@ -127,6 +131,7 @@ impl std::fmt::Display for TobError {
             TobError::NoViews => write!(f, "must simulate at least one view"),
             TobError::BadByzantineSlot(v) => write!(f, "byzantine slot {v} out of range"),
             TobError::BadCrash(v) => write!(f, "malformed crash/restart fault for {v}"),
+            TobError::BadStateFault(v) => write!(f, "state fault targets out-of-range {v}"),
         }
     }
 }
@@ -156,6 +161,7 @@ impl TobSimulationBuilder {
             advance: AdvanceMode::default(),
             invariants: Vec::new(),
             crashes: Vec::new(),
+            state_faults: Vec::new(),
             snapshot_every: 8,
             admission: None,
         }
@@ -168,6 +174,16 @@ impl TobSimulationBuilder {
     /// every crash target automatically.
     pub fn crash_restart(mut self, v: ValidatorId, at: Time, restart_at: Time) -> Self {
         self.crashes.push((v, at, restart_at));
+        self
+    }
+
+    /// Schedules a state-corruption fault: `fault` strikes validator
+    /// `v`'s state at tick `at` (see [`StateFault`] for the canonical
+    /// fault space). Every state-fault target gets a [`MemDurable`]
+    /// storage plane attached, so durable-image faults have an image
+    /// to corrupt and counter faults have real persistence to disturb.
+    pub fn state_fault(mut self, v: ValidatorId, at: Time, fault: StateFault) -> Self {
+        self.state_faults.push((v, at, fault));
         self
     }
 
@@ -321,6 +337,11 @@ impl TobSimulationBuilder {
                 return Err(TobError::BadCrash(*v));
             }
         }
+        for (v, _, _) in &self.state_faults {
+            if v.index() >= self.n {
+                return Err(TobError::BadStateFault(*v));
+            }
+        }
 
         let cfg = SimConfig::new(self.n).with_delta(self.delta).with_seed(self.seed);
         let tob_cfg = TobConfig::new(self.n)
@@ -394,6 +415,12 @@ impl TobSimulationBuilder {
         for (v, _, _) in &self.crashes {
             durables.entry(v.index()).or_insert_with(|| shared(MemDurable::new()));
         }
+        // State-fault targets too: durable-image faults need an image
+        // to corrupt, and counter faults only bite when persistence is
+        // actually running.
+        for (v, _, _) in &self.state_faults {
+            durables.entry(v.index()).or_insert_with(|| shared(MemDurable::new()));
+        }
         for v in ValidatorId::all(self.n) {
             if let Some(f) = byz_map.remove(&v.index()) {
                 builder = builder.byzantine_node(v, f(&store));
@@ -424,6 +451,9 @@ impl TobSimulationBuilder {
                     }
                 },
             ));
+        }
+        if !self.state_faults.is_empty() {
+            builder = builder.state_faults(self.state_faults.clone());
         }
         if let Some(p) = self.participation {
             builder = builder.participation(p);
@@ -472,6 +502,8 @@ impl TobSimulationBuilder {
                 decisions_made: val.decisions_made(),
                 wal_errors: val.wal_errors(),
                 persisted_len: val.persisted_len(),
+                audits_run: val.audits_run(),
+                audit_repairs: val.audit_repairs(),
                 crypto: CryptoStats {
                     sig_verifies: val.sig_verifies(),
                     sig_verify_skips: val.sig_verify_skips(),
@@ -535,6 +567,11 @@ pub struct ValidatorStats {
     pub wal_errors: u64,
     /// Decided log length durably persisted (1 without a storage plane).
     pub persisted_len: u64,
+    /// Stabilization local-audit passes run (one per phase boundary).
+    pub audits_run: u64,
+    /// Stabilization anomalies detected and repaired (0 when no state
+    /// corruption struck — every repair is a caught fault).
+    pub audit_repairs: u64,
     /// Verification fast-path statistics.
     pub crypto: CryptoStats,
     /// Delta-sync statistics.

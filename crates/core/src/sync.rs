@@ -303,6 +303,53 @@ impl SyncState {
     pub fn evicted(&self) -> u64 {
         self.evicted
     }
+
+    /// Fault injection: forces a raw id into the knowledge set,
+    /// breaking the chain-known invariant (the id's content and
+    /// ancestry need not exist anywhere). Exists only for the
+    /// stabilization plane's state-corruption experiments.
+    pub fn poison_known(&mut self, id: BlockId) {
+        self.known.insert(id);
+    }
+
+    /// Fault injection: total delta-sync amnesia — all block knowledge
+    /// (except genesis), parked messages and in-flight fetches are
+    /// erased, as if the sync plane's memory arena was wiped.
+    pub fn forget_all(&mut self) {
+        self.known.clear();
+        self.known.insert(self.genesis);
+        self.pending.clear();
+        self.inflight.clear();
+    }
+
+    /// Stabilization audit: re-establishes the structural invariants a
+    /// [`SyncState::poison_known`]-shaped corruption can break and
+    /// returns how many anomalies were repaired.
+    ///
+    /// * Every known id (except genesis) must have its content in the
+    ///   store — honest ids enter `known` only via store-backed
+    ///   resolution, so an absent body is corruption; the id is
+    ///   quarantined (dropped) and, if truly needed, re-learned through
+    ///   the ordinary fetch path.
+    /// * No in-flight fetch may target an already-known id (the honest
+    ///   paths clear these on resolution).
+    ///
+    /// The chain-known invariant is restored transitively: a poisoned
+    /// id with no store body is dropped here, and any id whose ancestry
+    /// ran through it could only have entered `known` via the same
+    /// corruption, so it too fails the store check.
+    pub fn audit(&mut self, store: &BlockStore) -> u64 {
+        let mut repaired = 0u64;
+        let genesis = self.genesis;
+        let before = self.known.len();
+        self.known.retain(|id| *id == genesis || store.contains(*id));
+        repaired += (before - self.known.len()) as u64;
+        let known = &self.known;
+        let before = self.inflight.len();
+        self.inflight.retain(|id, _| !known.contains(id));
+        repaired += (before - self.inflight.len()) as u64;
+        repaired
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use tobsvd_crypto::{AggregateSignature, Digest, KeyCache, Keypair, PublicKey, Signature, VrfOutput};
 use tobsvd_ga::Ga3;
 use tobsvd_sim::gossip::{GossipState, VerifiedSet};
-use tobsvd_sim::{Context, Node};
+use tobsvd_sim::{garbage_bytes, Context, Node, StateFault};
 use tobsvd_storage::{replay_into, BlockRecord, SharedDurable, Snapshot, WalError, WalRecord};
 use tobsvd_types::{
     wire, BlockId, BlockStore, InstanceId, Log, Payload, SignedMessage, SignerSet, ValidatorId,
@@ -197,6 +197,11 @@ pub struct Validator {
     agg_verify_skips: u64,
     /// Instrumentation: own certificates broadcast.
     certificates_emitted: u64,
+    /// Stabilization: local-audit passes run (one per phase boundary).
+    audits_run: u64,
+    /// Stabilization: anomalies the local audit repaired (quarantined
+    /// fragments, clamped counters, re-sync triggers).
+    audit_repairs: u64,
 }
 
 impl Validator {
@@ -231,6 +236,8 @@ impl Validator {
             agg_verifies: 0,
             agg_verify_skips: 0,
             certificates_emitted: 0,
+            audits_run: 0,
+            audit_repairs: 0,
             cfg,
         }
     }
@@ -364,6 +371,17 @@ impl Validator {
     /// Own quorum certificates this validator has broadcast.
     pub fn certificates_emitted(&self) -> u64 {
         self.certificates_emitted
+    }
+
+    /// Stabilization: local-audit passes run (one per phase boundary).
+    pub fn audits_run(&self) -> u64 {
+        self.audits_run
+    }
+
+    /// Stabilization: anomalies the local audit detected and repaired.
+    /// Zero in a fault-free run — every repair is a corruption caught.
+    pub fn audit_repairs(&self) -> u64 {
+        self.audit_repairs
     }
 
     /// Number of distinct protocol message ids that passed verification
@@ -544,6 +562,75 @@ impl Validator {
             Ok(()) => self.last_snapshot_len = d.len(),
             Err(_) => self.wal_errors = self.wal_errors.saturating_add(1),
         }
+    }
+
+    /// Self-stabilization: the cheap per-phase-boundary local audit
+    /// (Lundström–Raynal–Schiller style). Checks structural invariants
+    /// an in-memory corruption can break and, on violation, quarantines
+    /// the bad fragment and re-arms the ordinary recovery machinery —
+    /// never panics, never trusts the corrupt fragment.
+    ///
+    /// * **Counter monotonicity** — `last_snapshot_len ≤ persisted_len ≤
+    ///   decided.len()`: an overshooting counter silently disables
+    ///   persistence (`persist_decided` skips "already persisted"
+    ///   suffixes), so it is clamped back to the decided log.
+    /// * **Decided-log linkage** — the decided tip must sit in the
+    ///   store at height `len − 1`; a mismatched head is untrusted and
+    ///   reset to genesis (the next grade-2 GA output re-decides the
+    ///   full log, and durable replay re-persists from the clamp).
+    /// * **Decided tip known** — the sync plane must know the decided
+    ///   chain; if not (amnesia), the §2 recover-fetch path is re-armed
+    ///   and the fetch broadcast fires at this very boundary.
+    /// * **`verified ⊆ seen`** — every honest admit path inserts into
+    ///   both sets, so the retained-id count exceeding the seen count
+    ///   proves poisoning; the O(n) reconciliation runs only behind
+    ///   that O(1) trigger and evicts ids gossip never sighted.
+    /// * **Sync structural sanity** — [`SyncState::audit`]: known ids
+    ///   must have store-backed content, in-flight fetches must target
+    ///   unknown ids.
+    ///
+    /// Returns the number of anomalies repaired this pass. When
+    /// repairs occurred and the §2 recovery protocol is enabled, the
+    /// caller broadcasts a `RECOVERY` request — corrupted state may
+    /// have lost live-instance messages no structural check can see.
+    fn local_audit(&mut self, ctx: &mut Context) -> u64 {
+        self.audits_run += 1;
+        let mut repairs = 0u64;
+        let dlen = self.decided.len();
+        if self.persisted_len > dlen {
+            self.persisted_len = dlen;
+            repairs += 1;
+        }
+        if self.last_snapshot_len > self.persisted_len {
+            self.last_snapshot_len = self.persisted_len;
+            repairs += 1;
+        }
+        let linked = ctx
+            .store
+            .height(self.decided.tip())
+            .is_some_and(|h| h.saturating_add(1) == dlen);
+        if !linked {
+            self.decided = Log::genesis(&ctx.store);
+            self.persisted_len = self.persisted_len.min(1);
+            self.last_snapshot_len = self.last_snapshot_len.min(1);
+            repairs += 1;
+        }
+        if !self.sync.knows(self.decided.tip()) {
+            // Amnesia: the sync plane forgot our own decided chain.
+            // Re-learn it through the delta-sync fetch plane (same path
+            // as a restart whose WAL head outran its blocks).
+            if self.recover_fetch.is_none() {
+                self.recover_fetch = Some(self.decided.tip());
+            }
+            repairs += 1;
+        }
+        if self.verified.len() > self.gossip.seen_count() {
+            let gossip = &self.gossip;
+            repairs += self.verified.quarantine(|id| gossip.has_seen(id)) as u64;
+        }
+        repairs += self.sync.audit(&ctx.store);
+        self.audit_repairs += repairs;
+        repairs
     }
 
     fn prune(&mut self, v: View) {
@@ -956,6 +1043,19 @@ impl Node for Validator {
 
     fn on_phase(&mut self, ctx: &mut Context) {
         let (v, phase) = self.sched.phase_at(ctx.time);
+        // Self-stabilization: audit structural invariants before acting
+        // on any of the state they guard. On repair, broadcast the §2
+        // RECOVERY request — the quarantined state may have included
+        // live-instance messages only peers can restore.
+        if self.local_audit(ctx) > 0 && self.cfg.recovery {
+            let from_view = View::new(v.number().saturating_sub(2));
+            let msg = SignedMessage::sign(
+                &self.keypair,
+                self.me,
+                Payload::Recovery { from_view, log: self.decided },
+            );
+            ctx.broadcast(msg);
+        }
         // A durably recorded decided head the restart could not rebuild
         // locally: close the gap over the delta-sync plane (broadcast,
         // so any honest awake peer can serve it).
@@ -993,6 +1093,46 @@ impl Node for Validator {
             ViewPhase::Vote => self.vote(v, ctx),
             ViewPhase::Decide => self.decide(v, ctx),
             ViewPhase::Idle => {}
+        }
+    }
+
+    fn on_state_fault(&mut self, fault: &StateFault, ctx: &mut Context) {
+        match *fault {
+            StateFault::DecidedReset => {
+                self.decided = Log::genesis(&ctx.store);
+            }
+            StateFault::CounterSkew { skew } => {
+                self.persisted_len = self.persisted_len.saturating_add(skew);
+                self.last_snapshot_len = self.last_snapshot_len.saturating_add(skew);
+            }
+            StateFault::VerifiedPoison { seed } => {
+                for lane in 0..4 {
+                    self.verified.poison(Digest::from_bytes(garbage_bytes(seed, lane)));
+                }
+            }
+            StateFault::SyncPoison { seed } => {
+                for lane in 0..4 {
+                    self.sync.poison_known(BlockId(Digest::from_bytes(garbage_bytes(seed, lane))));
+                }
+            }
+            StateFault::SyncAmnesia => {
+                self.sync.forget_all();
+            }
+            StateFault::SnapshotBitFlip { byte, bit } => {
+                if let Some(handle) = self.durable.clone() {
+                    handle.lock().corrupt_snapshot_bit(byte as usize, u32::from(bit));
+                }
+            }
+            StateFault::WalBitFlip { byte, bit } => {
+                if let Some(handle) = self.durable.clone() {
+                    handle.lock().corrupt_wal_bit(byte as usize, u32::from(bit));
+                }
+            }
+            StateFault::WalTear { bytes } => {
+                if let Some(handle) = self.durable.clone() {
+                    handle.lock().tear_wal_tail(bytes as usize);
+                }
+            }
         }
     }
 

@@ -45,24 +45,32 @@ impl Sha256State {
         if self.buf_len > 0 {
             let need = 64 - self.buf_len;
             let take = need.min(data.len());
-            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            let (head, rest) = data.split_at(take);
+            for (dst, src) in self.buf.iter_mut().skip(self.buf_len).zip(head) {
+                *dst = *src;
+            }
             self.buf_len += take;
-            data = &data[take..];
+            data = rest;
             if self.buf_len == 64 {
                 let block = self.buf;
                 self.compress(&block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
+        let mut blocks = data.chunks_exact(64);
+        for chunk in blocks.by_ref() {
             let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
+            block.copy_from_slice(chunk);
             self.compress(&block);
-            data = &data[64..];
         }
-        if !data.is_empty() {
-            self.buf[..data.len()].copy_from_slice(data);
-            self.buf_len = data.len();
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            // The buffer is empty here: a non-empty remainder means the
+            // partial-block branch above either stayed empty or flushed.
+            for (dst, src) in self.buf.iter_mut().zip(tail) {
+                *dst = *src;
+            }
+            self.buf_len = tail.len();
         }
     }
 
@@ -80,15 +88,17 @@ impl Sha256State {
         }
         debug_assert_eq!(self.buf_len, 0);
         let mut out = [0u8; 32];
-        for (i, word) in self.h.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        for (dst, word) in out.chunks_exact_mut(4).zip(self.h) {
+            dst.copy_from_slice(&word.to_be_bytes());
         }
         Digest::from_bytes(out)
     }
 
     /// Pushes one padding byte without affecting the recorded message length.
     fn update_padding(&mut self, byte: u8) {
-        self.buf[self.buf_len] = byte;
+        if let Some(slot) = self.buf.get_mut(self.buf_len) {
+            *slot = byte;
+        }
         self.buf_len += 1;
         if self.buf_len == 64 {
             let block = self.buf;
@@ -99,27 +109,36 @@ impl Sha256State {
 
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        for (dst, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *dst = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            // Split so the schedule taps (i-16, i-15, i-7, i-2) read the
+            // finished prefix while the new word lands in the suffix; the
+            // `else` arms are unreachable (the prefix always holds ≥ 16
+            // words) but keep every access bounds-checked.
+            let (done, todo) = w.split_at_mut(i);
+            let (Some(&w16), Some(&w15), Some(&w7), Some(&w2)) =
+                (done.get(i - 16), done.get(i - 15), done.get(i - 7), done.get(i - 2))
+            else {
+                continue;
+            };
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            if let Some(slot) = todo.first_mut() {
+                *slot = w16.wrapping_add(s0).wrapping_add(w7).wrapping_add(s1);
+            }
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
-        for i in 0..64 {
+        for (k, wi) in K.iter().zip(w.iter()) {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
             let temp1 = h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+                .wrapping_add(*k)
+                .wrapping_add(*wi);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let temp2 = s0.wrapping_add(maj);

@@ -54,6 +54,7 @@ use tobsvd_types::{
 
 use crate::config::SimConfig;
 use crate::controller::{AdversaryCommand, AdversaryController, NullController, TickView};
+use crate::fault::StateFault;
 use crate::invariant::{DecisionEvent, Invariant, InvariantViolation};
 use crate::mempool::{AdmissionStats, Mempool};
 use crate::metrics::{MessageKind, Metrics};
@@ -102,6 +103,11 @@ enum EventKind {
     /// The killed process comes back, rebuilt by the restart factory
     /// from durable state only.
     Restart = 5,
+    /// State corruption: a [`crate::StateFault`] strikes the target's
+    /// in-memory (or durable-image) state. Ordered after Restart so a
+    /// same-tick corruption hits the *recovered* incarnation — the
+    /// worst case for the stabilization layer.
+    StateFault = 6,
 }
 
 /// One broadcast's shared delivery payload: the `Arc`'d message plus
@@ -126,6 +132,8 @@ struct Event {
     /// engine allocates once in `apply_context` and every per-recipient
     /// event holds a handle, not a deep copy.
     msg: Option<Delivery>,
+    /// State-fault events carry the corruption to apply.
+    fault: Option<StateFault>,
 }
 
 impl Event {
@@ -181,6 +189,7 @@ pub struct SimulationBuilder {
     byz_factory: ByzantineFactory,
     restart_factory: RestartFactory,
     crashes: Vec<(ValidatorId, Time, Time)>,
+    state_faults: Vec<(ValidatorId, Time, StateFault)>,
     drop_while_asleep: bool,
     max_delay_factor: u64,
     advance: AdvanceMode,
@@ -202,6 +211,7 @@ impl SimulationBuilder {
             byz_factory: Box::new(|_, _| Box::new(IdleNode)),
             restart_factory: Box::new(|_, _| Box::new(IdleNode)),
             crashes: Vec::new(),
+            state_faults: Vec::new(),
             store: BlockStore::new(),
             mempool: Mempool::new(),
             nodes: (0..n).map(|_| None).collect(),
@@ -351,6 +361,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Schedules state-corruption faults: each `(v, at, fault)` applies
+    /// `fault` to validator `v`'s state at tick `at` (via
+    /// [`Node::on_state_fault`]). Corruption does not wait for a
+    /// wake-up — bit rot strikes sleeping processes too — but a crashed
+    /// process has no state to corrupt, so faults landing while `v` is
+    /// down are dropped.
+    pub fn state_faults(mut self, faults: Vec<(ValidatorId, Time, StateFault)>) -> Self {
+        self.state_faults = faults;
+        self
+    }
+
     /// Finalizes the simulation.
     ///
     /// # Panics
@@ -411,6 +432,7 @@ impl SimulationBuilder {
             byz_factory: self.byz_factory,
             restart_factory: self.restart_factory,
             crashes: self.crashes,
+            state_faults: self.state_faults,
         };
         sim.schedule_initial_events();
         sim
@@ -435,6 +457,8 @@ pub struct Simulation {
     restart_factory: RestartFactory,
     /// Scheduled kill/restart faults, `(validator, at, restart_at)`.
     crashes: Vec<(ValidatorId, Time, Time)>,
+    /// Scheduled state corruptions, `(validator, at, fault)`.
+    state_faults: Vec<(ValidatorId, Time, StateFault)>,
     metrics: Metrics,
     observer: DecisionObserver,
     rng: StdRng,
@@ -487,6 +511,11 @@ impl Simulation {
             self.push_event(*restart_at, EventKind::Restart, *v, None);
         }
         self.crashes = faults;
+        let corruptions = std::mem::take(&mut self.state_faults);
+        for (v, at, fault) in &corruptions {
+            self.push_state_fault(*at, *v, *fault);
+        }
+        self.state_faults = corruptions;
     }
 
     fn push_event(
@@ -497,7 +526,19 @@ impl Simulation {
         msg: Option<Delivery>,
     ) {
         self.seq += 1;
-        self.events.push(Reverse(Event { time, kind, seq: self.seq, target, msg }));
+        self.events.push(Reverse(Event { time, kind, seq: self.seq, target, msg, fault: None }));
+    }
+
+    fn push_state_fault(&mut self, time: Time, target: ValidatorId, fault: StateFault) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            kind: EventKind::StateFault,
+            seq: self.seq,
+            target,
+            msg: None,
+            fault: Some(fault),
+        }));
     }
 
     /// Current simulation time.
@@ -778,6 +819,19 @@ impl Simulation {
                 // buffered deliveries exist, so the node goes straight
                 // to on_wake (where the §2 recovery broadcast fires).
                 self.call_node(idx, |node, ctx| node.on_wake(ctx));
+            }
+            EventKind::StateFault => {
+                // A crashed process has no volatile state to corrupt
+                // (its durable image is reachable only through a node,
+                // which is gone too). Sleep does NOT protect: bit rot
+                // strikes dormant processes, so the fault applies to
+                // sleeping nodes in place without waking them.
+                if self.slots[idx].crashed {
+                    return;
+                }
+                let fault = ev.fault.expect("state-fault event carries a fault");
+                self.metrics.state_corruptions += 1;
+                self.call_node(idx, |node, ctx| node.on_state_fault(&fault, ctx));
             }
         }
     }

@@ -1,0 +1,206 @@
+//! State-corruption fault vocabulary for the self-stabilization plane.
+//!
+//! The checker's other levers corrupt the *environment* — schedules,
+//! delays, message loss, Byzantine casts. A [`StateFault`] corrupts a
+//! validator's *state*: its decided log, durable-persistence counters,
+//! verified-id cache, delta-sync knowledge, or (through the storage
+//! plane's fault hooks) the persisted WAL/snapshot image a later
+//! restart will recover from. Faults are delivered to the running node
+//! through [`crate::Node::on_state_fault`] at a scheduled tick; the
+//! node applies the mutation to its own fields and the stabilization
+//! layer (per-phase local audits + re-sync via the fetch plane) is
+//! expected to detect and repair the damage without panicking.
+//!
+//! The space is canonical and enumerable: every fault is one of
+//! [`StateFault::KINDS`] kinds plus a single `u64` parameter, so
+//! deterministic samplers ([`StateFault::from_draws`]) and serializers
+//! ([`StateFault::tag`] / [`StateFault::from_parts`]) need exactly two
+//! words per fault.
+
+/// One scheduled corruption of a validator's in-memory or on-disk
+/// state.
+///
+/// The first five kinds target volatile state and apply to any node;
+/// the last three target the durable image behind a node's storage
+/// handle (no-ops for nodes without one) and only become observable
+/// when a later crash/restart recovers from that image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StateFault {
+    /// Reset the decided log to genesis: the validator forgets every
+    /// decision it ever reported (its durable counters now overshoot
+    /// the log — exactly the torn-counter shape local audits catch).
+    DecidedReset,
+    /// Skew the durability counters (persisted length, last snapshot
+    /// length) upward by `skew`, breaking their monotone relation to
+    /// the decided log.
+    CounterSkew {
+        /// Amount added (saturating) to each counter.
+        skew: u64,
+    },
+    /// Insert garbage digests derived from `seed` into the verified-id
+    /// set, breaking the `verified ⊆ seen` containment.
+    VerifiedPoison {
+        /// Seed for the deterministic garbage digests.
+        seed: u64,
+    },
+    /// Insert garbage block ids derived from `seed` into the delta-sync
+    /// knowledge set, breaking the chain-known invariant.
+    SyncPoison {
+        /// Seed for the deterministic garbage ids.
+        seed: u64,
+    },
+    /// Erase all block knowledge (back to genesis-only), parked
+    /// messages and in-flight fetches — total delta-sync amnesia.
+    SyncAmnesia,
+    /// Flip one bit of the durable snapshot image (out-of-range bytes
+    /// no-op).
+    SnapshotBitFlip {
+        /// Byte offset into the snapshot image.
+        byte: u64,
+        /// Bit position (taken modulo 8).
+        bit: u8,
+    },
+    /// Flip one bit of the durable WAL image (out-of-range bytes
+    /// no-op).
+    WalBitFlip {
+        /// Byte offset into the WAL image.
+        byte: u64,
+        /// Bit position (taken modulo 8).
+        bit: u8,
+    },
+    /// Drop the last `bytes` bytes of the durable WAL (a torn tail).
+    WalTear {
+        /// Number of tail bytes torn off.
+        bytes: u64,
+    },
+}
+
+impl StateFault {
+    /// Number of fault kinds targeting volatile (in-memory) state —
+    /// the prefix of the kind space that is meaningful for any node,
+    /// with or without a storage plane.
+    pub const MEMORY_KINDS: u64 = 5;
+
+    /// Total number of fault kinds (memory + durable-image kinds).
+    pub const KINDS: u64 = 8;
+
+    /// Deterministically maps two sampler draws onto the fault space:
+    /// `kind` selects the variant (modulo the requested bound — pass
+    /// [`StateFault::MEMORY_KINDS`] draws to stay in volatile state),
+    /// `param` fills the variant's parameter. Total: every fault is
+    /// reachable, and equal draws always produce equal faults.
+    pub fn from_draws(kind: u64, param: u64) -> StateFault {
+        match kind % Self::KINDS {
+            0 => StateFault::DecidedReset,
+            1 => StateFault::CounterSkew { skew: (param % 1024).saturating_add(1) },
+            2 => StateFault::VerifiedPoison { seed: param },
+            3 => StateFault::SyncPoison { seed: param },
+            4 => StateFault::SyncAmnesia,
+            5 => StateFault::SnapshotBitFlip { byte: (param >> 3) % 4096, bit: (param & 7) as u8 },
+            6 => StateFault::WalBitFlip { byte: (param >> 3) % 4096, bit: (param & 7) as u8 },
+            _ => StateFault::WalTear { bytes: (param % 64).saturating_add(1) },
+        }
+    }
+
+    /// Canonical string tag (serialization vocabulary).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StateFault::DecidedReset => "decided-reset",
+            StateFault::CounterSkew { .. } => "counter-skew",
+            StateFault::VerifiedPoison { .. } => "verified-poison",
+            StateFault::SyncPoison { .. } => "sync-poison",
+            StateFault::SyncAmnesia => "sync-amnesia",
+            StateFault::SnapshotBitFlip { .. } => "snapshot-bit-flip",
+            StateFault::WalBitFlip { .. } => "wal-bit-flip",
+            StateFault::WalTear { .. } => "wal-tear",
+        }
+    }
+
+    /// The fault's two serialized parameters (unused slots are 0).
+    pub fn params(&self) -> (u64, u64) {
+        match *self {
+            StateFault::DecidedReset | StateFault::SyncAmnesia => (0, 0),
+            StateFault::CounterSkew { skew } => (skew, 0),
+            StateFault::VerifiedPoison { seed } => (seed, 0),
+            StateFault::SyncPoison { seed } => (seed, 0),
+            StateFault::SnapshotBitFlip { byte, bit } => (byte, u64::from(bit)),
+            StateFault::WalBitFlip { byte, bit } => (byte, u64::from(bit)),
+            StateFault::WalTear { bytes } => (bytes, 0),
+        }
+    }
+
+    /// Reconstructs a fault from its tag and parameters; `None` for an
+    /// unknown tag (forward compatibility for artifact parsers).
+    pub fn from_parts(tag: &str, a: u64, b: u64) -> Option<StateFault> {
+        Some(match tag {
+            "decided-reset" => StateFault::DecidedReset,
+            "counter-skew" => StateFault::CounterSkew { skew: a },
+            "verified-poison" => StateFault::VerifiedPoison { seed: a },
+            "sync-poison" => StateFault::SyncPoison { seed: a },
+            "sync-amnesia" => StateFault::SyncAmnesia,
+            "snapshot-bit-flip" => StateFault::SnapshotBitFlip { byte: a, bit: (b % 8) as u8 },
+            "wal-bit-flip" => StateFault::WalBitFlip { byte: a, bit: (b % 8) as u8 },
+            "wal-tear" => StateFault::WalTear { bytes: a },
+            _ => return None,
+        })
+    }
+}
+
+/// Deterministic garbage bytes for poisoning faults: a splitmix64
+/// stream keyed by `(seed, lane)`, so the same fault always injects the
+/// same junk (replayability) while distinct lanes stay distinct.
+pub fn garbage_bytes(seed: u64, lane: u64) -> [u8; 32] {
+    let mut state = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03;
+    let mut out = [0u8; 32];
+    for chunk in out.chunks_exact_mut(8) {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        chunk.copy_from_slice(&z.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_is_reachable_and_round_trips() {
+        for kind in 0..StateFault::KINDS {
+            for param in [0u64, 1, 7, 63, 0x1234_5678_9abc_def0, u64::MAX] {
+                let fault = StateFault::from_draws(kind, param);
+                let (a, b) = fault.params();
+                let back = StateFault::from_parts(fault.tag(), a, b)
+                    .expect("canonical tag must parse");
+                assert_eq!(back, fault, "kind {kind} param {param}");
+            }
+        }
+        assert!(StateFault::from_parts("no-such-fault", 0, 0).is_none());
+    }
+
+    #[test]
+    fn memory_kind_prefix_stays_volatile() {
+        for kind in 0..StateFault::MEMORY_KINDS {
+            let fault = StateFault::from_draws(kind, 99);
+            assert!(
+                !matches!(
+                    fault,
+                    StateFault::SnapshotBitFlip { .. }
+                        | StateFault::WalBitFlip { .. }
+                        | StateFault::WalTear { .. }
+                ),
+                "kind {kind} must target volatile state, got {fault:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(StateFault::from_draws(3, 42), StateFault::from_draws(3, 42));
+        assert_ne!(garbage_bytes(1, 0), garbage_bytes(1, 1));
+        assert_eq!(garbage_bytes(7, 3), garbage_bytes(7, 3));
+    }
+}

@@ -84,6 +84,12 @@ impl GossipState {
     pub fn seen_count(&self) -> usize {
         self.seen.len()
     }
+
+    /// Whether `id` has been sighted here (the superset side of the
+    /// stabilization audit's `verified ⊆ seen` containment check).
+    pub fn has_seen(&self, id: &Digest) -> bool {
+        self.seen.contains(id)
+    }
 }
 
 /// The dedup-before-verify gate shared by every honest receive path
@@ -175,6 +181,24 @@ impl VerifiedSet {
     /// Whether no id has been retained yet.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Fault injection: forces a raw id into the set *without*
+    /// verification, breaking the `verified ⊆ seen` containment the
+    /// honest admit path maintains. Exists only for the stabilization
+    /// plane's state-corruption experiments.
+    pub fn poison(&mut self, id: Digest) {
+        self.ids.insert(id);
+    }
+
+    /// Quarantine pass: retains only ids for which `keep` holds and
+    /// returns how many were evicted. The stabilization audit calls
+    /// this with "sighted by gossip" as the predicate, restoring the
+    /// containment a [`VerifiedSet::poison`]-style corruption broke.
+    pub fn quarantine<F: FnMut(&Digest) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.ids.len();
+        self.ids.retain(|id| keep(id));
+        before - self.ids.len()
     }
 }
 

@@ -59,6 +59,7 @@ pub mod compliance;
 mod config;
 mod controller;
 mod engine;
+mod fault;
 pub mod gossip;
 pub mod invariant;
 mod mempool;
@@ -74,6 +75,7 @@ pub use controller::{AdversaryCommand, AdversaryController, NullController, Tick
 pub use engine::{
     AdvanceMode, ByzantineFactory, RestartFactory, SimReport, Simulation, SimulationBuilder,
 };
+pub use fault::{garbage_bytes, StateFault};
 pub use invariant::{
     standard_invariants, DecisionEvent, DecisionMonotonicity, Invariant, InvariantViolation,
     NoConflictingAnchor, PrefixAgreement,

@@ -122,6 +122,11 @@ pub struct Metrics {
     /// volatile state is lost and only durable storage survives).
     #[serde(default)]
     pub crashes: u64,
+    /// State-corruption faults applied ([`crate::StateFault`]: bit rot
+    /// in decided logs, counters, caches, sync knowledge, or the
+    /// durable image — the stabilization plane's adversary).
+    #[serde(default)]
+    pub state_corruptions: u64,
     /// Message copies suppressed by an installed
     /// [`crate::DeliveryFilter`] (fetch-corruption experiments).
     pub filtered: u64,
@@ -243,6 +248,8 @@ impl Metrics {
         self.agg_verify_skips += other.agg_verify_skips;
         self.buffered += other.buffered;
         self.dropped += other.dropped;
+        self.crashes += other.crashes;
+        self.state_corruptions += other.state_corruptions;
         self.filtered += other.filtered;
         self.decisions += other.decisions;
         self.ticks = self.ticks.max(other.ticks);

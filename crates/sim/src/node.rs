@@ -185,6 +185,16 @@ pub trait Node: Send + 'static {
     /// messages at wake time).
     fn on_message(&mut self, msg: &SignedMessage, ctx: &mut Context);
 
+    /// Called when a scheduled [`crate::StateFault`] strikes this
+    /// validator: the node must apply the corruption to its own state
+    /// (the fault models bit rot / torn writes *inside* the process, so
+    /// only the node knows which field the fault names). Default: inert
+    /// (placeholder and Byzantine nodes have no honest state to
+    /// corrupt).
+    fn on_state_fault(&mut self, fault: &crate::StateFault, ctx: &mut Context) {
+        let _ = (fault, ctx);
+    }
+
     /// A short human-readable label (for reports and traces).
     fn label(&self) -> &'static str {
         "node"

@@ -125,6 +125,25 @@ pub trait DurableStore: Send {
     /// Simulates (or accompanies) a process crash: buffered, unsynced
     /// state is dropped; durable state is untouched.
     fn crash(&mut self);
+
+    /// Fault injection: flips one bit of the durable WAL image.
+    /// Out-of-range offsets no-op. Default: no-op (real backends are
+    /// corrupted by the universe, not the test harness).
+    fn corrupt_wal_bit(&mut self, byte: usize, bit: u32) {
+        let _ = (byte, bit);
+    }
+
+    /// Fault injection: flips one bit of the durable snapshot image.
+    /// Out-of-range offsets (or no snapshot) no-op. Default: no-op.
+    fn corrupt_snapshot_bit(&mut self, byte: usize, bit: u32) {
+        let _ = (byte, bit);
+    }
+
+    /// Fault injection: tears the last `n` bytes off the durable WAL
+    /// (an interrupted write). Default: no-op.
+    fn tear_wal_tail(&mut self, n: usize) {
+        let _ = n;
+    }
 }
 
 /// A durable backend shared between a live validator and the restart

@@ -105,6 +105,21 @@ impl DurableStore for MemDurable {
     fn crash(&mut self) {
         self.buffered.clear();
     }
+
+    // The trait's fault hooks forward to the inherent methods so a
+    // `Box<dyn DurableStore>` behind a `SharedDurable` can be corrupted
+    // without downcasting (the stabilization plane's durable faults).
+    fn corrupt_wal_bit(&mut self, byte: usize, bit: u32) {
+        MemDurable::corrupt_wal_bit(self, byte, bit);
+    }
+
+    fn corrupt_snapshot_bit(&mut self, byte: usize, bit: u32) {
+        MemDurable::corrupt_snapshot_bit(self, byte, bit);
+    }
+
+    fn tear_wal_tail(&mut self, n: usize) {
+        MemDurable::tear_wal_tail(self, n);
+    }
 }
 
 #[cfg(test)]
